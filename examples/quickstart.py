@@ -1,0 +1,56 @@
+"""Quickstart: use DynaSoRe as the caching tier of a small social application.
+
+The example builds a small data-center topology and a synthetic social
+graph, deploys a :class:`repro.DynaSoReStore` with 50% extra memory, issues
+writes and feed reads through the public key-value API, runs the hourly
+maintenance, and prints how the store replicated the hottest view and how
+much traffic crossed each switch level.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterSpec, DynaSoReStore, TreeTopology, facebook_like
+from repro.constants import HOUR
+
+
+def main() -> None:
+    # A small cluster: 3 intermediate switches, 2 racks each, 4 machines per
+    # rack (1 broker + 3 storage servers).
+    topology = TreeTopology(
+        ClusterSpec(intermediate_switches=3, racks_per_intermediate=2, machines_per_rack=4)
+    )
+    graph = facebook_like(users=400, seed=42)
+    store = DynaSoReStore(topology, graph, extra_memory_pct=50.0, seed=42)
+
+    print(f"cluster : {topology.describe()}")
+    print(f"graph   : {graph.num_users} users, {graph.num_edges} follow edges")
+
+    # A celebrity posts an event; her followers read their feeds.
+    celebrity = max(graph.users, key=graph.in_degree)
+    followers = sorted(graph.followers(celebrity))
+    print(f"celebrity user {celebrity} has {len(followers)} followers")
+
+    store.write(celebrity, b"I just released a new album!")
+    for hour in range(6):
+        store.advance_time(hour * HOUR)
+        for follower in followers:
+            store.read(follower)          # reads the views of everyone they follow
+        store.write(celebrity, f"update {hour}".encode())
+        store.run_maintenance()           # hourly tick: thresholds, eviction
+
+    print(f"replicas of the celebrity view : {store.replica_count(celebrity)}")
+    feed = store.read(followers[0], targets=[celebrity])
+    latest = feed[celebrity].latest(1)[0]
+    print(f"latest event seen by a follower: {latest.payload.decode()!r}")
+
+    snapshot = store.traffic_snapshot()
+    for level in ("top", "intermediate", "rack"):
+        print(f"traffic at {level:13s} switches: {snapshot.total_by_level.get(level, 0.0):,.0f}")
+
+
+if __name__ == "__main__":
+    main()

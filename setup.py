@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The offline reproduction environment lacks the ``wheel`` package, so PEP 660
+editable installs cannot build a wheel; this shim lets
+``pip install -e . --no-build-isolation`` fall back to ``setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Baseline placement strategies: Random, METIS, hierarchical METIS, SPAR."""
+
+from .base import PlacementStrategy, StaticPlacementStrategy
+from .hmetis_placement import HierarchicalMetisPlacement, hmetis_assignment
+from .metis_placement import MetisPlacement, metis_assignment
+from .random_placement import RandomPlacement, random_assignment
+from .spar import SparPlacement
+
+__all__ = [
+    "HierarchicalMetisPlacement",
+    "MetisPlacement",
+    "PlacementStrategy",
+    "RandomPlacement",
+    "SparPlacement",
+    "StaticPlacementStrategy",
+    "hmetis_assignment",
+    "metis_assignment",
+    "random_assignment",
+]

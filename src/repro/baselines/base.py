@@ -1,0 +1,215 @@
+"""Placement-strategy interface and the shared static execution engine.
+
+Every view-management protocol evaluated in the paper — Random, METIS,
+hierarchical METIS, SPAR and DynaSoRe itself — is a *placement strategy*: it
+decides where view replicas live, which broker executes each request, and it
+is driven by the same trace-driven simulator.  This module defines the
+interface and a base class implementing the common execution logic of the
+static baselines (fixed single-replica placement, proxies on the broker of
+the rack hosting the view).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..exceptions import SimulationError
+from ..socialgraph.graph import SocialGraph
+from ..store.memory import MemoryBudget
+from ..topology.base import ClusterTopology
+from ..traffic.accounting import TrafficAccountant
+from ..traffic.messages import MessageKind
+
+
+class PlacementStrategy(ABC):
+    """A view-placement protocol driven by the cluster simulator."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "strategy"
+
+    def __init__(self) -> None:
+        self.topology: ClusterTopology | None = None
+        self.graph: SocialGraph | None = None
+        self.accountant: TrafficAccountant | None = None
+        self.budget: MemoryBudget | None = None
+        self.rng = random.Random(0)
+
+    # ------------------------------------------------------------------ setup
+    def bind(
+        self,
+        topology: ClusterTopology,
+        graph: SocialGraph,
+        accountant: TrafficAccountant,
+        budget: MemoryBudget,
+        seed: int = 7,
+    ) -> None:
+        """Attach the strategy to a cluster, graph, accountant and budget."""
+        self.topology = topology
+        self.graph = graph
+        self.accountant = accountant
+        self.budget = budget
+        self.rng = random.Random(seed)
+
+    def require_bound(self) -> None:
+        """Raise when the strategy has not been bound to a cluster yet."""
+        if self.topology is None or self.graph is None or self.accountant is None:
+            raise SimulationError(f"strategy {self.name!r} is not bound to a cluster")
+
+    @abstractmethod
+    def build_initial_placement(self) -> None:
+        """Compute the initial assignment of views (and replicas) to servers."""
+
+    # -------------------------------------------------------------- execution
+    @abstractmethod
+    def execute_read(
+        self, user: int, now: float, targets: tuple[int, ...] | None = None
+    ) -> None:
+        """Execute a read request: fetch the views of everyone ``user`` follows.
+
+        ``targets`` overrides the target list (the public key-value API passes
+        an explicit list, exactly like the paper's ``Read(u, L)``); when it is
+        ``None`` the strategy reads the views of every user ``user`` follows
+        in the bound social graph.
+        """
+
+    @abstractmethod
+    def execute_write(self, user: int, now: float) -> None:
+        """Execute a write request: update every replica of ``user``'s view."""
+
+    def on_tick(self, now: float) -> None:
+        """Periodic maintenance hook (counter rotation, thresholds, eviction)."""
+
+    def on_edge_added(self, follower: int, followee: int, now: float) -> None:
+        """The social graph gained an edge (already applied to ``self.graph``)."""
+
+    def on_edge_removed(self, follower: int, followee: int, now: float) -> None:
+        """The social graph lost an edge (already applied to ``self.graph``)."""
+
+    # ------------------------------------------------------------ introspection
+    @abstractmethod
+    def replica_locations(self) -> dict[int, set[int]]:
+        """Map of every user to the *leaf device indices* storing her view."""
+
+    def replica_count(self, user: int) -> int:
+        """Number of replicas of one user's view."""
+        return len(self.replica_locations().get(user, set()))
+
+    def total_replicas(self) -> int:
+        """Total number of replicas stored in the cluster."""
+        return sum(len(servers) for servers in self.replica_locations().values())
+
+    def memory_in_use(self) -> int:
+        """Total view slots in use (equals :meth:`total_replicas`)."""
+        return self.total_replicas()
+
+    # --------------------------------------------------------------- helpers
+    def server_device(self, position: int) -> int:
+        """Leaf device index of the ``position``-th storage server."""
+        assert self.topology is not None
+        return self.topology.servers[position].index
+
+    def closest_replica(self, broker: int, servers: set[int] | tuple[int, ...]) -> int:
+        """Replica closest to ``broker`` (lowest common ancestor rule).
+
+        Ties are broken with the server identifier, as in the paper's routing
+        policy.
+        """
+        assert self.topology is not None
+        if not servers:
+            raise SimulationError("cannot route to a view with no replica")
+        return min(servers, key=lambda s: (self.topology.distance(broker, s), s))
+
+
+class StaticPlacementStrategy(PlacementStrategy):
+    """Shared behaviour of the static baselines (Random, METIS, hMETIS).
+
+    A static strategy stores exactly one replica per view, never changes the
+    placement during the run, and deploys both proxies of a user on the
+    broker associated with the server holding her view (paper section 4.1).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: user -> storage-server position (0 .. num_servers - 1)
+        self._assignment: dict[int, int] = {}
+
+    # ----------------------------------------------------------- assignment
+    @abstractmethod
+    def compute_assignment(self) -> dict[int, int]:
+        """Return the user → server-position assignment for the bound graph."""
+
+    def build_initial_placement(self) -> None:
+        self.require_bound()
+        self._assignment = dict(self.compute_assignment())
+        missing = set(self.graph.users) - set(self._assignment)
+        if missing:
+            raise SimulationError(
+                f"{self.name} assignment misses {len(missing)} users"
+            )
+
+    def assignment(self) -> dict[int, int]:
+        """Copy of the user → server-position assignment."""
+        return dict(self._assignment)
+
+    def server_position_of(self, user: int) -> int:
+        """Server position of a user's (single) replica, assigning lazily for
+        users that joined after the initial placement."""
+        position = self._assignment.get(user)
+        if position is None:
+            position = self._least_loaded_position()
+            self._assignment[user] = position
+        return position
+
+    def _least_loaded_position(self) -> int:
+        assert self.topology is not None
+        loads: dict[int, int] = {i: 0 for i in range(len(self.topology.servers))}
+        for position in self._assignment.values():
+            loads[position] = loads.get(position, 0) + 1
+        return min(loads, key=lambda p: (loads[p], p))
+
+    # -------------------------------------------------------------- proxies
+    def proxy_broker(self, user: int) -> int:
+        """Broker hosting both proxies of a user (rack of her view)."""
+        assert self.topology is not None
+        server = self.server_device(self.server_position_of(user))
+        return self.topology.proxy_broker_for_server(server)
+
+    # ------------------------------------------------------------ execution
+    def execute_read(
+        self, user: int, now: float, targets: tuple[int, ...] | None = None
+    ) -> None:
+        self.require_bound()
+        assert self.graph is not None and self.accountant is not None
+        if targets is None:
+            if not self.graph.has_user(user):
+                return
+            targets = tuple(self.graph.following(user))
+        broker = self.proxy_broker(user)
+        for target in targets:
+            server = self.server_device(self.server_position_of(target))
+            self.accountant.record_roundtrip(
+                broker, server, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
+            )
+
+    def execute_write(self, user: int, now: float) -> None:
+        self.require_bound()
+        assert self.accountant is not None
+        broker = self.proxy_broker(user)
+        server = self.server_device(self.server_position_of(user))
+        self.accountant.record_roundtrip(
+            broker, server, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
+        )
+
+    # -------------------------------------------------------- introspection
+    def replica_locations(self) -> dict[int, set[int]]:
+        return {
+            user: {self.server_device(position)}
+            for user, position in self._assignment.items()
+        }
+
+    def replica_count(self, user: int) -> int:
+        return 1 if user in self._assignment else 0
+
+
+__all__ = ["PlacementStrategy", "StaticPlacementStrategy"]

@@ -1,0 +1,164 @@
+"""Memory-capped SPAR baseline (paper section 4.1, "SPAR").
+
+SPAR (Pujol et al., SIGCOMM 2010) co-locates the views of a user's social
+neighbourhood on her server so reads are served locally, at the cost of
+updating many replicas on writes.  The original middleware assumes unbounded
+replication; the paper adapts it to a memory budget: *"The views of the
+friends of a user are copied to her server as long as storage is available.
+When the server is full, these views are not replicated."*
+
+The implementation below follows that adaptation:
+
+* every user receives a *master* replica on the least-loaded server when she
+  first appears in the edge stream (SPAR's load-balancing requirement);
+* the social graph's edges are then streamed in random order, and for each
+  follow edge ``u → v`` the view of ``v`` is replicated onto ``u``'s master
+  server if that server still has free slots;
+* the placement is then frozen: SPAR only reacts to changes of the social
+  graph, not to request traffic, so the trace is executed against a fixed
+  layout (new edges arriving during the run are processed the same way).
+
+Proxies live on the broker of the rack hosting the user's master replica;
+reads are routed to the closest replica of each target view; writes update
+every replica of the written view.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SimulationError
+from ..traffic.messages import MessageKind
+from .base import PlacementStrategy
+
+
+class SparPlacement(PlacementStrategy):
+    """SPAR with the paper's bounded-memory adaptation."""
+
+    name = "spar"
+
+    def __init__(self, seed: int = 7) -> None:
+        super().__init__()
+        self.seed = seed
+        #: user -> server position of the master replica
+        self._master: dict[int, int] = {}
+        #: user -> set of server positions holding a replica (incl. master)
+        self._replicas: dict[int, set[int]] = {}
+        #: server position -> number of stored views
+        self._load: list[int] = []
+        #: server position -> capacity in views
+        self._capacity: list[int] = []
+
+    # ------------------------------------------------------------- placement
+    def build_initial_placement(self) -> None:
+        self.require_bound()
+        assert self.graph is not None and self.topology is not None and self.budget is not None
+        servers = len(self.topology.servers)
+        self._capacity = self.budget.per_server_capacity()
+        if len(self._capacity) != servers:
+            raise SimulationError("memory budget does not match the number of servers")
+        self._load = [0] * servers
+        self._master = {}
+        self._replicas = {}
+
+        # One master replica per user, least-loaded server first.
+        for user in self.graph.users:
+            self._place_master(user)
+
+        # Stream the edges of the social graph in random order and replicate
+        # followees onto followers' servers while space remains.
+        edges = list(self.graph.edges())
+        self.rng.shuffle(edges)
+        for follower, followee in edges:
+            self._co_locate(follower, followee)
+
+    def _place_master(self, user: int) -> int:
+        """Create the master replica of a user on the least-loaded server."""
+        position = min(range(len(self._load)), key=lambda p: (self._load[p], p))
+        self._master[user] = position
+        self._replicas[user] = {position}
+        self._load[position] += 1
+        return position
+
+    def _co_locate(self, follower: int, followee: int) -> bool:
+        """Replicate ``followee``'s view on ``follower``'s master server.
+
+        Returns True when a new replica was created.  Nothing happens when
+        the views are already co-located or the server has no free slot.
+        """
+        if follower not in self._master:
+            self._place_master(follower)
+        if followee not in self._master:
+            self._place_master(followee)
+        target = self._master[follower]
+        if target in self._replicas[followee]:
+            return False
+        if self._load[target] >= self._capacity[target]:
+            return False
+        self._replicas[followee].add(target)
+        self._load[target] += 1
+        return True
+
+    # ------------------------------------------------------------- execution
+    def _master_position(self, user: int) -> int:
+        position = self._master.get(user)
+        if position is None:
+            position = self._place_master(user)
+        return position
+
+    def proxy_broker(self, user: int) -> int:
+        """Broker of the rack hosting the user's master replica."""
+        assert self.topology is not None
+        master_device = self.server_device(self._master_position(user))
+        return self.topology.proxy_broker_for_server(master_device)
+
+    def execute_read(
+        self, user: int, now: float, targets: tuple[int, ...] | None = None
+    ) -> None:
+        self.require_bound()
+        assert self.graph is not None and self.accountant is not None
+        if targets is None:
+            if not self.graph.has_user(user):
+                return
+            targets = tuple(self.graph.following(user))
+        broker = self.proxy_broker(user)
+        for target in targets:
+            self._master_position(target)
+            replicas = {self.server_device(p) for p in self._replicas[target]}
+            server = self.closest_replica(broker, replicas)
+            self.accountant.record_roundtrip(
+                broker, server, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
+            )
+
+    def execute_write(self, user: int, now: float) -> None:
+        self.require_bound()
+        assert self.accountant is not None
+        broker = self.proxy_broker(user)
+        self._master_position(user)
+        for position in self._replicas[user]:
+            server = self.server_device(position)
+            self.accountant.record_roundtrip(
+                broker, server, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
+            )
+
+    # --------------------------------------------------------- graph changes
+    def on_edge_added(self, follower: int, followee: int, now: float) -> None:
+        """SPAR reacts to the social graph: try to co-locate the new pair."""
+        self._co_locate(follower, followee)
+
+    # ----------------------------------------------------------- introspection
+    def replica_locations(self) -> dict[int, set[int]]:
+        return {
+            user: {self.server_device(position) for position in positions}
+            for user, positions in self._replicas.items()
+        }
+
+    def replica_count(self, user: int) -> int:
+        return len(self._replicas.get(user, ()))
+
+    def replication_factor(self) -> float:
+        """Average number of replicas per view."""
+        if not self._replicas:
+            return 0.0
+        return sum(len(p) for p in self._replicas.values()) / len(self._replicas)
+
+
+__all__ = ["SparPlacement"]

@@ -1,0 +1,70 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure3c --profile ci
+    python -m repro run all --profile laptop
+
+Every experiment prints the paper-style rows/series to stdout; use shell
+redirection to capture them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import ExperimentProfile
+from .experiments.registry import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dynasore-repro",
+        description="Reproduce the tables and figures of the DynaSoRe paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (e.g. figure3c) or 'all'")
+    run_parser.add_argument(
+        "--profile",
+        default="ci",
+        choices=["ci", "laptop", "paper"],
+        help="scale profile (default: ci)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``dynasore-repro`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for identifier, experiment in sorted(EXPERIMENTS.items()):
+            print(f"{identifier:10s}  {experiment.description}")
+        return 0
+
+    profile = ExperimentProfile.by_name(args.profile)
+    identifiers = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for identifier in identifiers:
+        try:
+            experiment = get_experiment(identifier)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        started = time.time()
+        print(f"== {identifier}: {experiment.description} (profile={profile.name}) ==")
+        print(experiment.run_and_render(profile))
+        print(f"-- completed in {time.time() - started:.1f}s --\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

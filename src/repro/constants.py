@@ -1,0 +1,46 @@
+"""Shared constants used across the DynaSoRe reproduction.
+
+Time is measured in seconds (floats).  The paper's simulator rotates access
+counters every hour and reports traffic per day, so the hour and the day are
+the two natural units used throughout the code base.
+"""
+
+from __future__ import annotations
+
+#: Number of seconds in one minute.
+MINUTE: float = 60.0
+
+#: Number of seconds in one hour.  Access counters rotate on this period.
+HOUR: float = 3600.0
+
+#: Number of seconds in one day.  Synthetic workloads issue one write per
+#: user per day on average (paper section 4.2).
+DAY: float = 86400.0
+
+#: Size of an application message (read request, write update and their
+#: answers).  The paper assumes application messages are ten times larger
+#: than protocol messages (section 4.3).
+APPLICATION_MESSAGE_SIZE: int = 10
+
+#: Size of a protocol message (replica creation and eviction notices,
+#: routing-table updates, admission-threshold piggybacks, proxy migrations).
+PROTOCOL_MESSAGE_SIZE: int = 1
+
+#: Default number of rotating-counter slots (24 one-hour slots, section 4.3).
+DEFAULT_COUNTER_SLOTS: int = 24
+
+#: Default rotation period of the access counters, in seconds.
+DEFAULT_COUNTER_PERIOD: float = HOUR
+
+#: Fraction of a server's memory that must be filled by views whose utility
+#: exceeds the admission threshold before the threshold becomes non-zero
+#: (paper section 3.2, "Replication of views").
+DEFAULT_ADMISSION_FILL: float = 0.90
+
+#: Memory utilisation above which a server proactively evicts its least
+#: useful replicas (paper section 3.2, "Eviction of views").
+DEFAULT_EVICTION_THRESHOLD: float = 0.95
+
+#: Ratio of reads to writes in the synthetic workload (Silberstein et al.,
+#: cited in paper section 4.2).
+SYNTHETIC_READ_WRITE_RATIO: float = 4.0

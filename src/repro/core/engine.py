@@ -1,0 +1,656 @@
+"""The DynaSoRe placement strategy (paper section 3).
+
+This module ties the pieces together into the full protocol:
+
+* per-user read and write proxies hosted on brokers, migrating towards the
+  data they access;
+* storage servers with bounded capacity, per-replica rotating access
+  statistics, admission thresholds and proactive eviction;
+* Algorithm 1 (utility), Algorithm 2 (replica creation) and Algorithm 3
+  (replica migration) driving dynamic replication;
+* closest-replica routing with routing-update notifications;
+* traffic accounting of every application and system message.
+
+The engine implements the same :class:`~repro.baselines.base.PlacementStrategy`
+interface as the baselines, so the trace-driven simulator can run them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from dataclasses import dataclass, field
+
+from ..baselines.base import PlacementStrategy
+from ..baselines.hmetis_placement import hmetis_assignment
+from ..baselines.metis_placement import metis_assignment
+from ..baselines.random_placement import random_assignment
+from ..config import DynaSoReConfig
+from ..exceptions import ConfigurationError, SimulationError
+from ..socialgraph.graph import SocialGraph
+from ..store.server import StorageServer
+from ..store.view import INFINITE_UTILITY, ViewReplica
+from ..topology.base import ClusterTopology
+from ..traffic.messages import MessageKind
+from .migration import MigrationAction, evaluate_replica_migration
+from .proxies import ProxyDirectory, optimal_proxy_broker
+from .replication import evaluate_replica_creation
+from .routing import RoutingService
+from .utility import estimate_profit
+
+#: Signature of an initial-placement function: (graph, topology, seed) -> {user: server position}.
+InitialAssignment = Callable[[SocialGraph, ClusterTopology, int], dict[int, int]]
+
+#: Named initial placements accepted by :class:`DynaSoRe`.
+INITIAL_PLACEMENTS: dict[str, InitialAssignment] = {
+    "random": random_assignment,
+    "metis": metis_assignment,
+    "hmetis": hmetis_assignment,
+}
+
+
+@dataclass
+class EngineCounters:
+    """Diagnostics of the dynamic decisions taken during a run."""
+
+    replicas_created: int = 0
+    replicas_removed: int = 0
+    replicas_migrated: int = 0
+    read_proxy_migrations: int = 0
+    write_proxy_migrations: int = 0
+    creation_rejected_full: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view used by reports and tests."""
+        return {
+            "replicas_created": self.replicas_created,
+            "replicas_removed": self.replicas_removed,
+            "replicas_migrated": self.replicas_migrated,
+            "read_proxy_migrations": self.read_proxy_migrations,
+            "write_proxy_migrations": self.write_proxy_migrations,
+            "creation_rejected_full": self.creation_rejected_full,
+        }
+
+
+def fit_assignment_to_capacity(
+    assignment: dict[int, int], capacities: list[int]
+) -> dict[int, int]:
+    """Adjust an assignment so no server exceeds its capacity.
+
+    Partitioners tolerate a few percent of imbalance, but at 0% extra memory
+    the per-server capacity exactly matches a perfectly balanced assignment.
+    Users overflowing a server are moved to the least-loaded server with free
+    slots (placement quality matters little for the handful of moved users).
+    """
+    loads = [0] * len(capacities)
+    fitted = dict(assignment)
+    overflow: list[int] = []
+    for user, position in assignment.items():
+        if position < 0 or position >= len(capacities):
+            raise SimulationError(f"user {user} assigned to invalid server {position}")
+        if loads[position] < capacities[position]:
+            loads[position] += 1
+        else:
+            overflow.append(user)
+    for user in overflow:
+        position = min(
+            range(len(capacities)),
+            key=lambda p: (loads[p] - capacities[p], loads[p], p),
+        )
+        if loads[position] >= capacities[position]:
+            raise SimulationError("cluster capacity is too small to store every view")
+        fitted[user] = position
+        loads[position] += 1
+    return fitted
+
+
+class DynaSoRe(PlacementStrategy):
+    """Dynamic social store: adaptive replica placement over a switch tree."""
+
+    name = "dynasore"
+
+    def __init__(
+        self,
+        initializer: str | InitialAssignment = "random",
+        config: DynaSoReConfig | None = None,
+        seed: int = 7,
+    ) -> None:
+        super().__init__()
+        self.config = config or DynaSoReConfig()
+        self.seed = seed
+        if isinstance(initializer, str):
+            if initializer not in INITIAL_PLACEMENTS:
+                raise ConfigurationError(
+                    f"unknown initial placement {initializer!r}; "
+                    f"expected one of {sorted(INITIAL_PLACEMENTS)} or a callable"
+                )
+            self._initializer: InitialAssignment = INITIAL_PLACEMENTS[initializer]
+            self.initializer_name = initializer
+        else:
+            self._initializer = initializer
+            self.initializer_name = getattr(initializer, "__name__", "custom")
+        self.name = f"dynasore[{self.initializer_name}]"
+
+        self.servers: list[StorageServer] = []
+        self.proxies = ProxyDirectory()
+        self.routing: RoutingService | None = None
+        #: user -> set of storage-server positions holding a replica
+        self._replica_positions: dict[int, set[int]] = {}
+        self._device_of_position: list[int] = []
+        self._position_of_device: dict[int, int] = {}
+        self._positions_under_switch: dict[int, tuple[int, ...]] = {}
+        self._threshold_cache: dict[int, float] = {}
+        self._last_tick: float = 0.0
+        self.counters = EngineCounters()
+
+    # =====================================================================
+    # Initial placement
+    # =====================================================================
+    def build_initial_placement(self) -> None:
+        self.require_bound()
+        assert self.topology is not None and self.graph is not None and self.budget is not None
+        capacities = self.budget.per_server_capacity()
+        if len(capacities) != len(self.topology.servers):
+            raise SimulationError("memory budget does not match the number of servers")
+
+        self.servers = [
+            StorageServer(
+                server_index=position,
+                capacity=capacity,
+                counter_slots=self.config.counter_slots,
+                counter_period=self.config.counter_period,
+                admission_fill=self.config.admission_fill,
+                eviction_threshold=self.config.eviction_threshold,
+            )
+            for position, capacity in enumerate(capacities)
+        ]
+        self._device_of_position = [server.index for server in self.topology.servers]
+        self._position_of_device = {
+            device: position for position, device in enumerate(self._device_of_position)
+        }
+        self.routing = RoutingService(self.topology)
+        self._build_switch_index()
+
+        assignment = self._initializer(self.graph, self.topology, self.seed)
+        assignment = fit_assignment_to_capacity(assignment, capacities)
+
+        self._replica_positions = {}
+        for user, position in assignment.items():
+            device = self._device_of_position[position]
+            broker = self.topology.proxy_broker_for_server(device)
+            self.servers[position].add_replica(user, write_proxy_broker=broker)
+            self._replica_positions[user] = {position}
+            self.proxies.place_both(user, broker)
+
+    def _build_switch_index(self) -> None:
+        """Pre-compute the storage-server positions under every switch."""
+        assert self.topology is not None
+        self._positions_under_switch = {}
+        for switch in self.topology.switches:
+            devices = self.topology.servers_under(switch.index)
+            self._positions_under_switch[switch.index] = tuple(
+                self._position_of_device[device]
+                for device in devices
+                if device in self._position_of_device
+            )
+        # In the flat topology origins are machines, not switches; each
+        # machine-origin contains exactly the co-located storage server.
+        for server in self.topology.servers:
+            if server.index not in self._positions_under_switch:
+                self._positions_under_switch[server.index] = (
+                    self._position_of_device[server.index],
+                )
+
+    # =====================================================================
+    # Helpers used by Algorithms 2 and 3
+    # =====================================================================
+    def positions_under(self, origin: int) -> tuple[int, ...]:
+        """Storage-server positions under an origin switch (or machine)."""
+        positions = self._positions_under_switch.get(origin)
+        if positions is None:
+            raise SimulationError(f"unknown origin {origin}")
+        return positions
+
+    def least_loaded_server_under(self, origin: int, user: int) -> int | None:
+        """Least-loaded server under ``origin`` not already storing ``user``.
+
+        Only servers with a free slot qualify: replica creation never evicts
+        on the spot; memory is freed by the proactive eviction pass of the
+        maintenance tick (paper section 3.2, "Eviction of views").
+        """
+        best_position: int | None = None
+        best_key: tuple[float, int] | None = None
+        holders = self._replica_positions.get(user, set())
+        for position in self.positions_under(origin):
+            if position in holders:
+                continue
+            server = self.servers[position]
+            if server.capacity == 0 or server.is_full():
+                continue
+            key = (server.utilisation, position)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_position = position
+        return best_position
+
+    def admission_threshold_under(self, origin: int) -> float:
+        """Lowest admission threshold among the servers under ``origin``.
+
+        Brokers learn thresholds through piggybacking and keep the lowest
+        value per region; the cache is invalidated at every maintenance tick
+        when thresholds are recomputed.
+        """
+        cached = self._threshold_cache.get(origin)
+        if cached is not None:
+            return cached
+        positions = self.positions_under(origin)
+        if not positions:
+            value = INFINITE_UTILITY
+        else:
+            value = min(self.servers[position].admission_threshold for position in positions)
+        self._threshold_cache[origin] = value
+        return value
+
+    def device_of_position(self, position: int) -> int:
+        """Leaf device index of a storage-server position."""
+        return self._device_of_position[position]
+
+    # =====================================================================
+    # Request execution
+    # =====================================================================
+    def _ensure_user(self, user: int) -> None:
+        """Allocate a view and proxies for a user unknown to the store.
+
+        New users are placed on the least-loaded server of the cluster and
+        their proxies on the closest broker (paper section 3.3, "Managing the
+        social network").
+        """
+        if user in self._replica_positions:
+            return
+        assert self.topology is not None
+        position = min(
+            range(len(self.servers)),
+            key=lambda p: (self.servers[p].utilisation, p),
+        )
+        device = self._device_of_position[position]
+        broker = self.topology.proxy_broker_for_server(device)
+        self.servers[position].add_replica(user, write_proxy_broker=broker, allow_overflow=True)
+        self._replica_positions[user] = {position}
+        self.proxies.place_both(user, broker)
+
+    def _closest_position(self, broker: int, user: int) -> int:
+        """Position of the replica of ``user`` closest to ``broker``."""
+        assert self.routing is not None
+        positions = self._replica_positions[user]
+        if len(positions) == 1:
+            return next(iter(positions))
+        devices = {self._device_of_position[p] for p in positions}
+        device = self.routing.closest_replica(broker, devices)
+        return self._position_of_device[device]
+
+    def execute_read(
+        self, user: int, now: float, targets: tuple[int, ...] | None = None
+    ) -> None:
+        self.require_bound()
+        assert self.graph is not None and self.accountant is not None and self.topology is not None
+        if targets is None:
+            if not self.graph.has_user(user):
+                return
+            targets = tuple(self.graph.following(user))
+        self._ensure_user(user)
+        broker = self.proxies.read_broker(user)
+        if broker is None:
+            broker = self.topology.proxy_broker_for_server(
+                self._device_of_position[next(iter(self._replica_positions[user]))]
+            )
+            self.proxies.read_proxy[user] = broker
+
+        transfers: dict[int, float] = {}
+        for target in targets:
+            self._ensure_user(target)
+            position = self._closest_position(broker, target)
+            device = self._device_of_position[position]
+            self.accountant.record_roundtrip(
+                broker, device, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
+            )
+            transfers[device] = transfers.get(device, 0.0) + 1.0
+
+            replica = self.servers[position].replica(target)
+            origin = self.topology.origin_of(device, broker)
+            replica.stats.record_read(origin, now)
+
+            if (
+                replica.stats.reads_since_last_evaluation()
+                >= self.config.replication_check_interval
+            ):
+                replica.stats.mark_evaluated()
+                self._consider_replication(replica, position, now)
+
+        if self.config.enable_proxy_migration and transfers:
+            best = optimal_proxy_broker(self.topology, transfers, broker)
+            if best != broker:
+                self.accountant.record(broker, best, MessageKind.PROXY_MIGRATION, now)
+                self.proxies.read_proxy[user] = best
+                self.counters.read_proxy_migrations += 1
+
+    def execute_write(self, user: int, now: float) -> None:
+        self.require_bound()
+        assert self.accountant is not None and self.topology is not None
+        self._ensure_user(user)
+        broker = self.proxies.write_broker(user)
+        if broker is None:
+            broker = self.topology.proxy_broker_for_server(
+                self._device_of_position[next(iter(self._replica_positions[user]))]
+            )
+            self.proxies.write_proxy[user] = broker
+
+        transfers: dict[int, float] = {}
+        for position in tuple(self._replica_positions[user]):
+            device = self._device_of_position[position]
+            self.accountant.record_roundtrip(
+                broker, device, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
+            )
+            transfers[device] = transfers.get(device, 0.0) + 1.0
+            self.servers[position].replica(user).stats.record_write(now)
+
+        if self.config.enable_proxy_migration and transfers:
+            best = optimal_proxy_broker(self.topology, transfers, broker)
+            if best != broker:
+                # Migrating a write proxy notifies every replica of the view.
+                for position in self._replica_positions[user]:
+                    device = self._device_of_position[position]
+                    self.accountant.record(broker, device, MessageKind.PROXY_MIGRATION, now)
+                    self.servers[position].replica(user).write_proxy_broker = best
+                self.proxies.write_proxy[user] = best
+                self.counters.write_proxy_migrations += 1
+
+    # =====================================================================
+    # Replication, migration, eviction
+    # =====================================================================
+    def _consider_replication(self, replica: ViewReplica, position: int, now: float) -> None:
+        """Run Algorithm 2 for a replica; fall back to Algorithm 3 when no
+        replica can be created (paper: "When no replicas can be created, the
+        server attempts to migrate the view to a more appropriate location")."""
+        decision = evaluate_replica_creation(
+            self.topology,
+            replica,
+            self._device_of_position[position],
+            self.proxies.write_broker(replica.user),
+            self.least_loaded_server_under,
+            self.admission_threshold_under,
+            self.device_of_position,
+        )
+        if decision.should_replicate and decision.target_position is not None:
+            self._create_replica(
+                replica.user, decision.target_position, now, requesting_position=position,
+                incoming_profit=decision.profit,
+            )
+            return
+        if self.config.enable_view_migration:
+            self._consider_migration(replica, position, now)
+
+    def _consider_migration(self, replica: ViewReplica, position: int, now: float) -> None:
+        """Run Algorithm 3 for a replica and apply its decision."""
+        next_device = replica.next_closest_replica
+        decision = evaluate_replica_migration(
+            self.topology,
+            replica,
+            self._device_of_position[position],
+            next_device,
+            self.proxies.write_broker(replica.user),
+            self.least_loaded_server_under,
+            self.admission_threshold_under,
+            self.device_of_position,
+        )
+        if decision.action is MigrationAction.REMOVE:
+            self._remove_replica(replica.user, position, now)
+        elif decision.action is MigrationAction.MOVE and decision.target_position is not None:
+            created = self._create_replica(
+                replica.user,
+                decision.target_position,
+                now,
+                requesting_position=position,
+                incoming_profit=decision.profit,
+            )
+            if created:
+                self._remove_replica(replica.user, position, now)
+                self.counters.replicas_migrated += 1
+
+    def _create_replica(
+        self,
+        user: int,
+        target_position: int,
+        now: float,
+        requesting_position: int | None = None,
+        incoming_profit: float = 0.0,
+    ) -> bool:
+        """Create a replica of ``user``'s view on ``target_position``.
+
+        Returns True when the replica was created.  The target may refuse
+        when it is full and none of its evictable replicas is less useful
+        than the incoming view.
+        """
+        assert self.accountant is not None and self.routing is not None
+        positions = self._replica_positions[user]
+        if target_position in positions:
+            return False
+        target_server = self.servers[target_position]
+        if target_server.is_full():
+            if not self._make_room(target_server, incoming_profit, now):
+                self.counters.creation_rejected_full += 1
+                return False
+
+        write_broker = self.proxies.write_broker(user)
+        target_device = self._device_of_position[target_position]
+        before_devices = {self._device_of_position[p] for p in positions}
+
+        # Control traffic: the requesting server notifies the write proxy,
+        # which instructs the target server and ships the view data from the
+        # closest existing replica.
+        if requesting_position is not None and write_broker is not None:
+            self.accountant.record(
+                self._device_of_position[requesting_position],
+                write_broker,
+                MessageKind.REPLICA_CONTROL,
+                now,
+            )
+        if write_broker is not None:
+            self.accountant.record(write_broker, target_device, MessageKind.REPLICA_CONTROL, now)
+        source_device = self.routing.closest_replica(target_device, before_devices)
+        self.accountant.record(source_device, target_device, MessageKind.REPLICA_COPY, now)
+
+        seeded_stats = self._seed_statistics(user, source_device, target_device, now)
+        replica = target_server.add_replica(
+            user, write_proxy_broker=write_broker, stats=seeded_stats
+        )
+        positions.add(target_position)
+        after_devices = before_devices | {target_device}
+        self._notify_routing_change(user, before_devices, after_devices, now)
+        self._refresh_next_closest(user)
+        self._refresh_utility(replica)
+        self.counters.replicas_created += 1
+        return True
+
+    def _seed_statistics(
+        self, user: int, source_device: int, target_device: int, now: float
+    ):
+        """Initial access statistics of a freshly created replica.
+
+        The new replica inherits, from the replica it was copied from, the
+        read counts of the origins that will be routed to it (those closer to
+        the new location than to the source) and the view's write rate.
+        Seeding prevents a cold-start artefact where a new replica — created
+        precisely because a region reads the view heavily — would look
+        useless at the next maintenance tick simply because its own counters
+        are still empty, get evicted, and be re-created on the next read.
+        """
+        assert self.topology is not None
+        source_position = self._position_of_device[source_device]
+        source_replica = self.servers[source_position].replica(user)
+        seeded = source_replica.stats.__class__(
+            self.config.counter_slots, self.config.counter_period
+        )
+        for origin, reads in source_replica.stats.reads_by_origin().items():
+            if self.topology.cost_from_origin(origin, target_device) < self.topology.cost_from_origin(
+                origin, source_device
+            ):
+                seeded.record_read(origin, now, reads)
+        writes = source_replica.stats.total_writes()
+        if writes:
+            seeded.record_write(now, writes)
+        seeded.mark_evaluated()
+        return seeded
+
+    def _make_room(self, server: StorageServer, incoming_profit: float, now: float) -> bool:
+        """Evict the least useful replica of a full server if it is less
+        useful than the incoming view.  Returns True when a slot was freed."""
+        candidates = server.eviction_candidates()
+        if not candidates:
+            return False
+        victim = candidates[0]
+        if victim.effective_utility() >= incoming_profit:
+            return False
+        self._remove_replica(victim.user, victim.server, now)
+        return True
+
+    def _remove_replica(self, user: int, position: int, now: float) -> bool:
+        """Remove the replica of ``user`` stored at ``position`` (never the
+        last one)."""
+        assert self.accountant is not None
+        positions = self._replica_positions.get(user)
+        if positions is None or position not in positions:
+            return False
+        if len(positions) <= self.config.min_replicas:
+            return False
+        device = self._device_of_position[position]
+        before_devices = {self._device_of_position[p] for p in positions}
+        self.servers[position].remove_replica(user)
+        positions.discard(position)
+        after_devices = {self._device_of_position[p] for p in positions}
+
+        write_broker = self.proxies.write_broker(user)
+        if write_broker is not None:
+            self.accountant.record(device, write_broker, MessageKind.REPLICA_CONTROL, now)
+        self._notify_routing_change(user, before_devices, after_devices, now)
+        self._refresh_next_closest(user)
+        self.counters.replicas_removed += 1
+        return True
+
+    def _notify_routing_change(
+        self, user: int, before: set[int], after: set[int], now: float
+    ) -> None:
+        """Send routing updates to the brokers whose closest replica changed."""
+        assert self.routing is not None and self.accountant is not None
+        write_broker = self.proxies.write_broker(user)
+        if write_broker is None:
+            return
+        for broker in self.routing.affected_brokers(before, after):
+            if broker == write_broker:
+                continue
+            self.accountant.record(write_broker, broker, MessageKind.ROUTING_UPDATE, now)
+
+    def _refresh_next_closest(self, user: int) -> None:
+        """Refresh every replica's pointer to its next-closest sibling."""
+        assert self.routing is not None
+        positions = self._replica_positions[user]
+        devices = {self._device_of_position[p] for p in positions}
+        for position in positions:
+            device = self._device_of_position[position]
+            replica = self.servers[position].replica(user)
+            replica.next_closest_replica = self.routing.next_closest(device, devices)
+
+    # =====================================================================
+    # Maintenance tick
+    # =====================================================================
+    def on_tick(self, now: float) -> None:
+        """Hourly maintenance: rotate counters, refresh utilities and
+        thresholds, evict, and run the migration sweep (Algorithm 3)."""
+        self.require_bound()
+        assert self.topology is not None
+        self._last_tick = now
+        self._threshold_cache.clear()
+
+        for server in self.servers:
+            server.advance_counters(now)
+            for replica in server.replicas():
+                self._refresh_utility(replica)
+            server.update_admission_threshold()
+
+        # Proactive eviction: free memory on servers above the threshold,
+        # shedding the least useful replicas first.
+        for server in self.servers:
+            if not server.needs_eviction():
+                continue
+            excess = server.excess_replicas()
+            for replica in server.eviction_candidates():
+                if excess <= 0:
+                    break
+                if self._remove_replica(replica.user, replica.server, now):
+                    excess -= 1
+
+        # Views with negative utility are removed regardless of memory
+        # pressure (their write cost exceeds their read benefit).
+        for server in self.servers:
+            for replica in server.replicas():
+                if replica.effective_utility() < 0:
+                    self._remove_replica(replica.user, replica.server, now)
+
+    def _refresh_utility(self, replica: ViewReplica) -> None:
+        """Recompute the cached utility of a replica (Algorithm 1)."""
+        assert self.topology is not None
+        device = self._device_of_position[replica.server]
+        if replica.next_closest_replica is None:
+            replica.utility = INFINITE_UTILITY if replica.stats.total_reads() >= 0 else 0.0
+            return
+        replica.utility = estimate_profit(
+            self.topology,
+            replica.stats,
+            device,
+            replica.next_closest_replica,
+            self.proxies.write_broker(replica.user),
+        )
+
+    # =====================================================================
+    # Graph evolution
+    # =====================================================================
+    def on_edge_added(self, follower: int, followee: int, now: float) -> None:
+        """New social connection: make sure both users exist in the store."""
+        self._ensure_user(follower)
+        self._ensure_user(followee)
+
+    def on_edge_removed(self, follower: int, followee: int, now: float) -> None:
+        """Removed connection: nothing to do, statistics decay naturally."""
+
+    # =====================================================================
+    # Introspection
+    # =====================================================================
+    def replica_locations(self) -> dict[int, set[int]]:
+        return {
+            user: {self._device_of_position[p] for p in positions}
+            for user, positions in self._replica_positions.items()
+        }
+
+    def replica_count(self, user: int) -> int:
+        return len(self._replica_positions.get(user, ()))
+
+    def replication_factor(self) -> float:
+        """Average number of replicas per view."""
+        if not self._replica_positions:
+            return 0.0
+        total = sum(len(p) for p in self._replica_positions.values())
+        return total / len(self._replica_positions)
+
+    def memory_in_use(self) -> int:
+        return sum(server.used for server in self.servers)
+
+    def memory_capacity(self) -> int:
+        """Total capacity of the cluster in views."""
+        return sum(server.capacity for server in self.servers)
+
+    def server_utilisations(self) -> list[float]:
+        """Per-server memory utilisation."""
+        return [server.utilisation for server in self.servers]
+
+
+__all__ = ["DynaSoRe", "INITIAL_PLACEMENTS", "InitialAssignment", "fit_assignment_to_capacity"]

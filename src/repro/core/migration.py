@@ -1,0 +1,88 @@
+"""Algorithm 3 — Compute Optimal Position of Replica (paper section 3.2).
+
+When no profitable replica can be created, a server considers *moving* the
+replica to a better location instead.  The computation resembles Algorithm 2
+but assumes the replica disappears from the current server, so the reference
+used to price reads is the next-closest replica.  Three outcomes are
+possible: keep the replica where it is, migrate it to the best origin, or —
+when even the best profit is negative — remove it altogether (its update
+cost outweighs its read benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..store.view import ViewReplica
+from ..topology.base import ClusterTopology
+from .utility import estimate_profit
+
+
+class MigrationAction(str, Enum):
+    """Possible outcomes of Algorithm 3."""
+
+    STAY = "stay"
+    MOVE = "move"
+    REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """Outcome of Algorithm 3 for one replica."""
+
+    action: MigrationAction
+    target_position: int | None = None
+    profit: float = 0.0
+
+
+def evaluate_replica_migration(
+    topology: ClusterTopology,
+    replica: ViewReplica,
+    replica_device: int,
+    next_closest_device: int | None,
+    write_broker: int | None,
+    least_loaded_server_under,
+    admission_threshold_under,
+    device_of_position,
+) -> MigrationDecision:
+    """Run Algorithm 3 for one replica.
+
+    ``next_closest_device`` is the location of the next-closest replica of
+    the same view (None when this is the sole replica, in which case the
+    replica is compared against itself and can never be removed).
+    """
+    sole_replica = next_closest_device is None
+    reference = replica_device if sole_replica else next_closest_device
+
+    best_position: int | None = None
+    best_profit = estimate_profit(
+        topology, replica.stats, replica_device, reference, write_broker
+    )
+    stay_profit = best_profit
+
+    for origin, _reads in replica.stats.reads_by_origin().items():
+        candidate_position = least_loaded_server_under(origin, replica.user)
+        if candidate_position is None:
+            continue
+        candidate_device = device_of_position(candidate_position)
+        if candidate_device == replica_device:
+            continue
+        profit = estimate_profit(
+            topology, replica.stats, candidate_device, reference, write_broker
+        )
+        threshold = admission_threshold_under(origin)
+        if profit > best_profit and profit > threshold:
+            best_position = candidate_position
+            best_profit = profit
+
+    if best_profit < 0 and not sole_replica:
+        return MigrationDecision(action=MigrationAction.REMOVE, profit=best_profit)
+    if best_position is not None and best_profit > stay_profit:
+        return MigrationDecision(
+            action=MigrationAction.MOVE, target_position=best_position, profit=best_profit
+        )
+    return MigrationDecision(action=MigrationAction.STAY, profit=stay_profit)
+
+
+__all__ = ["MigrationAction", "MigrationDecision", "evaluate_replica_migration"]

@@ -1,0 +1,88 @@
+"""Read and write proxies and their placement (paper section 3.2, "Brokers"
+and "Proxy placement").
+
+DynaSoRe creates, for every user, a *read proxy* (routes her feed reads) and
+a *write proxy* (updates the replicas of her view and serves as the
+synchronisation point for replica creation and eviction).  The two proxies
+may live on different brokers because they access different views.
+
+After executing a request, the proxy analyses where the accessed views were
+served from and computes the broker position that minimises network
+transfers: starting at the root of the tree, it follows at each level the
+branch from which most views were transferred until it reaches a broker.  If
+that broker differs from the current one, the proxy migrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..topology.base import ClusterTopology
+from ..topology.tree import TreeTopology
+
+
+@dataclass
+class ProxyDirectory:
+    """Locations of every user's read and write proxies (broker devices)."""
+
+    read_proxy: dict[int, int] = field(default_factory=dict)
+    write_proxy: dict[int, int] = field(default_factory=dict)
+
+    def place_both(self, user: int, broker: int) -> None:
+        """Deploy both proxies of a user on the same broker."""
+        self.read_proxy[user] = broker
+        self.write_proxy[user] = broker
+
+    def read_broker(self, user: int) -> int | None:
+        """Broker hosting the user's read proxy (None when unknown)."""
+        return self.read_proxy.get(user)
+
+    def write_broker(self, user: int) -> int | None:
+        """Broker hosting the user's write proxy (None when unknown)."""
+        return self.write_proxy.get(user)
+
+    def users(self) -> tuple[int, ...]:
+        """Users with at least one proxy deployed."""
+        return tuple(self.read_proxy)
+
+
+def optimal_proxy_broker(
+    topology: ClusterTopology,
+    transfers: dict[int, float],
+    default: int,
+) -> int:
+    """Broker minimising transfers for the given per-server access counts.
+
+    ``transfers`` maps leaf device indices (the servers that served views
+    during the last execution of the request) to the number of views they
+    served.  Following the paper, the search starts at the root and descends
+    into the branch with the most transfers; in the flat topology the best
+    broker is simply the machine that served the most views (every machine is
+    a broker there).
+    """
+    if not transfers:
+        return default
+    if isinstance(topology, TreeTopology):
+        # Aggregate per intermediate switch, pick the heaviest branch.
+        per_intermediate: dict[int, float] = {}
+        for device, count in transfers.items():
+            inter = topology.intermediate_of(device)
+            per_intermediate[inter] = per_intermediate.get(inter, 0.0) + count
+        best_inter = min(
+            per_intermediate, key=lambda i: (-per_intermediate[i], i)
+        )
+        # Then per rack within that branch.
+        per_rack: dict[int, float] = {}
+        for device, count in transfers.items():
+            if topology.intermediate_of(device) != best_inter:
+                continue
+            rack = topology.rack_of(device)
+            per_rack[rack] = per_rack.get(rack, 0.0) + count
+        best_rack = min(per_rack, key=lambda r: (-per_rack[r], r))
+        return topology.broker_for_rack(best_rack)
+    # Flat topology: the machine that served the most views is the best
+    # broker (requests served locally traverse no switch at all).
+    return min(transfers, key=lambda device: (-transfers[device], device))
+
+
+__all__ = ["ProxyDirectory", "optimal_proxy_broker"]

@@ -1,0 +1,91 @@
+"""Algorithm 2 — Evaluate Creation of Replica (paper section 3.2).
+
+Upon serving a read, a server re-examines the access statistics of the view:
+for every origin that reads the view, it estimates the profit of placing a
+new replica on the least-loaded server of that origin's sub-tree.  If the
+best profit exceeds both the admission threshold of the target region and
+zero, the server asks the view's write proxy to create the replica there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..store.view import ViewReplica
+from ..topology.base import ClusterTopology
+from .utility import estimate_profit
+
+
+@dataclass(frozen=True)
+class ReplicationDecision:
+    """Outcome of Algorithm 2 for one replica."""
+
+    #: Target server *position* for the new replica, or None when no
+    #: profitable placement was found.
+    target_position: int | None
+    profit: float
+
+    @property
+    def should_replicate(self) -> bool:
+        """True when a new replica should be requested."""
+        return self.target_position is not None
+
+
+def evaluate_replica_creation(
+    topology: ClusterTopology,
+    replica: ViewReplica,
+    replica_device: int,
+    write_broker: int | None,
+    least_loaded_server_under,
+    admission_threshold_under,
+    device_of_position,
+) -> ReplicationDecision:
+    """Run Algorithm 2 for one replica.
+
+    Parameters
+    ----------
+    topology:
+        Cluster topology.
+    replica:
+        The replica that just served a request (its statistics drive the
+        decision).
+    replica_device:
+        Leaf device index of the server storing ``replica``.
+    write_broker:
+        Broker hosting the view's write proxy (prices the update traffic of
+        the prospective replica).
+    least_loaded_server_under:
+        Callable ``(origin, user) -> position | None`` returning the
+        least-loaded storage-server position under an origin switch that does
+        not already store the user's view.
+    admission_threshold_under:
+        Callable ``(origin) -> float`` returning the lowest admission
+        threshold among the servers under an origin switch (the thresholds a
+        broker learns through piggybacking).
+    device_of_position:
+        Callable ``(position) -> leaf device index``.
+    """
+    best_profit = 0.0
+    best_position: int | None = None
+    for origin, _reads in replica.stats.reads_by_origin().items():
+        candidate_position = least_loaded_server_under(origin, replica.user)
+        if candidate_position is None:
+            continue
+        candidate_device = device_of_position(candidate_position)
+        if candidate_device == replica_device:
+            continue
+        profit = estimate_profit(
+            topology,
+            replica.stats,
+            candidate_device,
+            replica_device,
+            write_broker,
+        )
+        threshold = admission_threshold_under(origin)
+        if profit > threshold and profit > best_profit:
+            best_position = candidate_position
+            best_profit = profit
+    return ReplicationDecision(target_position=best_position, profit=best_profit)
+
+
+__all__ = ["ReplicationDecision", "evaluate_replica_creation"]

@@ -1,0 +1,72 @@
+"""Routing layer: closest-replica selection and routing-table maintenance.
+
+Every broker conceptually stores, for each view, the location of the closest
+replica according to the routing policy (lowest common ancestor, ties broken
+by server identifier — paper section 3.2, "Routing policy").  The simulator
+keeps a single authoritative replica-location map and resolves the closest
+replica on demand, which is functionally identical; what matters for the
+evaluation is the *notification traffic*: when the replica set of a view
+changes, only the brokers whose answer changes are notified by the view's
+write proxy (protocol messages).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import RoutingError
+from ..topology.base import ClusterTopology
+
+
+class RoutingService:
+    """Closest-replica resolution plus routing-update fan-out computation."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        self._broker_indices = tuple(broker.index for broker in topology.brokers)
+
+    # ----------------------------------------------------------- resolution
+    def closest_replica(self, broker: int, replica_devices: set[int] | tuple[int, ...]) -> int:
+        """Replica device closest to ``broker``; ties break on device index."""
+        if not replica_devices:
+            raise RoutingError("view has no replica to route to")
+        return min(
+            replica_devices,
+            key=lambda device: (self.topology.distance(broker, device), device),
+        )
+
+    def routing_table_for(self, broker: int, replica_map: dict[int, set[int]]) -> dict[int, int]:
+        """Full routing table of one broker (used by tests and the API layer)."""
+        return {
+            user: self.closest_replica(broker, devices)
+            for user, devices in replica_map.items()
+            if devices
+        }
+
+    # ------------------------------------------------------------- fan-out
+    def affected_brokers(
+        self,
+        before: set[int] | tuple[int, ...],
+        after: set[int] | tuple[int, ...],
+    ) -> tuple[int, ...]:
+        """Brokers whose closest replica changes when the set goes from
+        ``before`` to ``after``.
+
+        The routing policy is deterministic, so the write proxy only notifies
+        these brokers (paper section 3.2, "Routing tables").
+        """
+        changed = []
+        for broker in self._broker_indices:
+            old = self.closest_replica(broker, before) if before else None
+            new = self.closest_replica(broker, after) if after else None
+            if old != new:
+                changed.append(broker)
+        return tuple(changed)
+
+    def next_closest(self, device: int, replica_devices: set[int]) -> int | None:
+        """Closest *other* replica as seen from ``device`` (None when sole)."""
+        others = [d for d in replica_devices if d != device]
+        if not others:
+            return None
+        return min(others, key=lambda d: (self.topology.distance(device, d), d))
+
+
+__all__ = ["RoutingService"]

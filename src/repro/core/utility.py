@@ -1,0 +1,87 @@
+"""Algorithm 1 — Estimate Profit (paper section 3.2, "View utility").
+
+The utility of keeping (or creating) a replica of a view on a server is the
+network traffic saved by serving its reads from that server instead of the
+next-closest replica, minus the traffic required to keep the replica up to
+date:
+
+    serverReadCost   = Σ_origin reads(origin) · cost(origin, server)
+    nearestReadCost  = Σ_origin reads(origin) · cost(origin, nearest)
+    serverWriteCost  = writes · cost(writeProxyBroker, server)
+    profit           = nearestReadCost − serverReadCost − serverWriteCost
+
+``cost`` counts the switches a message traverses; origins are the coarse
+sub-tree labels recorded by the access statistics.
+"""
+
+from __future__ import annotations
+
+from ..store.stats import AccessStatistics
+from ..topology.base import ClusterTopology
+
+
+def estimate_profit(
+    topology: ClusterTopology,
+    stats: AccessStatistics,
+    candidate_server: int,
+    reference_server: int,
+    write_broker: int | None,
+) -> float:
+    """Profit of serving the recorded accesses from ``candidate_server``.
+
+    Parameters
+    ----------
+    topology:
+        Cluster topology providing switch costs.
+    stats:
+        Access statistics of the view (reads by origin plus writes).
+    candidate_server:
+        Leaf device index of the server whose benefit is being estimated.
+    reference_server:
+        Leaf device index of the server that would serve the reads otherwise
+        (the next-closest replica, or the current server when evaluating the
+        creation of a brand-new replica).
+    write_broker:
+        Leaf device index of the broker hosting the view's write proxy, or
+        ``None`` when the view has never been written (write cost is then 0).
+    """
+    server_read_cost = 0.0
+    nearest_read_cost = 0.0
+    for origin, reads in stats.reads_by_origin().items():
+        candidate_cost = topology.cost_from_origin(origin, candidate_server)
+        reference_cost = topology.cost_from_origin(origin, reference_server)
+        # Routing is deterministic and always picks the closest replica, so
+        # reads from an origin only move to the candidate when it is closer;
+        # they never become more expensive because the reference replica (the
+        # current server or the next-closest replica) still exists.  Without
+        # this clamp, views with geographically spread readers would never be
+        # replicated, which contradicts the paper's flash-event behaviour
+        # (one replica per intermediate switch).
+        server_read_cost += reads * min(candidate_cost, reference_cost)
+        nearest_read_cost += reads * reference_cost
+    writes = stats.total_writes()
+    if writes and write_broker is not None:
+        server_write_cost = writes * topology.distance(write_broker, candidate_server)
+    else:
+        server_write_cost = 0.0
+    return nearest_read_cost - server_read_cost - server_write_cost
+
+
+def replica_utility(
+    topology: ClusterTopology,
+    stats: AccessStatistics,
+    server: int,
+    next_closest_replica: int | None,
+    write_broker: int | None,
+) -> float:
+    """Utility of an *existing* replica (paper: impact of storing the view).
+
+    When the replica is the only copy in the system the caller treats the
+    utility as infinite (the replica cannot be evicted); this function is
+    only meaningful when ``next_closest_replica`` exists.
+    """
+    reference = next_closest_replica if next_closest_replica is not None else server
+    return estimate_profit(topology, stats, server, reference, write_broker)
+
+
+__all__ = ["estimate_profit", "replica_utility"]

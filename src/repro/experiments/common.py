@@ -1,0 +1,146 @@
+"""Shared scaffolding of the experiment harness.
+
+Every figure/table experiment needs the same ingredients: a topology built
+from the profile's cluster spec, a scaled social graph, a request log, and a
+set of strategy factories (Random, METIS, hMETIS, SPAR, DynaSoRe from several
+initial placements).  This module centralises their construction so the
+per-experiment modules only contain the logic specific to their figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..baselines import (
+    HierarchicalMetisPlacement,
+    MetisPlacement,
+    RandomPlacement,
+    SparPlacement,
+)
+from ..baselines.base import PlacementStrategy
+from ..config import DynaSoReConfig, ExperimentProfile, FlatClusterSpec, SimulationConfig
+from ..core.engine import DynaSoRe
+from ..socialgraph.generators import dataset_preset, generate_social_graph
+from ..socialgraph.graph import SocialGraph
+from ..topology.base import ClusterTopology
+from ..topology.flat import FlatTopology
+from ..topology.tree import TreeTopology
+from ..workload.requests import RequestLog
+from ..workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+from ..workload.trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
+
+#: Names of the social graphs used by the paper's evaluation.
+DATASETS = ("twitter", "facebook", "livejournal")
+
+
+def tree_topology_factory(profile: ExperimentProfile) -> Callable[[], ClusterTopology]:
+    """Factory building the profile's tree topology."""
+    return lambda: TreeTopology(profile.cluster)
+
+
+def flat_topology_factory(profile: ExperimentProfile) -> Callable[[], ClusterTopology]:
+    """Factory building the profile's flat topology (section 4.5)."""
+    return lambda: FlatTopology(FlatClusterSpec(machines=profile.flat_machines))
+
+
+def graph_factory(
+    profile: ExperimentProfile, dataset: str
+) -> Callable[[], SocialGraph]:
+    """Factory building the scaled analogue of one paper dataset."""
+    users = profile.users[dataset]
+    spec = dataset_preset(dataset, users=users)
+    return lambda: generate_social_graph(spec, seed=profile.seed)
+
+
+def synthetic_log(profile: ExperimentProfile, graph: SocialGraph) -> RequestLog:
+    """Synthetic request log for a graph (paper section 4.2)."""
+    generator = SyntheticWorkloadGenerator(
+        graph,
+        SyntheticWorkloadConfig(days=profile.synthetic_days, seed=profile.seed),
+    )
+    return generator.generate()
+
+
+def trace_log(profile: ExperimentProfile, graph: SocialGraph) -> RequestLog:
+    """Yahoo!-News-Activity-like request log (paper section 4.2)."""
+    generator = NewsActivityTraceGenerator(
+        graph,
+        NewsActivityTraceConfig(days=profile.trace_days, seed=profile.seed),
+    )
+    return generator.generate()
+
+
+def simulation_config(
+    profile: ExperimentProfile,
+    extra_memory_pct: float,
+    measure_from: float = 0.0,
+) -> SimulationConfig:
+    """Simulation configuration for one memory point.
+
+    ``measure_from`` discards traffic recorded before that simulated time —
+    the paper measures Figure 3 and the tables *after convergence*, so those
+    experiments use the first part of the request log as a warm-up phase.
+    """
+    return SimulationConfig(
+        extra_memory_pct=extra_memory_pct, measure_from=measure_from, seed=profile.seed
+    )
+
+
+def convergence_cutoff(profile: ExperimentProfile) -> float:
+    """Simulated time after which steady-state traffic is measured.
+
+    The paper observes that DynaSoRe almost reaches its best performance
+    after a few hours of traffic; half the synthetic trace is a comfortable
+    warm-up at every profile scale.
+    """
+    from ..constants import DAY
+
+    return profile.synthetic_days * DAY / 2.0
+
+
+def dynasore_config() -> DynaSoReConfig:
+    """DynaSoRe tunables used by the experiments (the paper defaults)."""
+    return DynaSoReConfig()
+
+
+def strategy_factories(
+    profile: ExperimentProfile, include: tuple[str, ...] | None = None
+) -> dict[str, Callable[[], PlacementStrategy]]:
+    """Factories of every strategy evaluated in the paper.
+
+    Keys: ``random``, ``metis``, ``hmetis``, ``spar``, ``dynasore_random``,
+    ``dynasore_metis``, ``dynasore_hmetis``.  ``include`` restricts the
+    returned mapping while preserving this ordering.
+    """
+    seed = profile.seed
+    factories: dict[str, Callable[[], PlacementStrategy]] = {
+        "random": lambda: RandomPlacement(seed=seed),
+        "metis": lambda: MetisPlacement(seed=seed),
+        "hmetis": lambda: HierarchicalMetisPlacement(seed=seed),
+        "spar": lambda: SparPlacement(seed=seed),
+        "dynasore_random": lambda: DynaSoRe(
+            initializer="random", config=dynasore_config(), seed=seed
+        ),
+        "dynasore_metis": lambda: DynaSoRe(
+            initializer="metis", config=dynasore_config(), seed=seed
+        ),
+        "dynasore_hmetis": lambda: DynaSoRe(
+            initializer="hmetis", config=dynasore_config(), seed=seed
+        ),
+    }
+    if include is None:
+        return factories
+    return {label: factories[label] for label in include}
+
+
+__all__ = [
+    "DATASETS",
+    "dynasore_config",
+    "flat_topology_factory",
+    "graph_factory",
+    "simulation_config",
+    "strategy_factories",
+    "synthetic_log",
+    "trace_log",
+    "tree_topology_factory",
+]

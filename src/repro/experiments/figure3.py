@@ -1,0 +1,136 @@
+"""Figure 3 — top-switch traffic versus extra memory capacity.
+
+Figures 3a–3c plot, for the Twitter, LiveJournal and Facebook graphs on the
+tree topology, the traffic crossing the top switch (normalised by the Random
+baseline) as the cluster's extra memory grows from 0% to 200%.  The curves
+compare SPAR against DynaSoRe initialised from Random, METIS and hierarchical
+METIS placements.  Figure 3d repeats the Facebook experiment on a flat
+topology (every machine is both cache and broker).
+
+Expected shape (what the benchmarks assert): at every memory point DynaSoRe
+uses the memory more efficiently than SPAR; the static partitioning
+initialisations dominate the random initialisation; and all curves decrease
+as memory grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ExperimentProfile
+from .common import (
+    convergence_cutoff,
+    flat_topology_factory,
+    graph_factory,
+    simulation_config,
+    strategy_factories,
+    synthetic_log,
+    tree_topology_factory,
+)
+from ..simulator.runner import run_comparison
+
+#: Strategy labels plotted by Figure 3 (plus the normalising Random run).
+FIGURE3_STRATEGIES = (
+    "random",
+    "spar",
+    "dynasore_random",
+    "dynasore_metis",
+    "dynasore_hmetis",
+)
+
+#: The flat-topology variant omits hMETIS, as the paper does (no hierarchy).
+FIGURE3_FLAT_STRATEGIES = ("random", "spar", "dynasore_random", "dynasore_metis")
+
+
+@dataclass
+class MemorySweepResult:
+    """Normalised top-switch traffic per strategy per memory point."""
+
+    dataset: str
+    topology: str
+    #: extra-memory percentage -> {strategy label -> normalised traffic}
+    points: dict[float, dict[str, float]] = field(default_factory=dict)
+    #: extra-memory percentage -> {strategy label -> absolute traffic}
+    absolute: dict[float, dict[str, float]] = field(default_factory=dict)
+
+    def series(self, strategy: str) -> list[tuple[float, float]]:
+        """(extra memory, normalised traffic) series of one strategy."""
+        return [
+            (memory, values[strategy])
+            for memory, values in sorted(self.points.items())
+            if strategy in values
+        ]
+
+
+def run_memory_sweep(
+    profile: ExperimentProfile,
+    dataset: str,
+    flat: bool = False,
+    memory_points: tuple[float, ...] | None = None,
+    strategies: tuple[str, ...] | None = None,
+) -> MemorySweepResult:
+    """Run the Figure 3 sweep for one dataset on one topology."""
+    if strategies is None:
+        strategies = FIGURE3_FLAT_STRATEGIES if flat else FIGURE3_STRATEGIES
+    if memory_points is None:
+        memory_points = profile.memory_sweep
+
+    topology_factory = (
+        flat_topology_factory(profile) if flat else tree_topology_factory(profile)
+    )
+    graphs = graph_factory(profile, dataset)
+    base_graph = graphs()
+    log = synthetic_log(profile, base_graph)
+
+    result = MemorySweepResult(dataset=dataset, topology="flat" if flat else "tree")
+    cutoff = convergence_cutoff(profile)
+    for memory in memory_points:
+        config = simulation_config(profile, memory, measure_from=cutoff)
+        runs = run_comparison(
+            topology_factory,
+            graphs,
+            strategy_factories(profile, include=strategies),
+            log,
+            config,
+        )
+        reference = runs["random"].top_switch_traffic
+        result.points[memory] = {
+            label: (run.top_switch_traffic / reference if reference else 0.0)
+            for label, run in runs.items()
+        }
+        result.absolute[memory] = {
+            label: run.top_switch_traffic for label, run in runs.items()
+        }
+    return result
+
+
+def run_figure3a(profile: ExperimentProfile, **kwargs) -> MemorySweepResult:
+    """Figure 3a: Twitter graph, tree topology."""
+    return run_memory_sweep(profile, "twitter", flat=False, **kwargs)
+
+
+def run_figure3b(profile: ExperimentProfile, **kwargs) -> MemorySweepResult:
+    """Figure 3b: LiveJournal graph, tree topology."""
+    return run_memory_sweep(profile, "livejournal", flat=False, **kwargs)
+
+
+def run_figure3c(profile: ExperimentProfile, **kwargs) -> MemorySweepResult:
+    """Figure 3c: Facebook graph, tree topology."""
+    return run_memory_sweep(profile, "facebook", flat=False, **kwargs)
+
+
+def run_figure3d(profile: ExperimentProfile, **kwargs) -> MemorySweepResult:
+    """Figure 3d: Facebook graph, flat topology."""
+    return run_memory_sweep(profile, "facebook", flat=True, **kwargs)
+
+
+__all__ = [
+    "FIGURE3_FLAT_STRATEGIES",
+    "FIGURE3_STRATEGIES",
+    "MemorySweepResult",
+    "run_figure3a",
+    "run_figure3b",
+    "run_figure3c",
+    "run_figure3d",
+    "run_memory_sweep",
+]

@@ -1,0 +1,140 @@
+"""Figure 5 — flash events (paper section 4.6).
+
+At day 2 a randomly chosen user gains 100 random followers; at day 7 they
+unfollow.  The paper repeats this 100 times on the Facebook graph with 30%
+extra memory and plots the average number of replicas of the hot view and
+the average number of reads each replica serves per 10 minutes.
+
+Expected shape: the replica count rises from ≈1 after the followers arrive,
+stabilises (the paper converges near 5, one replica per intermediate
+switch), the per-replica read load stays close to the pre-event level, and
+the extra replicas are evicted shortly after the followers leave.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..config import ExperimentProfile
+from ..constants import DAY
+from ..core.engine import DynaSoRe
+from ..simulator.engine import ClusterSimulator
+from .common import dynasore_config, graph_factory, simulation_config, synthetic_log, tree_topology_factory
+from ..workload.flash import inject_flash_event, plan_flash_event
+from ..workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+
+@dataclass
+class FlashEventOutcome:
+    """Averaged replica-count and read-load timelines across repetitions."""
+
+    repetitions: int
+    #: day -> average number of replicas of the hot view
+    replicas_by_day: dict[float, float] = field(default_factory=dict)
+    #: day -> average reads per replica per sampling window
+    reads_per_replica_by_day: dict[float, float] = field(default_factory=dict)
+
+    def replicas_during(self, start_day: float, end_day: float) -> float:
+        """Average replica count over a day interval."""
+        values = [
+            value
+            for day, value in self.replicas_by_day.items()
+            if start_day <= day < end_day
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_flash_event_once(
+    profile: ExperimentProfile,
+    dataset: str,
+    extra_memory_pct: float,
+    followers: int,
+    start_day: float,
+    end_day: float,
+    duration_days: float,
+    seed: int,
+) -> tuple[dict[float, float], dict[float, float]]:
+    """One repetition: returns (replica count by day, reads/replica by day)."""
+    rng = random.Random(seed)
+    graph = graph_factory(profile, dataset)()
+    generator = SyntheticWorkloadGenerator(
+        graph, SyntheticWorkloadConfig(days=duration_days, seed=seed)
+    )
+    base_log = generator.generate()
+    spec = plan_flash_event(
+        graph, rng, followers=followers, start_day=start_day, end_day=end_day
+    )
+    log = inject_flash_event(base_log, spec, seed=seed)
+
+    topology = tree_topology_factory(profile)()
+    simulator = ClusterSimulator(
+        topology,
+        graph,
+        DynaSoRe(initializer="hmetis", config=dynasore_config(), seed=seed),
+        simulation_config(profile, extra_memory_pct),
+    )
+    simulator.track_view(spec.target_user)
+    result = simulator.run(log)
+
+    timeline = result.tracked_views[spec.target_user]
+    replicas = {time / DAY: float(count) for time, count in timeline.replica_counts}
+    reads = {time / DAY: value for time, value in timeline.reads_per_replica}
+    return replicas, reads
+
+
+def run_figure5(
+    profile: ExperimentProfile,
+    dataset: str = "facebook",
+    extra_memory_pct: float = 30.0,
+    followers: int = 100,
+    start_day: float = 2.0,
+    end_day: float = 7.0,
+    duration_days: float = 10.0,
+    repetitions: int | None = None,
+) -> FlashEventOutcome:
+    """Run the flash-event experiment and average across repetitions.
+
+    The day samples of each repetition are rounded to a common grid (half a
+    day) before averaging, so repetitions with slightly different sample
+    times aggregate cleanly.
+    """
+    repetitions = repetitions if repetitions is not None else profile.flash_repetitions
+    duration_days = min(duration_days, max(profile.synthetic_days, end_day + 1.0))
+    start_day = min(start_day, duration_days / 3.0)
+    end_day = min(end_day, duration_days * 0.8)
+    if end_day <= start_day:
+        end_day = start_day + max(0.5, duration_days / 4.0)
+
+    grid = 0.5
+    replica_acc: dict[float, list[float]] = {}
+    reads_acc: dict[float, list[float]] = {}
+    for repetition in range(repetitions):
+        replicas, reads = run_flash_event_once(
+            profile,
+            dataset,
+            extra_memory_pct,
+            followers,
+            start_day,
+            end_day,
+            duration_days,
+            seed=profile.seed + repetition,
+        )
+        for day, value in replicas.items():
+            bucket = round(day / grid) * grid
+            replica_acc.setdefault(bucket, []).append(value)
+        for day, value in reads.items():
+            bucket = round(day / grid) * grid
+            reads_acc.setdefault(bucket, []).append(value)
+
+    outcome = FlashEventOutcome(repetitions=repetitions)
+    outcome.replicas_by_day = {
+        day: sum(values) / len(values) for day, values in sorted(replica_acc.items())
+    }
+    outcome.reads_per_replica_by_day = {
+        day: sum(values) / len(values) for day, values in sorted(reads_acc.items())
+    }
+    return outcome
+
+
+__all__ = ["FlashEventOutcome", "run_figure5", "run_flash_event_once"]

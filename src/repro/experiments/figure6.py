@@ -1,0 +1,133 @@
+"""Figure 6 — convergence: application versus system traffic over time.
+
+The paper's Figure 6 runs DynaSoRe on the Facebook graph with 150% extra
+memory, starting from a random placement and from an hMETIS placement, with
+synthetic (6a) and real (6b) request logs.  It plots the top-switch traffic
+split into *application* traffic (reads/writes and their answers) and
+*system* traffic (replication, routing updates and other protocol messages),
+both normalised by the Random baseline's application traffic.
+
+Expected shape: the system traffic spikes early while DynaSoRe replicates
+aggressively, then decays as the placement converges; the application traffic
+drops quickly and reaches a stable plateau within roughly a day of simulated
+traffic; starting from hMETIS converges faster and produces less system
+traffic than starting from Random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ExperimentProfile
+from ..constants import DAY
+from ..simulator.results import SimulationResult
+from ..simulator.runner import run_comparison
+from .common import (
+    graph_factory,
+    simulation_config,
+    strategy_factories,
+    synthetic_log,
+    trace_log,
+    tree_topology_factory,
+)
+
+#: Strategies whose convergence is studied (plus the normalising baseline).
+FIGURE6_STRATEGIES = ("random", "dynasore_random", "dynasore_hmetis")
+
+
+@dataclass
+class ConvergenceSeries:
+    """Application/system traffic per time bucket for one strategy."""
+
+    strategy: str
+    #: bucket day -> application traffic (normalised by Random's total rate)
+    application: dict[float, float] = field(default_factory=dict)
+    #: bucket day -> system traffic (same normalisation)
+    system: dict[float, float] = field(default_factory=dict)
+
+    def application_halves(self) -> tuple[float, float]:
+        """Average application traffic in the first and second halves."""
+        return _halves(self.application)
+
+    def system_halves(self) -> tuple[float, float]:
+        """Average system traffic in the first and second halves."""
+        return _halves(self.system)
+
+
+def _halves(series: dict[float, float]) -> tuple[float, float]:
+    if not series:
+        return (0.0, 0.0)
+    days = sorted(series)
+    midpoint = days[len(days) // 2]
+    first = [series[d] for d in days if d < midpoint] or [series[days[0]]]
+    second = [series[d] for d in days if d >= midpoint]
+    return (sum(first) / len(first), sum(second) / len(second))
+
+
+@dataclass
+class ConvergenceResult:
+    """Reproduction of Figure 6a or 6b."""
+
+    workload: str
+    extra_memory_pct: float
+    series: dict[str, ConvergenceSeries] = field(default_factory=dict)
+
+
+def _bucketed(result: SimulationResult, reference_rate: float) -> ConvergenceSeries:
+    series = ConvergenceSeries(strategy=result.strategy_name)
+    for bucket, (application, system) in result.top_switch_series(split=True).items():
+        day = bucket * result.bucket_width / DAY
+        series.application[day] = application / reference_rate if reference_rate else 0.0
+        series.system[day] = system / reference_rate if reference_rate else 0.0
+    return series
+
+
+def run_convergence(
+    profile: ExperimentProfile,
+    workload: str,
+    dataset: str = "facebook",
+    extra_memory_pct: float = 150.0,
+    strategies: tuple[str, ...] = FIGURE6_STRATEGIES,
+) -> ConvergenceResult:
+    """Run the convergence experiment with ``workload`` in {synthetic, real}."""
+    topology_factory = tree_topology_factory(profile)
+    graphs = graph_factory(profile, dataset)
+    base_graph = graphs()
+    log = synthetic_log(profile, base_graph) if workload == "synthetic" else trace_log(
+        profile, base_graph
+    )
+    config = simulation_config(profile, extra_memory_pct)
+    runs = run_comparison(
+        topology_factory, graphs, strategy_factories(profile, include=strategies), log, config
+    )
+
+    baseline = runs["random"]
+    buckets = max(1, len(baseline.top_switch_series(split=False)))
+    reference_rate = baseline.top_switch_traffic / buckets
+
+    result = ConvergenceResult(workload=workload, extra_memory_pct=extra_memory_pct)
+    for label, run in runs.items():
+        if label == "random":
+            continue
+        result.series[label] = _bucketed(run, reference_rate)
+    return result
+
+
+def run_figure6a(profile: ExperimentProfile, **kwargs) -> ConvergenceResult:
+    """Figure 6a: convergence with synthetic requests."""
+    return run_convergence(profile, "synthetic", **kwargs)
+
+
+def run_figure6b(profile: ExperimentProfile, **kwargs) -> ConvergenceResult:
+    """Figure 6b: convergence with real (trace-like) requests."""
+    return run_convergence(profile, "real", **kwargs)
+
+
+__all__ = [
+    "ConvergenceResult",
+    "ConvergenceSeries",
+    "FIGURE6_STRATEGIES",
+    "run_convergence",
+    "run_figure6a",
+    "run_figure6b",
+]

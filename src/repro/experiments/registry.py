@@ -1,0 +1,106 @@
+"""Registry of every reproducible experiment (figure/table → runner).
+
+The registry lets the command-line runner (and EXPERIMENTS.md) refer to
+experiments by the identifiers used in the paper: ``table1``, ``figure2``,
+``figure3a`` … ``figure6b``, ``table2``, ``table3``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..config import ExperimentProfile
+from . import report
+from .datasets import run_table1
+from .figure2 import run_figure2
+from .figure3 import run_figure3a, run_figure3b, run_figure3c, run_figure3d
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6a, run_figure6b
+from .tables import run_table2, run_table3
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment."""
+
+    identifier: str
+    description: str
+    runner: Callable[[ExperimentProfile], object]
+    renderer: Callable[[object], str]
+
+    def run(self, profile: ExperimentProfile) -> object:
+        """Run the experiment at the given profile's scale."""
+        return self.runner(profile)
+
+    def run_and_render(self, profile: ExperimentProfile) -> str:
+        """Run the experiment and return the paper-style text report."""
+        return self.renderer(self.run(profile))
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "table1": Experiment(
+        "table1", "Datasets (users and links)", run_table1, report.render_table1
+    ),
+    "figure2": Experiment(
+        "figure2", "Trace reads/writes per day", run_figure2, report.render_figure2
+    ),
+    "figure3a": Experiment(
+        "figure3a",
+        "Top-switch traffic vs extra memory (Twitter, tree)",
+        run_figure3a,
+        report.render_figure3,
+    ),
+    "figure3b": Experiment(
+        "figure3b",
+        "Top-switch traffic vs extra memory (LiveJournal, tree)",
+        run_figure3b,
+        report.render_figure3,
+    ),
+    "figure3c": Experiment(
+        "figure3c",
+        "Top-switch traffic vs extra memory (Facebook, tree)",
+        run_figure3c,
+        report.render_figure3,
+    ),
+    "figure3d": Experiment(
+        "figure3d",
+        "Top-switch traffic vs extra memory (Facebook, flat)",
+        run_figure3d,
+        report.render_figure3,
+    ),
+    "table2": Experiment(
+        "table2", "Per-level switch traffic, 30% extra memory", run_table2, report.render_switch_table
+    ),
+    "table3": Experiment(
+        "table3", "Per-level switch traffic, 150% extra memory", run_table3, report.render_switch_table
+    ),
+    "figure4": Experiment(
+        "figure4",
+        "Top-switch traffic over time (real trace, Facebook, 50%)",
+        run_figure4,
+        report.render_figure4,
+    ),
+    "figure5": Experiment(
+        "figure5", "Flash event: replicas and reads per replica", run_figure5, report.render_figure5
+    ),
+    "figure6a": Experiment(
+        "figure6a", "Convergence with synthetic requests", run_figure6a, report.render_figure6
+    ),
+    "figure6b": Experiment(
+        "figure6b", "Convergence with real requests", run_figure6b, report.render_figure6
+    ),
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Look up an experiment by identifier (raises KeyError with guidance)."""
+    if identifier not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {identifier!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[identifier]
+
+
+__all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]

@@ -1,0 +1,157 @@
+"""Plain-text rendering of experiment results.
+
+The experiment modules return structured results; this module renders them
+as the rows/series the paper reports, so the command-line runner and
+EXPERIMENTS.md can show paper-style tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from .datasets import DatasetRow
+from .figure2 import DailyActivity
+from .figure3 import MemorySweepResult
+from .figure4 import TrafficOverTime
+from .figure5 import FlashEventOutcome
+from .figure6 import ConvergenceResult
+from .tables import LEVELS, SwitchTrafficTable
+
+
+def _format_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def render_table1(rows: list[DatasetRow]) -> str:
+    """Render the reproduced Table 1."""
+    lines = ["Table 1 - datasets (paper scale vs generated scale)"]
+    header = ["dataset", "paper users", "paper links", "gen users", "gen links", "avg deg"]
+    widths = [12, 12, 12, 10, 10, 8]
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        lines.append(
+            _format_row(
+                [
+                    row.dataset,
+                    f"{row.paper_users:,}",
+                    f"{row.paper_links:,}",
+                    f"{row.generated_users:,}",
+                    f"{row.generated_links:,}",
+                    f"{row.avg_out_degree:.1f}",
+                ],
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure2(series: list[DailyActivity]) -> str:
+    """Render the per-day read/write counts of the trace."""
+    lines = ["Figure 2 - trace activity per day", _format_row(["day", "reads", "writes"], [5, 10, 10])]
+    for day in series:
+        lines.append(_format_row([str(day.day), str(day.reads), str(day.writes)], [5, 10, 10]))
+    return "\n".join(lines)
+
+
+def render_figure3(result: MemorySweepResult) -> str:
+    """Render a Figure 3 memory sweep (normalised top-switch traffic)."""
+    strategies = sorted({s for values in result.points.values() for s in values})
+    lines = [
+        f"Figure 3 - top-switch traffic vs extra memory "
+        f"({result.dataset}, {result.topology} topology, normalised by Random)"
+    ]
+    widths = [10] + [18] * len(strategies)
+    lines.append(_format_row(["memory"] + strategies, widths))
+    for memory in sorted(result.points):
+        row = [f"{memory:.0f}%"] + [
+            f"{result.points[memory].get(s, float('nan')):.3f}" for s in strategies
+        ]
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def render_switch_table(table: SwitchTrafficTable) -> str:
+    """Render Table 2 or Table 3."""
+    lines = [f"Switch traffic normalised by Random, {table.extra_memory_pct:.0f}% extra memory"]
+    datasets = sorted(table.cells)
+    widths = [28] + [12] * len(datasets)
+    lines.append(_format_row(["switch level / strategy"] + datasets, widths))
+    for level in LEVELS:
+        for strategy in ("dynasore_hmetis", "spar"):
+            label = f"{level} {strategy}"
+            row = [label] + [
+                f"{table.value(dataset, strategy, level):.2f}" for dataset in datasets
+            ]
+            lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def render_figure4(result: TrafficOverTime) -> str:
+    """Render the per-day normalised traffic of the real-trace experiment."""
+    lines = [
+        f"Figure 4 - top-switch traffic over time ({result.dataset}, "
+        f"{result.extra_memory_pct:.0f}% extra memory, normalised by Random)"
+    ]
+    normalised = result.normalised_series()
+    strategies = sorted(normalised)
+    days = sorted({day for series in normalised.values() for day in series})
+    widths = [6] + [18] * len(strategies)
+    lines.append(_format_row(["day"] + strategies, widths))
+    for day in days:
+        row = [str(day)] + [
+            f"{normalised[s].get(day, float('nan')):.3f}" for s in strategies
+        ]
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def render_figure5(outcome: FlashEventOutcome) -> str:
+    """Render the flash-event replica/read-load timelines."""
+    lines = [f"Figure 5 - flash event ({outcome.repetitions} repetitions)"]
+    widths = [8, 14, 18]
+    lines.append(_format_row(["day", "avg replicas", "reads/replica"], widths))
+    for day in sorted(outcome.replicas_by_day):
+        lines.append(
+            _format_row(
+                [
+                    f"{day:.1f}",
+                    f"{outcome.replicas_by_day[day]:.2f}",
+                    f"{outcome.reads_per_replica_by_day.get(day, 0.0):.2f}",
+                ],
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure6(result: ConvergenceResult) -> str:
+    """Render the convergence series (application and system traffic)."""
+    lines = [
+        f"Figure 6 - convergence ({result.workload} requests, "
+        f"{result.extra_memory_pct:.0f}% extra memory)"
+    ]
+    for label, series in sorted(result.series.items()):
+        lines.append(f"strategy: {label}")
+        widths = [8, 16, 16]
+        lines.append(_format_row(["day", "application", "system"], widths))
+        for day in sorted(series.application):
+            lines.append(
+                _format_row(
+                    [
+                        f"{day:.2f}",
+                        f"{series.application[day]:.4f}",
+                        f"{series.system.get(day, 0.0):.4f}",
+                    ],
+                    widths,
+                )
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_switch_table",
+    "render_table1",
+]

@@ -1,0 +1,99 @@
+"""Tables 2 and 3 — per-level switch traffic at 30% and 150% extra memory.
+
+The paper's Tables 2 and 3 report, for the three social graphs, the average
+traffic of top, intermediate and rack switches under DynaSoRe (initialised
+from hMETIS) and SPAR, normalised by the corresponding switch traffic under
+the Random baseline.  Table 2 uses 30% extra memory, Table 3 uses 150%.
+
+Expected shape: DynaSoRe's relative traffic is far below SPAR's at every
+level, the reduction is strongest at the top switch, and rack switches
+benefit the least (paper: top ≈ 0.04–0.07 for DynaSoRe at 30%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ExperimentProfile
+from ..simulator.runner import run_comparison
+from .common import (
+    DATASETS,
+    convergence_cutoff,
+    graph_factory,
+    simulation_config,
+    strategy_factories,
+    synthetic_log,
+    tree_topology_factory,
+)
+
+#: Switch levels reported by the tables.
+LEVELS = ("top", "intermediate", "rack")
+
+#: Strategies reported by the tables (normalised against Random).
+TABLE_STRATEGIES = ("random", "spar", "dynasore_hmetis")
+
+
+@dataclass
+class SwitchTrafficTable:
+    """Reproduction of Table 2 or Table 3."""
+
+    extra_memory_pct: float
+    #: dataset -> {(strategy, level) -> normalised traffic}
+    cells: dict[str, dict[tuple[str, str], float]] = field(default_factory=dict)
+
+    def value(self, dataset: str, strategy: str, level: str) -> float:
+        """One normalised cell of the table."""
+        return self.cells[dataset][(strategy, level)]
+
+
+def run_switch_traffic_table(
+    profile: ExperimentProfile,
+    extra_memory_pct: float,
+    datasets: tuple[str, ...] = DATASETS,
+) -> SwitchTrafficTable:
+    """Run the simulations behind Table 2 (30%) or Table 3 (150%)."""
+    table = SwitchTrafficTable(extra_memory_pct=extra_memory_pct)
+    topology_factory = tree_topology_factory(profile)
+    for dataset in datasets:
+        graphs = graph_factory(profile, dataset)
+        log = synthetic_log(profile, graphs())
+        config = simulation_config(
+            profile, extra_memory_pct, measure_from=convergence_cutoff(profile)
+        )
+        runs = run_comparison(
+            topology_factory,
+            graphs,
+            strategy_factories(profile, include=TABLE_STRATEGIES),
+            log,
+            config,
+        )
+        baseline = runs["random"]
+        cells: dict[tuple[str, str], float] = {}
+        for label, run in runs.items():
+            for level in LEVELS:
+                reference = baseline.level_traffic(level)
+                cells[(label, level)] = (
+                    run.level_traffic(level) / reference if reference else 0.0
+                )
+        table.cells[dataset] = cells
+    return table
+
+
+def run_table2(profile: ExperimentProfile, datasets: tuple[str, ...] = DATASETS) -> SwitchTrafficTable:
+    """Table 2: per-level switch traffic with 30% extra memory."""
+    return run_switch_traffic_table(profile, 30.0, datasets)
+
+
+def run_table3(profile: ExperimentProfile, datasets: tuple[str, ...] = DATASETS) -> SwitchTrafficTable:
+    """Table 3: per-level switch traffic with 150% extra memory."""
+    return run_switch_traffic_table(profile, 150.0, datasets)
+
+
+__all__ = [
+    "LEVELS",
+    "SwitchTrafficTable",
+    "TABLE_STRATEGIES",
+    "run_switch_traffic_table",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,29 @@
+"""Graph partitioning substrate (multilevel k-way and hierarchical)."""
+
+from .coarsen import CoarseGraph, coarsen_once, coarsen_to_size
+from .hierarchical import (
+    HierarchicalPartitionResult,
+    flat_partition_for_spec,
+    hierarchical_partition,
+)
+from .kway import PartitionResult, partition_kway, random_partition
+from .quality import balance_ratio, edge_cut, part_weights, validate_partition
+from .refine import rebalance_partition, refine_partition
+
+__all__ = [
+    "CoarseGraph",
+    "HierarchicalPartitionResult",
+    "PartitionResult",
+    "balance_ratio",
+    "coarsen_once",
+    "coarsen_to_size",
+    "edge_cut",
+    "flat_partition_for_spec",
+    "hierarchical_partition",
+    "part_weights",
+    "partition_kway",
+    "random_partition",
+    "rebalance_partition",
+    "refine_partition",
+    "validate_partition",
+]

@@ -1,0 +1,127 @@
+"""Graph coarsening by heavy-edge matching.
+
+Multilevel partitioners (METIS and friends) repeatedly contract a matching of
+the graph, preferring heavy edges, until the graph is small enough to
+partition directly.  Each coarse node remembers the fine nodes it represents
+so partitions can be projected back during uncoarsening.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class CoarseGraph:
+    """A coarsened graph plus the mapping back to the finer level."""
+
+    #: adjacency: coarse node -> {coarse neighbour -> edge weight}
+    adjacency: dict[int, dict[int, int]]
+    #: node weight (number of original vertices represented)
+    node_weights: dict[int, int]
+    #: fine node -> coarse node
+    fine_to_coarse: dict[int, int]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of coarse nodes."""
+        return len(self.adjacency)
+
+
+def coarsen_once(
+    adjacency: dict[int, dict[int, int]],
+    node_weights: dict[int, int],
+    rng: random.Random,
+    max_node_weight: int | None = None,
+) -> CoarseGraph:
+    """Contract one heavy-edge matching of the graph.
+
+    Nodes are visited in random order; each unmatched node is merged with its
+    unmatched neighbour of heaviest edge weight (ties broken by lower node
+    weight to keep coarse nodes balanced).  ``max_node_weight`` caps the size
+    of a coarse node so a single community cannot swallow the whole graph.
+    """
+    nodes = list(adjacency)
+    rng.shuffle(nodes)
+    matched: dict[int, int] = {}
+    for node in nodes:
+        if node in matched:
+            continue
+        best_neighbour = None
+        best_weight = -1
+        best_partner_weight = None
+        for neighbour, weight in adjacency[node].items():
+            if neighbour in matched or neighbour == node:
+                continue
+            if max_node_weight is not None:
+                if node_weights[node] + node_weights[neighbour] > max_node_weight:
+                    continue
+            partner_weight = node_weights[neighbour]
+            if weight > best_weight or (
+                weight == best_weight
+                and best_partner_weight is not None
+                and partner_weight < best_partner_weight
+            ):
+                best_neighbour = neighbour
+                best_weight = weight
+                best_partner_weight = partner_weight
+        if best_neighbour is None:
+            matched[node] = node
+        else:
+            matched[node] = node
+            matched[best_neighbour] = node
+
+    # Build the coarse graph.
+    fine_to_coarse: dict[int, int] = {}
+    coarse_ids: dict[int, int] = {}
+    for fine, representative in matched.items():
+        if representative not in coarse_ids:
+            coarse_ids[representative] = len(coarse_ids)
+        fine_to_coarse[fine] = coarse_ids[representative]
+
+    coarse_adjacency: dict[int, dict[int, int]] = {i: {} for i in range(len(coarse_ids))}
+    coarse_weights: dict[int, int] = {i: 0 for i in range(len(coarse_ids))}
+    for fine, coarse in fine_to_coarse.items():
+        coarse_weights[coarse] += node_weights[fine]
+        for neighbour, weight in adjacency[fine].items():
+            coarse_neighbour = fine_to_coarse[neighbour]
+            if coarse_neighbour == coarse:
+                continue
+            row = coarse_adjacency[coarse]
+            row[coarse_neighbour] = row.get(coarse_neighbour, 0) + weight
+
+    return CoarseGraph(
+        adjacency=coarse_adjacency,
+        node_weights=coarse_weights,
+        fine_to_coarse=fine_to_coarse,
+    )
+
+
+def coarsen_to_size(
+    adjacency: dict[int, dict[int, int]],
+    target_size: int,
+    rng: random.Random,
+) -> list[CoarseGraph]:
+    """Repeatedly coarsen until the graph has at most ``target_size`` nodes.
+
+    Returns the list of coarsening levels (finest first).  Coarsening stops
+    early when a round shrinks the graph by less than 10%, which indicates the
+    matching has become ineffective (typical for star-like graphs).
+    """
+    levels: list[CoarseGraph] = []
+    current_adjacency = adjacency
+    current_weights = {node: 1 for node in adjacency}
+    total_weight = len(adjacency)
+    max_node_weight = max(1, total_weight // max(1, target_size // 2))
+    while len(current_adjacency) > target_size:
+        level = coarsen_once(current_adjacency, current_weights, rng, max_node_weight)
+        if level.num_nodes >= 0.9 * len(current_adjacency):
+            break
+        levels.append(level)
+        current_adjacency = level.adjacency
+        current_weights = level.node_weights
+    return levels
+
+
+__all__ = ["CoarseGraph", "coarsen_once", "coarsen_to_size"]

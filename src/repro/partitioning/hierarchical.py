@@ -1,0 +1,136 @@
+"""Hierarchical partitioning matching the data-center tree (hMETIS baseline).
+
+The paper's hierarchical METIS baseline first partitions the social graph
+into one part per *intermediate switch*, then recursively re-partitions each
+part across the racks of that switch and finally across the servers of each
+rack (section 4.1).  Compared with flat k-way partitioning this keeps the
+views of friends that could not be co-located on the same server at least in
+the same sub-tree, so their traffic avoids the top switch.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..config import ClusterSpec
+from ..exceptions import PartitioningError
+from .kway import PartitionResult, partition_kway
+from .quality import balance_ratio, edge_cut
+
+
+@dataclass(frozen=True)
+class HierarchicalPartitionResult:
+    """Result of a hierarchical partitioning run.
+
+    ``server_assignment`` maps each node to a flat server index in
+    ``range(total_servers)`` where servers are numbered rack by rack,
+    intermediate switch by intermediate switch — the same order in which
+    :class:`repro.topology.TreeTopology` creates them.
+    """
+
+    server_assignment: dict[int, int]
+    intermediate_assignment: dict[int, int]
+    rack_assignment: dict[int, int]
+    total_servers: int
+    edge_cut: int
+    balance: float
+
+
+def _restrict_adjacency(
+    adjacency: Mapping[int, Mapping[int, int]], nodes: set[int]
+) -> dict[int, dict[int, int]]:
+    """Sub-graph induced by ``nodes`` (edges leaving the set are dropped)."""
+    return {
+        node: {n: w for n, w in adjacency[node].items() if n in nodes}
+        for node in nodes
+    }
+
+
+def hierarchical_partition(
+    adjacency: Mapping[int, Mapping[int, int]],
+    spec: ClusterSpec,
+    seed: int = 7,
+    balance_tolerance: float = 1.05,
+) -> HierarchicalPartitionResult:
+    """Recursively partition a graph over the cluster tree described by ``spec``.
+
+    Level 1 splits the graph across intermediate switches, level 2 splits
+    each of those parts across the racks of the switch, level 3 splits each
+    rack part across the rack's servers.
+    """
+    nodes = set(adjacency)
+    if not nodes:
+        return HierarchicalPartitionResult(
+            server_assignment={},
+            intermediate_assignment={},
+            rack_assignment={},
+            total_servers=spec.total_servers,
+            edge_cut=0,
+            balance=1.0,
+        )
+
+    rng = random.Random(seed)
+    top = partition_kway(
+        adjacency, spec.intermediate_switches, seed=seed, balance_tolerance=balance_tolerance
+    )
+    intermediate_assignment = dict(top.assignment)
+    rack_assignment: dict[int, int] = {}
+    server_assignment: dict[int, int] = {}
+
+    for inter_index in range(spec.intermediate_switches):
+        inter_nodes = {n for n, p in intermediate_assignment.items() if p == inter_index}
+        if not inter_nodes:
+            continue
+        inter_adjacency = _restrict_adjacency(adjacency, inter_nodes)
+        racks = partition_kway(
+            inter_adjacency,
+            spec.racks_per_intermediate,
+            seed=rng.randrange(1 << 30),
+            balance_tolerance=balance_tolerance,
+        )
+        for rack_index in range(spec.racks_per_intermediate):
+            global_rack = inter_index * spec.racks_per_intermediate + rack_index
+            rack_nodes = {n for n, p in racks.assignment.items() if p == rack_index}
+            for node in rack_nodes:
+                rack_assignment[node] = global_rack
+            if not rack_nodes:
+                continue
+            rack_adjacency = _restrict_adjacency(adjacency, rack_nodes)
+            servers = partition_kway(
+                rack_adjacency,
+                spec.servers_per_rack,
+                seed=rng.randrange(1 << 30),
+                balance_tolerance=balance_tolerance,
+            )
+            for node, server_index in servers.assignment.items():
+                server_assignment[node] = global_rack * spec.servers_per_rack + server_index
+
+    if set(server_assignment) != nodes:
+        raise PartitioningError("hierarchical partition failed to cover every node")
+
+    return HierarchicalPartitionResult(
+        server_assignment=server_assignment,
+        intermediate_assignment=intermediate_assignment,
+        rack_assignment=rack_assignment,
+        total_servers=spec.total_servers,
+        edge_cut=edge_cut(adjacency, server_assignment),
+        balance=balance_ratio(server_assignment, spec.total_servers),
+    )
+
+
+def flat_partition_for_spec(
+    adjacency: Mapping[int, Mapping[int, int]],
+    spec: ClusterSpec,
+    seed: int = 7,
+) -> PartitionResult:
+    """Flat METIS-style partition with one part per server of ``spec``."""
+    return partition_kway(adjacency, spec.total_servers, seed=seed)
+
+
+__all__ = [
+    "HierarchicalPartitionResult",
+    "flat_partition_for_spec",
+    "hierarchical_partition",
+]

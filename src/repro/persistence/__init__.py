@@ -1,0 +1,14 @@
+"""Durability substrate: write-ahead log, persistent store and recovery."""
+
+from .backend import PersistentStore
+from .recovery import RecoveryPlan, execute_recovery, plan_recovery
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "LogRecord",
+    "PersistentStore",
+    "RecoveryPlan",
+    "WriteAheadLog",
+    "execute_recovery",
+    "plan_recovery",
+]

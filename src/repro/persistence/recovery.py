@@ -1,0 +1,99 @@
+"""Crash recovery of storage servers (paper sections 2.2 and 3.3).
+
+When a DynaSoRe server crashes, its views can be recovered in two ways:
+
+* views that were replicated on other servers are still readily available in
+  memory (fast path, no cache miss);
+* views whose only replica was on the crashed server must be fetched from the
+  persistent store (slow path).
+
+This module implements the recovery planner and executor used by the
+fault-tolerance example and tests.  It operates on the same replica-location
+map the placement strategies maintain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import PersistenceError
+from .backend import PersistentStore
+
+
+@dataclass
+class RecoveryPlan:
+    """What must happen to recover from the crash of one server."""
+
+    crashed_server: int
+    #: Views recoverable from surviving in-memory replicas.
+    recoverable_from_memory: list[int] = field(default_factory=list)
+    #: Views that must be re-fetched from the persistent store.
+    recoverable_from_disk: list[int] = field(default_factory=list)
+
+    @property
+    def total_views(self) -> int:
+        """Number of views that lived on the crashed server."""
+        return len(self.recoverable_from_memory) + len(self.recoverable_from_disk)
+
+    @property
+    def memory_recovery_fraction(self) -> float:
+        """Fraction of views recoverable without touching the disk store."""
+        if self.total_views == 0:
+            return 1.0
+        return len(self.recoverable_from_memory) / self.total_views
+
+
+def plan_recovery(
+    crashed_server: int,
+    replica_locations: dict[int, set[int]],
+) -> RecoveryPlan:
+    """Build a recovery plan from the current replica-location map.
+
+    ``replica_locations`` maps each user to the set of servers storing her
+    view (including the crashed one).
+    """
+    plan = RecoveryPlan(crashed_server=crashed_server)
+    for user, servers in replica_locations.items():
+        if crashed_server not in servers:
+            continue
+        survivors = servers - {crashed_server}
+        if survivors:
+            plan.recoverable_from_memory.append(user)
+        else:
+            plan.recoverable_from_disk.append(user)
+    return plan
+
+
+def execute_recovery(
+    plan: RecoveryPlan,
+    replica_locations: dict[int, set[int]],
+    target_servers: dict[int, int],
+    persistent_store: PersistentStore | None = None,
+) -> dict[int, int]:
+    """Apply a recovery plan to the replica-location map.
+
+    ``target_servers`` maps each lost view to the server that will host its
+    recovered replica.  Views recovered from disk require a persistent store.
+    Returns the mapping of recovered views to their new servers.
+    """
+    recovered: dict[int, int] = {}
+    for user in plan.recoverable_from_memory + plan.recoverable_from_disk:
+        if user not in target_servers:
+            raise PersistenceError(f"no target server chosen for view {user}")
+    for user in plan.recoverable_from_disk:
+        if persistent_store is None:
+            raise PersistenceError(
+                "views with a single replica require the persistent store to recover"
+            )
+        # Touch the persistent store so the fetch is exercised (and would be
+        # counted by callers interested in recovery traffic).
+        persistent_store.fetch_view(user)
+    for user in plan.recoverable_from_memory + plan.recoverable_from_disk:
+        servers = replica_locations.setdefault(user, set())
+        servers.discard(plan.crashed_server)
+        servers.add(target_servers[user])
+        recovered[user] = target_servers[user]
+    return recovered
+
+
+__all__ = ["RecoveryPlan", "execute_recovery", "plan_recovery"]

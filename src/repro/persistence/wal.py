@@ -1,0 +1,125 @@
+"""Write-ahead log used for durability (paper section 3.3).
+
+The paper relies on a high-performance disk-based write-ahead log (such as
+BookKeeper) to persist writes before they reach the in-memory store and to
+make the broker/proxy configuration recoverable.  This module implements the
+same contract: append-only records, sequence numbers, replay from a given
+sequence number, and optional on-disk persistence so recovery can be
+exercised end to end in the examples and tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import PersistenceError
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable record: a user write or a configuration change."""
+
+    sequence: int
+    timestamp: float
+    kind: str
+    user: int
+    payload: str = ""
+
+    def to_json(self) -> str:
+        """Serialise the record as a single JSON line."""
+        return json.dumps(
+            {
+                "sequence": self.sequence,
+                "timestamp": self.timestamp,
+                "kind": self.kind,
+                "user": self.user,
+                "payload": self.payload,
+            },
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "LogRecord":
+        """Parse a record from its JSON representation."""
+        try:
+            data = json.loads(line)
+            return LogRecord(
+                sequence=int(data["sequence"]),
+                timestamp=float(data["timestamp"]),
+                kind=str(data["kind"]),
+                user=int(data["user"]),
+                payload=str(data.get("payload", "")),
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            raise PersistenceError(f"corrupt log record: {line!r}") from exc
+
+
+class WriteAheadLog:
+    """Append-only durable log with sequence numbers and replay."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._records: list[LogRecord] = []
+        self._path = Path(path) if path is not None else None
+        self._next_sequence = 0
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # -------------------------------------------------------------- appending
+    def append(self, kind: str, user: int, timestamp: float, payload: str = "") -> LogRecord:
+        """Durably append a record and return it."""
+        record = LogRecord(
+            sequence=self._next_sequence,
+            timestamp=timestamp,
+            kind=kind,
+            user=user,
+            payload=payload,
+        )
+        self._records.append(record)
+        self._next_sequence += 1
+        if self._path is not None:
+            with self._path.open("a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        return record
+
+    # ---------------------------------------------------------------- replay
+    def replay(self, from_sequence: int = 0) -> list[LogRecord]:
+        """Records with sequence number ≥ ``from_sequence``, in order."""
+        return [record for record in self._records if record.sequence >= from_sequence]
+
+    def last_sequence(self) -> int:
+        """Sequence number of the most recent record, -1 when empty."""
+        return self._next_sequence - 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def truncate(self, up_to_sequence: int) -> int:
+        """Drop records with sequence < ``up_to_sequence`` (checkpointing).
+
+        Returns the number of records dropped.  The on-disk file, if any, is
+        rewritten to match.
+        """
+        before = len(self._records)
+        self._records = [r for r in self._records if r.sequence >= up_to_sequence]
+        if self._path is not None:
+            with self._path.open("w", encoding="utf-8") as handle:
+                for record in self._records:
+                    handle.write(record.to_json() + "\n")
+        return before - len(self._records)
+
+    def _load(self) -> None:
+        assert self._path is not None
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                record = LogRecord.from_json(stripped)
+                self._records.append(record)
+        if self._records:
+            self._next_sequence = self._records[-1].sequence + 1
+
+
+__all__ = ["LogRecord", "WriteAheadLog"]

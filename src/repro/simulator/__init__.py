@@ -1,0 +1,17 @@
+"""Trace-driven cluster simulator."""
+
+from .clock import SimulationClock
+from .engine import ClusterSimulator
+from .results import ReplicaTimeline, SimulationResult
+from .runner import StrategyFactory, normalise_results, run_comparison, run_simulation
+
+__all__ = [
+    "ClusterSimulator",
+    "ReplicaTimeline",
+    "SimulationClock",
+    "SimulationResult",
+    "StrategyFactory",
+    "normalise_results",
+    "run_comparison",
+    "run_simulation",
+]

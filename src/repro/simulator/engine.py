@@ -1,0 +1,171 @@
+"""Trace-driven cluster simulator (paper section 4.3).
+
+The simulator replays a request log against a placement strategy deployed on
+a cluster topology.  It owns the traffic accountant (so every strategy is
+measured identically), applies social-graph mutations, fires the periodic
+maintenance ticks, and optionally samples the replica count of tracked views
+(the flash-event experiment).
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..constants import MINUTE
+from ..exceptions import SimulationError
+from ..baselines.base import PlacementStrategy
+from ..socialgraph.graph import SocialGraph
+from ..store.memory import MemoryBudget
+from ..topology.base import ClusterTopology
+from ..traffic.accounting import TrafficAccountant
+from ..workload.requests import EdgeAdded, EdgeRemoved, ReadRequest, RequestLog, WriteRequest
+from .clock import SimulationClock
+from .results import ReplicaTimeline, SimulationResult
+
+
+class ClusterSimulator:
+    """Replays a request log against one placement strategy."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        graph: SocialGraph,
+        strategy: PlacementStrategy,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.graph = graph
+        self.strategy = strategy
+        self.config = config or SimulationConfig()
+        self.accountant = TrafficAccountant(
+            topology,
+            bucket_width=self.config.bucket_width,
+            measure_from=self.config.measure_from,
+        )
+        self.budget = MemoryBudget(
+            views=graph.num_users,
+            extra_memory_pct=self.config.extra_memory_pct,
+            servers=len(topology.servers),
+        )
+        self._prepared = False
+        #: Views whose replica count is sampled over time (flash events).
+        self._tracked_views: dict[int, ReplicaTimeline] = {}
+        #: Sampling period of tracked views (the paper samples every 10 min).
+        self.tracking_period: float = 10 * MINUTE
+        #: Read counts of tracked views since the previous sample.
+        self._tracked_reads: dict[int, int] = {}
+        self._next_sample: float = self.tracking_period
+
+    # ------------------------------------------------------------------ setup
+    def prepare(self) -> None:
+        """Bind the strategy to the cluster and build the initial placement."""
+        if self._prepared:
+            return
+        self.strategy.bind(
+            self.topology, self.graph, self.accountant, self.budget, seed=self.config.seed
+        )
+        self.strategy.build_initial_placement()
+        self._prepared = True
+
+    def track_view(self, user: int) -> None:
+        """Sample the replica count of ``user``'s view during the run."""
+        self._tracked_views[user] = ReplicaTimeline(user=user)
+        self._tracked_reads[user] = 0
+
+    def reset_traffic(self) -> None:
+        """Clear the traffic counters (e.g. after a warm-up phase)."""
+        self.accountant.reset()
+
+    # -------------------------------------------------------------------- run
+    def run(self, log: RequestLog) -> SimulationResult:
+        """Replay a request log and return the measured result.
+
+        The log must be sorted by timestamp.  Graph mutations are applied to
+        the simulator's graph before the strategy is notified, and the
+        strategy's periodic maintenance runs every ``tick_period`` of
+        simulated time.
+        """
+        self.prepare()
+        clock = SimulationClock(tick_period=self.config.tick_period)
+        reads = writes = 0
+
+        for request in log:
+            for tick_time in clock.advance_to(request.timestamp):
+                self.strategy.on_tick(tick_time)
+            self._sample_tracked(request.timestamp)
+
+            if isinstance(request, ReadRequest):
+                self._count_tracked_read(request.user)
+                self.strategy.execute_read(request.user, request.timestamp)
+                reads += 1
+            elif isinstance(request, WriteRequest):
+                self.strategy.execute_write(request.user, request.timestamp)
+                writes += 1
+            elif isinstance(request, EdgeAdded):
+                self.graph.add_edge(request.follower, request.followee)
+                self.strategy.on_edge_added(request.follower, request.followee, request.timestamp)
+            elif isinstance(request, EdgeRemoved):
+                self.graph.remove_edge(request.follower, request.followee)
+                self.strategy.on_edge_removed(
+                    request.follower, request.followee, request.timestamp
+                )
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown request type {type(request).__name__}")
+
+        # Final maintenance tick and sample so end-of-run state is captured.
+        final_time = log[len(log) - 1].timestamp if len(log) else 0.0
+        self.strategy.on_tick(final_time)
+        self._sample_tracked(final_time, force=True)
+
+        app_series, sys_series = self.accountant.top_switch_series()
+        replication_factor = self._replication_factor()
+        return SimulationResult(
+            strategy_name=self.strategy.name,
+            extra_memory_pct=self.config.extra_memory_pct,
+            duration=log.duration,
+            requests_executed=len(log),
+            reads_executed=reads,
+            writes_executed=writes,
+            snapshot=self.accountant.snapshot(),
+            top_series_application=app_series,
+            top_series_system=sys_series,
+            bucket_width=self.config.bucket_width,
+            replication_factor=replication_factor,
+            memory_in_use=self.strategy.memory_in_use(),
+            tracked_views=dict(self._tracked_views),
+        )
+
+    # ------------------------------------------------------------- tracking
+    def _count_tracked_read(self, reader: int) -> None:
+        """Count reads that touch tracked views (reader follows the target)."""
+        if not self._tracked_views:
+            return
+        if not self.graph.has_user(reader):
+            return
+        following = self.graph.following(reader)
+        for user in self._tracked_views:
+            if user in following:
+                self._tracked_reads[user] += 1
+
+    def _sample_tracked(self, now: float, force: bool = False) -> None:
+        if not self._tracked_views:
+            return
+        if not force and now < self._next_sample:
+            return
+        for user, timeline in self._tracked_views.items():
+            count = self.strategy.replica_count(user)
+            timeline.replica_counts.append((now, count))
+            reads = self._tracked_reads.get(user, 0)
+            per_replica = reads / count if count else 0.0
+            timeline.reads_per_replica.append((now, per_replica))
+            self._tracked_reads[user] = 0
+        while self._next_sample <= now:
+            self._next_sample += self.tracking_period
+
+    def _replication_factor(self) -> float:
+        locations = self.strategy.replica_locations()
+        if not locations:
+            return 0.0
+        return sum(len(devices) for devices in locations.values()) / len(locations)
+
+
+__all__ = ["ClusterSimulator"]

@@ -1,0 +1,81 @@
+"""Convenience wrappers to run one or several strategies on a scenario.
+
+The experiment harness repeatedly needs the same operation: given a social
+graph, a request log, a topology and a memory budget, run a set of strategies
+and normalise their traffic against the Random baseline.  These helpers keep
+that orchestration in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..baselines.base import PlacementStrategy
+from ..config import SimulationConfig
+from ..socialgraph.graph import SocialGraph
+from ..topology.base import ClusterTopology
+from ..workload.requests import RequestLog
+from .engine import ClusterSimulator
+from .results import SimulationResult
+
+#: A strategy factory: builds a fresh, unbound strategy instance per run.
+StrategyFactory = Callable[[], PlacementStrategy]
+
+
+def run_simulation(
+    topology_factory: Callable[[], ClusterTopology],
+    graph_factory: Callable[[], SocialGraph],
+    strategy_factory: StrategyFactory,
+    log: RequestLog,
+    config: SimulationConfig,
+    tracked_views: tuple[int, ...] = (),
+) -> SimulationResult:
+    """Run one strategy on a fresh topology/graph pair and return the result.
+
+    Topology and graph are rebuilt per run because strategies mutate the
+    graph (edge events) and attach state to the topology-derived structures;
+    rebuilding guarantees runs are independent and comparable.
+    """
+    topology = topology_factory()
+    graph = graph_factory()
+    simulator = ClusterSimulator(topology, graph, strategy_factory(), config)
+    for user in tracked_views:
+        simulator.track_view(user)
+    return simulator.run(log)
+
+
+def run_comparison(
+    topology_factory: Callable[[], ClusterTopology],
+    graph_factory: Callable[[], SocialGraph],
+    strategies: Mapping[str, StrategyFactory],
+    log: RequestLog,
+    config: SimulationConfig,
+) -> dict[str, SimulationResult]:
+    """Run several strategies on the same scenario.
+
+    Returns a mapping from the strategy label (the mapping key, not the
+    strategy's own name) to its result.
+    """
+    results: dict[str, SimulationResult] = {}
+    for label, factory in strategies.items():
+        results[label] = run_simulation(
+            topology_factory, graph_factory, factory, log, config
+        )
+    return results
+
+
+def normalise_results(
+    results: Mapping[str, SimulationResult], baseline_label: str = "random"
+) -> dict[str, float]:
+    """Top-switch traffic of every run divided by the baseline's traffic."""
+    baseline = results[baseline_label]
+    reference = baseline.top_switch_traffic
+    normalised: dict[str, float] = {}
+    for label, result in results.items():
+        normalised[label] = (
+            result.top_switch_traffic / reference if reference > 0 else 0.0
+        )
+    return normalised
+
+
+__all__ = ["StrategyFactory", "normalise_results", "run_comparison", "run_simulation"]

@@ -1,0 +1,207 @@
+"""Synthetic social-graph generators.
+
+The paper evaluates DynaSoRe on crawls of Twitter (1.7M users, 5M links),
+Facebook (3M users, 47M links) and LiveJournal (4.8M users, 69M links).
+Those datasets are not redistributable, so this module builds *scaled
+synthetic analogues* that preserve the two structural properties the
+placement algorithms actually exploit:
+
+* heavy-tailed (power-law) degree distributions, so a few users attract a
+  large share of the read traffic, and
+* community structure (high clustering), so graph partitioning and
+  social-locality replication have something to gain.
+
+The generator combines a community-biased preferential-attachment process
+with a configurable average degree, which yields graphs whose degree
+distribution and modularity are in the right regime for the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .graph import SocialGraph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Knobs of a synthetic dataset (a scaled analogue of a paper dataset)."""
+
+    name: str
+    users: int
+    average_out_degree: float
+    #: Probability that a new edge stays inside the user's community.
+    community_bias: float
+    #: Number of communities the users are spread over.
+    communities: int
+    #: Probability that a follow edge is reciprocated (Facebook-like graphs
+    #: are nearly symmetric, Twitter much less so).
+    reciprocity: float
+
+    @property
+    def expected_edges(self) -> int:
+        """Approximate number of directed edges the generator will produce."""
+        return int(self.users * self.average_out_degree)
+
+
+#: Structural knobs of the three paper datasets (Table 1), expressed as
+#: ratios so they can be generated at any scale.  Average degrees follow the
+#: paper's edge/user ratios: Twitter ~2.9, Facebook ~15.7, LiveJournal ~14.4.
+_DATASET_PRESETS = {
+    "twitter": DatasetSpec(
+        name="twitter",
+        users=1_700_000,
+        average_out_degree=2.9,
+        community_bias=0.6,
+        communities=200,
+        reciprocity=0.2,
+    ),
+    "facebook": DatasetSpec(
+        name="facebook",
+        users=3_000_000,
+        average_out_degree=15.7,
+        community_bias=0.85,
+        communities=300,
+        reciprocity=0.7,
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        users=4_800_000,
+        average_out_degree=14.4,
+        community_bias=0.8,
+        communities=400,
+        reciprocity=0.55,
+    ),
+}
+
+
+def dataset_preset(name: str, users: int | None = None) -> DatasetSpec:
+    """Return the preset for a paper dataset, optionally rescaled.
+
+    ``users`` rescales the graph while keeping the average degree, community
+    bias and reciprocity of the preset; the community count is scaled with
+    the square root of the size ratio so communities keep a sensible size.
+    """
+    key = name.lower()
+    if key not in _DATASET_PRESETS:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {sorted(_DATASET_PRESETS)}")
+    preset = _DATASET_PRESETS[key]
+    if users is None or users == preset.users:
+        return preset
+    ratio = users / preset.users
+    communities = max(4, int(preset.communities * math.sqrt(ratio)))
+    return DatasetSpec(
+        name=preset.name,
+        users=users,
+        average_out_degree=preset.average_out_degree,
+        community_bias=preset.community_bias,
+        communities=communities,
+        reciprocity=preset.reciprocity,
+    )
+
+
+def generate_social_graph(spec: DatasetSpec, seed: int = 7) -> SocialGraph:
+    """Generate a synthetic social graph matching a :class:`DatasetSpec`.
+
+    The process assigns each user to a community, then adds edges one user at
+    a time: targets are drawn preferentially by in-degree, biased towards the
+    user's own community with probability ``community_bias``.  A fraction
+    ``reciprocity`` of edges is reciprocated immediately.
+    """
+    rng = random.Random(seed)
+    graph = SocialGraph(range(spec.users))
+    if spec.users < 2:
+        return graph
+
+    communities = max(1, min(spec.communities, spec.users))
+    community_of = [rng.randrange(communities) for _ in range(spec.users)]
+    members: list[list[int]] = [[] for _ in range(communities)]
+    for user, community in enumerate(community_of):
+        members[community].append(user)
+
+    # Repeated-node list implements preferential attachment in O(1) per draw.
+    popular: list[int] = list(range(spec.users))
+    popular_by_community: list[list[int]] = [list(c) for c in members]
+
+    target_edges = spec.expected_edges
+    attempts_limit = target_edges * 12
+    attempts = 0
+    while graph.num_edges < target_edges and attempts < attempts_limit:
+        attempts += 1
+        follower = rng.randrange(spec.users)
+        community = community_of[follower]
+        in_community = rng.random() < spec.community_bias and len(members[community]) > 1
+        if in_community:
+            pool = popular_by_community[community]
+        else:
+            pool = popular
+        followee = pool[rng.randrange(len(pool))]
+        if followee == follower:
+            continue
+        if graph.add_edge(follower, followee):
+            popular.append(followee)
+            popular_by_community[community_of[followee]].append(followee)
+            if rng.random() < spec.reciprocity and not graph.has_edge(followee, follower):
+                if graph.add_edge(followee, follower):
+                    popular.append(follower)
+                    popular_by_community[community].append(follower)
+
+    _connect_isolated_users(graph, rng)
+    return graph
+
+
+def _connect_isolated_users(graph: SocialGraph, rng: random.Random) -> None:
+    """Give every user at least one outgoing edge so reads are never empty."""
+    users = graph.users
+    if len(users) < 2:
+        return
+    for user in users:
+        if graph.out_degree(user) == 0:
+            target = user
+            while target == user:
+                target = users[rng.randrange(len(users))]
+            graph.add_edge(user, target)
+
+
+def twitter_like(users: int = 5000, seed: int = 7) -> SocialGraph:
+    """Scaled analogue of the paper's Twitter sample (sparse, asymmetric)."""
+    return generate_social_graph(dataset_preset("twitter", users), seed=seed)
+
+
+def facebook_like(users: int = 5000, seed: int = 7) -> SocialGraph:
+    """Scaled analogue of the paper's Facebook sample (dense, reciprocal)."""
+    return generate_social_graph(dataset_preset("facebook", users), seed=seed)
+
+
+def livejournal_like(users: int = 5000, seed: int = 7) -> SocialGraph:
+    """Scaled analogue of the paper's LiveJournal sample."""
+    return generate_social_graph(dataset_preset("livejournal", users), seed=seed)
+
+
+def graph_statistics(graph: SocialGraph) -> dict[str, float]:
+    """Summary statistics used by Table 1 and the documentation."""
+    degrees = graph.degree_sequence()
+    if not degrees:
+        return {"users": 0, "edges": 0, "avg_out_degree": 0.0, "max_in_degree": 0.0}
+    out_degrees = [out for _, _, out in degrees]
+    in_degrees = [inn for _, inn, _ in degrees]
+    return {
+        "users": float(graph.num_users),
+        "edges": float(graph.num_edges),
+        "avg_out_degree": sum(out_degrees) / len(out_degrees),
+        "max_in_degree": float(max(in_degrees)),
+        "max_out_degree": float(max(out_degrees)),
+    }
+
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_preset",
+    "facebook_like",
+    "generate_social_graph",
+    "graph_statistics",
+    "livejournal_like",
+    "twitter_like",
+]

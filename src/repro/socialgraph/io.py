@@ -1,0 +1,60 @@
+"""Edge-list persistence for social graphs.
+
+Real crawls (such as the ones the paper uses) are usually distributed as
+plain edge lists; this module reads and writes that format so users can plug
+their own graphs into the experiment harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..exceptions import WorkloadError
+from .graph import SocialGraph
+
+
+def save_edge_list(graph: SocialGraph, path: str | Path) -> int:
+    """Write the graph as a ``follower<TAB>followee`` edge list.
+
+    Returns the number of edges written.
+    """
+    target = Path(path)
+    count = 0
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write(f"# users={graph.num_users} edges={graph.num_edges}\n")
+        for follower, followee in graph.edges():
+            handle.write(f"{follower}\t{followee}\n")
+            count += 1
+    return count
+
+
+def load_edge_list(path: str | Path) -> SocialGraph:
+    """Load a graph from a ``follower<TAB>followee`` edge list.
+
+    Lines starting with ``#`` are comments.  Whitespace-separated pairs are
+    accepted so common public datasets load unchanged.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise WorkloadError(f"edge list {source} does not exist")
+    graph = SocialGraph()
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise WorkloadError(f"{source}:{line_number}: malformed edge line {line!r}")
+            try:
+                follower, followee = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise WorkloadError(
+                    f"{source}:{line_number}: user ids must be integers"
+                ) from exc
+            if follower != followee:
+                graph.add_edge(follower, followee)
+    return graph
+
+
+__all__ = ["load_edge_list", "save_edge_list"]

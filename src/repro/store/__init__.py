@@ -1,0 +1,19 @@
+"""In-memory store substrate: counters, statistics, views, servers, budgets."""
+
+from .counters import RotatingCounter
+from .memory import MemoryBudget, budget_for
+from .server import StorageServer
+from .stats import AccessStatistics
+from .view import Event, INFINITE_UTILITY, View, ViewReplica
+
+__all__ = [
+    "AccessStatistics",
+    "Event",
+    "INFINITE_UTILITY",
+    "MemoryBudget",
+    "RotatingCounter",
+    "StorageServer",
+    "View",
+    "ViewReplica",
+    "budget_for",
+]

@@ -1,0 +1,108 @@
+"""Per-replica access statistics with origin coarsening.
+
+Each replica tracks, with rotating counters:
+
+* how many reads it served, broken down by *origin* — the coarse-grained
+  switch label computed by the topology (the source's rack switch within the
+  replica's own sub-tree, the source's intermediate switch otherwise);
+* how many writes it received (writes always come from the view's write
+  proxy, so a single counter suffices — paper section 3.2).
+
+These statistics feed Algorithm 1 (utility estimation), Algorithm 2 (replica
+creation) and Algorithm 3 (replica migration).
+"""
+
+from __future__ import annotations
+
+from ..constants import DEFAULT_COUNTER_PERIOD, DEFAULT_COUNTER_SLOTS
+from .counters import RotatingCounter
+
+
+class AccessStatistics:
+    """Origin-resolved read counters plus a write counter for one replica."""
+
+    __slots__ = ("slots", "period", "_reads", "_writes", "_reads_since_evaluation")
+
+    def __init__(
+        self,
+        slots: int = DEFAULT_COUNTER_SLOTS,
+        period: float = DEFAULT_COUNTER_PERIOD,
+    ) -> None:
+        self.slots = slots
+        self.period = period
+        self._reads: dict[int, RotatingCounter] = {}
+        self._writes = RotatingCounter(slots, period)
+        self._reads_since_evaluation = 0
+
+    # ------------------------------------------------------------- recording
+    def record_read(self, origin: int, timestamp: float, amount: float = 1.0) -> None:
+        """Record a read coming from ``origin``."""
+        counter = self._reads.get(origin)
+        if counter is None:
+            counter = RotatingCounter(self.slots, self.period, start_time=timestamp)
+            self._reads[origin] = counter
+        counter.record(timestamp, amount)
+        self._reads_since_evaluation += 1
+
+    def record_write(self, timestamp: float, amount: float = 1.0) -> None:
+        """Record a write (always issued by the view's write proxy)."""
+        self._writes.record(timestamp, amount)
+
+    def advance(self, timestamp: float) -> None:
+        """Rotate every counter so the window is current with ``timestamp``."""
+        for counter in self._reads.values():
+            counter.advance(timestamp)
+        self._writes.advance(timestamp)
+
+    # --------------------------------------------------------------- queries
+    def reads_by_origin(self) -> dict[int, float]:
+        """Read counts over the sliding window, keyed by origin label."""
+        return {
+            origin: counter.total()
+            for origin, counter in self._reads.items()
+            if counter.total() > 0
+        }
+
+    def total_reads(self) -> float:
+        """Total reads over the window, all origins combined."""
+        return sum(counter.total() for counter in self._reads.values())
+
+    def total_writes(self) -> float:
+        """Total writes over the window."""
+        return self._writes.total()
+
+    def reads_from(self, origin: int) -> float:
+        """Reads recorded from one origin over the window."""
+        counter = self._reads.get(origin)
+        return counter.total() if counter is not None else 0.0
+
+    def reads_since_last_evaluation(self) -> int:
+        """Number of reads recorded since the evaluation marker was reset."""
+        return self._reads_since_evaluation
+
+    def mark_evaluated(self) -> None:
+        """Reset the evaluation marker (after running Algorithm 2)."""
+        self._reads_since_evaluation = 0
+
+    def copy(self) -> "AccessStatistics":
+        """Deep copy of the statistics (used when replicating a view)."""
+        clone = AccessStatistics(self.slots, self.period)
+        clone._reads = {origin: counter.copy() for origin, counter in self._reads.items()}
+        clone._writes = self._writes.copy()
+        clone._reads_since_evaluation = self._reads_since_evaluation
+        return clone
+
+    def clear(self) -> None:
+        """Forget every recorded access (used after migrating a replica)."""
+        self._reads.clear()
+        self._writes = RotatingCounter(self.slots, self.period)
+        self._reads_since_evaluation = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccessStatistics(reads={self.total_reads():.0f}, "
+            f"writes={self.total_writes():.0f}, origins={len(self._reads)})"
+        )
+
+
+__all__ = ["AccessStatistics"]

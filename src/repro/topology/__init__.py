@@ -1,0 +1,15 @@
+"""Data-center network topologies (tree and flat) used by the simulator."""
+
+from .base import ClusterTopology
+from .devices import Device, DeviceKind, DeviceRegistry
+from .flat import FlatTopology
+from .tree import TreeTopology
+
+__all__ = [
+    "ClusterTopology",
+    "Device",
+    "DeviceKind",
+    "DeviceRegistry",
+    "FlatTopology",
+    "TreeTopology",
+]

@@ -1,0 +1,85 @@
+"""Devices of the simulated data center.
+
+A device is either a network switch (top, intermediate or rack tier) or a
+leaf machine (storage server or broker).  Devices are identified by a dense
+integer index so that traffic accounting can use flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class DeviceKind(str, Enum):
+    """Role of a device in the cluster."""
+
+    TOP_SWITCH = "top_switch"
+    INTERMEDIATE_SWITCH = "intermediate_switch"
+    RACK_SWITCH = "rack_switch"
+    SERVER = "server"
+    BROKER = "broker"
+
+    @property
+    def is_switch(self) -> bool:
+        """True for the three switch tiers."""
+        return self in (
+            DeviceKind.TOP_SWITCH,
+            DeviceKind.INTERMEDIATE_SWITCH,
+            DeviceKind.RACK_SWITCH,
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for machines directly attached to a rack switch."""
+        return self in (DeviceKind.SERVER, DeviceKind.BROKER)
+
+
+@dataclass(frozen=True)
+class Device:
+    """A single device in the cluster.
+
+    Attributes
+    ----------
+    index:
+        Dense integer identifier, unique across the whole topology.
+    name:
+        Human readable name such as ``"S-1.2.3"`` (server 3 of rack 2 under
+        intermediate switch 1) used in reports and error messages.
+    kind:
+        Tier of the device.
+    parent:
+        Index of the parent device (the rack switch of a leaf, the
+        intermediate switch of a rack switch, the top switch of an
+        intermediate switch).  ``None`` for the root.
+    """
+
+    index: int
+    name: str
+    kind: DeviceKind
+    parent: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass
+class DeviceRegistry:
+    """Mutable builder collecting devices while a topology is constructed."""
+
+    devices: list[Device] = field(default_factory=list)
+
+    def add(self, name: str, kind: DeviceKind, parent: int | None = None) -> Device:
+        """Create, register and return a new device."""
+        device = Device(index=len(self.devices), name=name, kind=kind, parent=parent)
+        self.devices.append(device)
+        return device
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, index: int) -> Device:
+        return self.devices[index]
+
+
+__all__ = ["Device", "DeviceKind", "DeviceRegistry"]

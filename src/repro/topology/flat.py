@@ -1,0 +1,117 @@
+"""Flat topology used by the paper's fairness experiment (section 4.5).
+
+All machines are connected to a single switch and every machine acts as both
+a cache server and a broker (the configuration used to evaluate SPAR in its
+original paper).  Locality therefore means *co-location on the same machine*:
+an access served from the local machine traverses no switch, every other
+access traverses exactly the single switch.
+"""
+
+from __future__ import annotations
+
+from ..config import FlatClusterSpec
+from ..exceptions import TopologyError
+from .base import ClusterTopology
+from .devices import Device, DeviceKind, DeviceRegistry
+
+
+class FlatTopology(ClusterTopology):
+    """Single-switch topology where every machine is both server and broker."""
+
+    def __init__(self, spec: FlatClusterSpec | None = None) -> None:
+        self.spec = spec or FlatClusterSpec()
+        registry = DeviceRegistry()
+        top = registry.add("ST", DeviceKind.TOP_SWITCH, parent=None)
+        self._switch_index = top.index
+
+        machines: list[Device] = []
+        for i in range(1, self.spec.machines + 1):
+            machine = registry.add(f"M{i}", DeviceKind.SERVER, parent=top.index)
+            machines.append(machine)
+
+        self.devices = list(registry.devices)
+        # Every machine stores views *and* hosts proxies.
+        self.servers = machines
+        self.brokers = machines
+        self.switches = [self.devices[self._switch_index]]
+        self._machine_indices = tuple(machine.index for machine in machines)
+
+    # ------------------------------------------------------------------ paths
+    def path_between(self, leaf_a: int, leaf_b: int) -> tuple[int, ...]:
+        """Empty path for local accesses, the single switch otherwise."""
+        self._check_leaf(leaf_a)
+        self._check_leaf(leaf_b)
+        if leaf_a == leaf_b:
+            return ()
+        return (self._switch_index,)
+
+    # ------------------------------------------------------ origin coarsening
+    def origin_of(self, observer_server: int, source_leaf: int) -> int:
+        """In a flat cluster each machine is its own origin."""
+        self._check_leaf(observer_server)
+        self._check_leaf(source_leaf)
+        return source_leaf
+
+    def origin_regions(self, observer_server: int) -> tuple[int, ...]:
+        """Every machine is a potential origin."""
+        self._check_leaf(observer_server)
+        return self._machine_indices
+
+    def cost_from_origin(self, origin: int, server: int) -> int:
+        """0 when the origin is the server itself, 1 otherwise."""
+        self._check_leaf(origin)
+        self._check_leaf(server)
+        return 0 if origin == server else 1
+
+    def servers_under(self, origin: int) -> tuple[int, ...]:
+        """A machine origin contains only itself; the switch contains all."""
+        if origin == self._switch_index:
+            return self._machine_indices
+        self._check_leaf(origin)
+        return (origin,)
+
+    def brokers_under(self, switch: int) -> tuple[int, ...]:
+        """Brokers below a switch (or the single machine of a leaf origin)."""
+        return self.servers_under(switch)
+
+    # ------------------------------------------------------------- structure
+    def rack_of(self, leaf: int) -> int:
+        """The single switch plays the role of every rack switch."""
+        self._check_leaf(leaf)
+        return self._switch_index
+
+    def intermediate_of(self, leaf: int) -> int:
+        """The single switch also plays the role of the intermediate tier."""
+        self._check_leaf(leaf)
+        return self._switch_index
+
+    def broker_for_rack(self, rack_switch: int) -> int:
+        """First machine of the cluster (only meaningful for compatibility)."""
+        if rack_switch != self._switch_index:
+            raise TopologyError("flat topology has a single switch")
+        return self._machine_indices[0]
+
+    def level_of(self, switch: int) -> str:
+        """The single switch is reported at the ``top`` level."""
+        if switch != self._switch_index:
+            raise TopologyError(f"device {switch} is not a switch")
+        return "top"
+
+    def proxy_broker_for_server(self, server_leaf: int) -> int:
+        """Every machine hosts its own proxies in the flat topology."""
+        self._check_leaf(server_leaf)
+        return server_leaf
+
+    # ------------------------------------------------------------ convenience
+    def co_located(self, broker: int, server: int) -> bool:
+        """True when the broker and server are the same physical machine."""
+        return broker == server
+
+    def _check_leaf(self, leaf: int) -> None:
+        if leaf < 0 or leaf >= len(self.devices):
+            raise TopologyError(f"device index {leaf} out of range")
+        if not self.devices[leaf].kind.is_leaf:
+            raise TopologyError(f"device {self.devices[leaf].name} is not a machine")
+
+
+__all__ = ["FlatTopology"]

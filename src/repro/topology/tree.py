@@ -1,0 +1,254 @@
+"""Three-level tree topology (core / intermediate / edge) from the paper.
+
+The cluster is a tree: a single top switch connects ``m`` intermediate
+switches, each intermediate switch connects ``n`` rack switches, and each rack
+switch connects ``machines_per_rack`` leaf machines of which a configurable
+number act as brokers and the rest as storage servers (paper Figure 1).
+
+Messages between two leaf machines traverse the switches on the unique tree
+path between them:
+
+* same rack                      → 1 switch  (the rack switch)
+* same intermediate, other rack  → 3 switches (rack, intermediate, rack)
+* different intermediate         → 5 switches (rack, intermediate, top,
+  intermediate, rack)
+
+Access origins are coarsened exactly as described in section 3.2: a server
+records, for each access, either the source's rack switch (when the source
+shares the server's intermediate switch) or the source's intermediate switch
+(otherwise), so a replica tracks at most ``n + m - 1`` origins.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..config import ClusterSpec
+from ..exceptions import TopologyError
+from .base import ClusterTopology
+from .devices import Device, DeviceKind, DeviceRegistry
+
+
+class TreeTopology(ClusterTopology):
+    """Concrete tree-of-switches topology.
+
+    Parameters
+    ----------
+    spec:
+        Shape of the cluster.  Defaults to the paper's 5 x 5 x 10 layout.
+    """
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec()
+        registry = DeviceRegistry()
+
+        top = registry.add("ST", DeviceKind.TOP_SWITCH, parent=None)
+        self._top_index = top.index
+
+        self._intermediate_indices: list[int] = []
+        self._rack_indices: list[int] = []
+        self._rack_to_intermediate: dict[int, int] = {}
+        self._rack_servers: dict[int, list[int]] = {}
+        self._rack_brokers: dict[int, list[int]] = {}
+        self._leaf_rack: dict[int, int] = {}
+
+        servers: list[Device] = []
+        brokers: list[Device] = []
+
+        for i in range(1, self.spec.intermediate_switches + 1):
+            inter = registry.add(f"SI{i}", DeviceKind.INTERMEDIATE_SWITCH, parent=top.index)
+            self._intermediate_indices.append(inter.index)
+            for r in range(1, self.spec.racks_per_intermediate + 1):
+                rack = registry.add(f"SR{i}.{r}", DeviceKind.RACK_SWITCH, parent=inter.index)
+                self._rack_indices.append(rack.index)
+                self._rack_to_intermediate[rack.index] = inter.index
+                self._rack_servers[rack.index] = []
+                self._rack_brokers[rack.index] = []
+                for b in range(1, self.spec.brokers_per_rack + 1):
+                    broker = registry.add(f"B{i}.{r}.{b}", DeviceKind.BROKER, parent=rack.index)
+                    brokers.append(broker)
+                    self._rack_brokers[rack.index].append(broker.index)
+                    self._leaf_rack[broker.index] = rack.index
+                for s in range(1, self.spec.servers_per_rack + 1):
+                    server = registry.add(f"S{i}.{r}.{s}", DeviceKind.SERVER, parent=rack.index)
+                    servers.append(server)
+                    self._rack_servers[rack.index].append(server.index)
+                    self._leaf_rack[server.index] = rack.index
+
+        self.devices = list(registry.devices)
+        self.servers = servers
+        self.brokers = brokers
+        self.switches = [d for d in self.devices if d.kind.is_switch]
+
+        # Pre-compute per-intermediate groupings used by origin coarsening.
+        self._intermediate_racks: dict[int, tuple[int, ...]] = {}
+        for rack, inter in self._rack_to_intermediate.items():
+            self._intermediate_racks.setdefault(inter, ())
+        for inter in self._intermediate_indices:
+            self._intermediate_racks[inter] = tuple(
+                rack for rack in self._rack_indices if self._rack_to_intermediate[rack] == inter
+            )
+
+        self._servers_under_switch: dict[int, tuple[int, ...]] = {}
+        self._brokers_under_switch: dict[int, tuple[int, ...]] = {}
+        for rack in self._rack_indices:
+            self._servers_under_switch[rack] = tuple(self._rack_servers[rack])
+            self._brokers_under_switch[rack] = tuple(self._rack_brokers[rack])
+        for inter in self._intermediate_indices:
+            racks = self._intermediate_racks[inter]
+            self._servers_under_switch[inter] = tuple(
+                s for rack in racks for s in self._rack_servers[rack]
+            )
+            self._brokers_under_switch[inter] = tuple(
+                b for rack in racks for b in self._rack_brokers[rack]
+            )
+        self._servers_under_switch[self._top_index] = tuple(s.index for s in servers)
+        self._brokers_under_switch[self._top_index] = tuple(b.index for b in brokers)
+
+        self._path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ paths
+    def path_between(self, leaf_a: int, leaf_b: int) -> tuple[int, ...]:
+        """Switches on the tree path between two leaf machines."""
+        if leaf_a == leaf_b:
+            return ()
+        rack_a = self._leaf_rack.get(leaf_a)
+        rack_b = self._leaf_rack.get(leaf_b)
+        if rack_a is None or rack_b is None:
+            raise TopologyError(f"devices {leaf_a} and {leaf_b} must both be leaf machines")
+        key = (rack_a, rack_b)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        if rack_a == rack_b:
+            path: tuple[int, ...] = (rack_a,)
+        else:
+            inter_a = self._rack_to_intermediate[rack_a]
+            inter_b = self._rack_to_intermediate[rack_b]
+            if inter_a == inter_b:
+                path = (rack_a, inter_a, rack_b)
+            else:
+                path = (rack_a, inter_a, self._top_index, inter_b, rack_b)
+        self._path_cache[key] = path
+        return path
+
+    # ------------------------------------------------------ origin coarsening
+    def origin_of(self, observer_server: int, source_leaf: int) -> int:
+        """Origin label of an access to ``observer_server`` from ``source_leaf``."""
+        source_rack = self._leaf_rack.get(source_leaf)
+        observer_rack = self._leaf_rack.get(observer_server)
+        if source_rack is None or observer_rack is None:
+            raise TopologyError("origin_of expects two leaf machines")
+        source_inter = self._rack_to_intermediate[source_rack]
+        observer_inter = self._rack_to_intermediate[observer_rack]
+        if source_inter == observer_inter:
+            return source_rack
+        return source_inter
+
+    def origin_regions(self, observer_server: int) -> tuple[int, ...]:
+        """All origin labels ``observer_server`` may record (n + m - 1 labels)."""
+        observer_rack = self._leaf_rack.get(observer_server)
+        if observer_rack is None:
+            raise TopologyError("origin_regions expects a leaf machine")
+        observer_inter = self._rack_to_intermediate[observer_rack]
+        sibling_racks = self._intermediate_racks[observer_inter]
+        other_intermediates = tuple(
+            inter for inter in self._intermediate_indices if inter != observer_inter
+        )
+        return sibling_racks + other_intermediates
+
+    def cost_from_origin(self, origin: int, server: int) -> int:
+        """Switches traversed by a request issued under ``origin`` and served
+        by ``server``.
+
+        When the origin is a rack switch the request comes from that rack's
+        broker: the cost is 1 (same rack), 3 (same intermediate) or 5.  When
+        the origin is an intermediate switch the requests are aggregated over
+        a whole sub-tree, so the cost is 3 when the server sits below that
+        switch (rack, intermediate, rack in the common case) and 5 otherwise.
+        """
+        device = self.devices[origin]
+        server_rack = self._leaf_rack.get(server)
+        if server_rack is None:
+            raise TopologyError("cost_from_origin expects a leaf server")
+        server_inter = self._rack_to_intermediate[server_rack]
+        if device.kind is DeviceKind.RACK_SWITCH:
+            if origin == server_rack:
+                return 1
+            if self._rack_to_intermediate[origin] == server_inter:
+                return 3
+            return 5
+        if device.kind is DeviceKind.INTERMEDIATE_SWITCH:
+            return 3 if origin == server_inter else 5
+        raise TopologyError(f"device {device.name} is not a valid origin label")
+
+    def servers_under(self, origin: int) -> tuple[int, ...]:
+        """Storage servers below an origin switch."""
+        try:
+            return self._servers_under_switch[origin]
+        except KeyError as exc:
+            raise TopologyError(f"device {origin} is not a switch") from exc
+
+    def brokers_under(self, switch: int) -> tuple[int, ...]:
+        """Brokers below a switch."""
+        try:
+            return self._brokers_under_switch[switch]
+        except KeyError as exc:
+            raise TopologyError(f"device {switch} is not a switch") from exc
+
+    # ------------------------------------------------------------- structure
+    def rack_of(self, leaf: int) -> int:
+        """Rack switch of a leaf machine."""
+        try:
+            return self._leaf_rack[leaf]
+        except KeyError as exc:
+            raise TopologyError(f"device {leaf} is not a leaf machine") from exc
+
+    def intermediate_of(self, leaf: int) -> int:
+        """Intermediate switch of a leaf machine."""
+        return self._rack_to_intermediate[self.rack_of(leaf)]
+
+    def broker_for_rack(self, rack_switch: int) -> int:
+        """First broker attached to a rack switch."""
+        brokers = self._rack_brokers.get(rack_switch)
+        if not brokers:
+            raise TopologyError(f"device {rack_switch} is not a rack switch")
+        return brokers[0]
+
+    def level_of(self, switch: int) -> str:
+        """Report level (``top`` / ``intermediate`` / ``rack``) of a switch."""
+        kind = self.devices[switch].kind
+        if kind is DeviceKind.TOP_SWITCH:
+            return "top"
+        if kind is DeviceKind.INTERMEDIATE_SWITCH:
+            return "intermediate"
+        if kind is DeviceKind.RACK_SWITCH:
+            return "rack"
+        raise TopologyError(f"device {self.devices[switch].name} is not a switch")
+
+    # ------------------------------------------------------------ convenience
+    @property
+    def rack_switches(self) -> tuple[int, ...]:
+        """Indices of every rack switch."""
+        return tuple(self._rack_indices)
+
+    @property
+    def intermediate_switches(self) -> tuple[int, ...]:
+        """Indices of every intermediate switch."""
+        return tuple(self._intermediate_indices)
+
+    @property
+    def top_switch_index(self) -> int:
+        """Index of the top switch."""
+        return self._top_index
+
+    def servers_in_rack(self, rack_switch: int) -> tuple[int, ...]:
+        """Storage servers attached to a rack switch."""
+        return tuple(self._rack_servers[rack_switch])
+
+    def racks_under_intermediate(self, intermediate: int) -> tuple[int, ...]:
+        """Rack switches attached to an intermediate switch."""
+        return self._intermediate_racks[intermediate]
+
+
+__all__ = ["TreeTopology"]

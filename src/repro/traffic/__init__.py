@@ -1,0 +1,12 @@
+"""Traffic measurement substrate (switch-level message accounting)."""
+
+from .accounting import TrafficAccountant, TrafficSnapshot
+from .messages import Message, MessageClass, MessageKind
+
+__all__ = [
+    "Message",
+    "MessageClass",
+    "MessageKind",
+    "TrafficAccountant",
+    "TrafficSnapshot",
+]

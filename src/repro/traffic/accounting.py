@@ -1,0 +1,184 @@
+"""Traffic accounting: how much data crosses every switch of the cluster.
+
+The simulator models switches as pure forwarders (paper section 2.1): a
+message between two leaf machines adds its size to every switch on the path
+between them.  The accountant keeps, per device:
+
+* total traffic,
+* the application / system split used by the convergence study (Figure 6),
+* a time-bucketed series used by the time plots (Figures 4 and 6).
+
+It also aggregates traffic per switch *level* (top, intermediate, rack) since
+Tables 2 and 3 of the paper report average per-level traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from ..topology.base import ClusterTopology
+from .messages import MessageClass, MessageKind
+
+
+@dataclass
+class TrafficSnapshot:
+    """Immutable summary of the traffic recorded so far."""
+
+    total_by_device: dict[int, float]
+    application_by_device: dict[int, float]
+    system_by_device: dict[int, float]
+    total_by_level: dict[str, float]
+    application_by_level: dict[str, float]
+    system_by_level: dict[str, float]
+    messages: int
+
+    def top_switch_traffic(self) -> float:
+        """Traffic that crossed the top switch."""
+        return self.total_by_level.get("top", 0.0)
+
+    def level_average(self, level: str, device_count: int) -> float:
+        """Average traffic per switch of a level."""
+        if device_count <= 0:
+            return 0.0
+        return self.total_by_level.get(level, 0.0) / device_count
+
+
+class TrafficAccountant:
+    """Records message traffic against a cluster topology."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        bucket_width: float = 3600.0,
+        measure_from: float = 0.0,
+    ) -> None:
+        if bucket_width <= 0:
+            raise SimulationError("bucket_width must be positive")
+        if measure_from < 0:
+            raise SimulationError("measure_from cannot be negative")
+        self.topology = topology
+        self.bucket_width = float(bucket_width)
+        #: Messages earlier than this timestamp are ignored (warm-up phase).
+        self.measure_from = float(measure_from)
+        device_count = len(topology.devices)
+        self._total = [0.0] * device_count
+        self._application = [0.0] * device_count
+        self._system = [0.0] * device_count
+        self._level = {d.index: topology.level_of(d.index) for d in topology.switches}
+        # bucket index -> {"application": x, "system": y} aggregated over the
+        # *top switch only* plus per-level dictionaries; the paper's time
+        # series all report top-switch traffic.
+        self._top_series_app: dict[int, float] = defaultdict(float)
+        self._top_series_sys: dict[int, float] = defaultdict(float)
+        self._messages = 0
+
+    # ------------------------------------------------------------- recording
+    def record(
+        self,
+        source: int,
+        destination: int,
+        kind: MessageKind,
+        timestamp: float,
+        size: int | None = None,
+    ) -> int:
+        """Record one message and return the number of switches it crossed."""
+        if timestamp < self.measure_from:
+            return 0
+        size_value = kind.default_size if size is None else size
+        path = self.topology.path_between(source, destination)
+        if not path:
+            self._messages += 1
+            return 0
+        is_application = kind.message_class is MessageClass.APPLICATION
+        bucket = int(timestamp // self.bucket_width)
+        top_index = self.topology.top_switch.index
+        for switch in path:
+            self._total[switch] += size_value
+            if is_application:
+                self._application[switch] += size_value
+            else:
+                self._system[switch] += size_value
+            if switch == top_index:
+                if is_application:
+                    self._top_series_app[bucket] += size_value
+                else:
+                    self._top_series_sys[bucket] += size_value
+        self._messages += 1
+        return len(path)
+
+    def record_roundtrip(
+        self,
+        source: int,
+        destination: int,
+        request_kind: MessageKind,
+        response_kind: MessageKind,
+        timestamp: float,
+    ) -> int:
+        """Record a request and its answer; returns switches crossed one-way."""
+        crossed = self.record(source, destination, request_kind, timestamp)
+        self.record(destination, source, response_kind, timestamp)
+        return crossed
+
+    # --------------------------------------------------------------- queries
+    @property
+    def message_count(self) -> int:
+        """Number of messages recorded (including machine-local ones)."""
+        return self._messages
+
+    def device_traffic(self, device: int) -> float:
+        """Total traffic recorded at a device."""
+        return self._total[device]
+
+    def top_switch_traffic(self) -> float:
+        """Total traffic recorded at the top switch."""
+        return self._total[self.topology.top_switch.index]
+
+    def level_traffic(self, level: str) -> float:
+        """Total traffic summed over all switches of a level."""
+        return sum(self._total[idx] for idx, lvl in self._level.items() if lvl == level)
+
+    def level_average_traffic(self, level: str) -> float:
+        """Average traffic per switch of a level (Tables 2 and 3)."""
+        devices = [idx for idx, lvl in self._level.items() if lvl == level]
+        if not devices:
+            return 0.0
+        return sum(self._total[idx] for idx in devices) / len(devices)
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Produce an immutable summary of everything recorded so far."""
+        total_by_level: dict[str, float] = defaultdict(float)
+        app_by_level: dict[str, float] = defaultdict(float)
+        sys_by_level: dict[str, float] = defaultdict(float)
+        for idx, lvl in self._level.items():
+            total_by_level[lvl] += self._total[idx]
+            app_by_level[lvl] += self._application[idx]
+            sys_by_level[lvl] += self._system[idx]
+        switch_indices = set(self._level)
+        return TrafficSnapshot(
+            total_by_device={i: self._total[i] for i in switch_indices},
+            application_by_device={i: self._application[i] for i in switch_indices},
+            system_by_device={i: self._system[i] for i in switch_indices},
+            total_by_level=dict(total_by_level),
+            application_by_level=dict(app_by_level),
+            system_by_level=dict(sys_by_level),
+            messages=self._messages,
+        )
+
+    def top_switch_series(self) -> tuple[dict[int, float], dict[int, float]]:
+        """Time-bucketed (application, system) traffic series at the top switch."""
+        return dict(self._top_series_app), dict(self._top_series_sys)
+
+    def reset(self) -> None:
+        """Clear every counter (used between warm-up and measurement phases)."""
+        for i in range(len(self._total)):
+            self._total[i] = 0.0
+            self._application[i] = 0.0
+            self._system[i] = 0.0
+        self._top_series_app.clear()
+        self._top_series_sys.clear()
+        self._messages = 0
+
+
+__all__ = ["TrafficAccountant", "TrafficSnapshot"]

@@ -1,0 +1,23 @@
+"""Workload substrate: request logs, synthetic and trace generators."""
+
+from .flash import FlashEventSpec, flash_event_log, inject_flash_event, plan_flash_event
+from .requests import EdgeAdded, EdgeRemoved, ReadRequest, Request, RequestLog, WriteRequest
+from .synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+from .trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
+
+__all__ = [
+    "EdgeAdded",
+    "EdgeRemoved",
+    "FlashEventSpec",
+    "NewsActivityTraceConfig",
+    "NewsActivityTraceGenerator",
+    "ReadRequest",
+    "Request",
+    "RequestLog",
+    "SyntheticWorkloadConfig",
+    "SyntheticWorkloadGenerator",
+    "WriteRequest",
+    "flash_event_log",
+    "inject_flash_event",
+    "plan_flash_event",
+]

@@ -1,0 +1,97 @@
+"""Flash-event workload construction (paper section 4.6).
+
+The experiment picks a random user, adds 100 random followers at day 2 and
+removes them at day 7, then measures how the number of replicas of the user's
+view and the per-replica read load evolve.  This module injects the edge
+mutations into an existing request log and keeps the bookkeeping needed to
+track the hot view.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..constants import DAY
+from ..exceptions import WorkloadError
+from ..socialgraph.graph import SocialGraph
+from ..socialgraph.mutations import random_new_followers
+from .requests import EdgeAdded, EdgeRemoved, ReadRequest, RequestLog
+
+
+@dataclass(frozen=True)
+class FlashEventSpec:
+    """Description of one flash event."""
+
+    target_user: int
+    new_followers: tuple[int, ...]
+    start_time: float
+    end_time: float
+
+    def __post_init__(self) -> None:
+        if self.end_time <= self.start_time:
+            raise WorkloadError("flash event must end after it starts")
+
+
+def plan_flash_event(
+    graph: SocialGraph,
+    rng: random.Random,
+    followers: int = 100,
+    start_day: float = 2.0,
+    end_day: float = 7.0,
+    target_user: int | None = None,
+) -> FlashEventSpec:
+    """Choose a target user and the followers joining during the flash event."""
+    users = graph.users
+    if not users:
+        raise WorkloadError("cannot plan a flash event on an empty graph")
+    if target_user is None:
+        target_user = users[rng.randrange(len(users))]
+    pairs = random_new_followers(graph, target_user, followers, rng)
+    return FlashEventSpec(
+        target_user=target_user,
+        new_followers=tuple(follower for follower, _ in pairs),
+        start_time=start_day * DAY,
+        end_time=end_day * DAY,
+    )
+
+
+def flash_event_log(
+    spec: FlashEventSpec,
+    reads_per_follower_per_day: float,
+    rng: random.Random,
+) -> RequestLog:
+    """Request log fragment produced by the flash event itself.
+
+    The new followers actively read their feed while they follow the target
+    user; those extra reads are what drives DynaSoRe to replicate the hot
+    view.
+    """
+    log = RequestLog()
+    events: list[tuple[float, object]] = []
+    for follower in spec.new_followers:
+        events.append((spec.start_time, EdgeAdded(spec.start_time, follower, spec.target_user)))
+        events.append((spec.end_time, EdgeRemoved(spec.end_time, follower, spec.target_user)))
+        duration_days = (spec.end_time - spec.start_time) / DAY
+        reads = int(round(reads_per_follower_per_day * duration_days))
+        for _ in range(reads):
+            timestamp = rng.uniform(spec.start_time, spec.end_time)
+            events.append((timestamp, ReadRequest(timestamp, follower)))
+    events.sort(key=lambda item: item[0])
+    log.requests = [event for _, event in events]
+    return log
+
+
+def inject_flash_event(
+    base_log: RequestLog,
+    spec: FlashEventSpec,
+    reads_per_follower_per_day: float = 4.0,
+    seed: int = 7,
+) -> RequestLog:
+    """Merge a flash event into an existing request log."""
+    rng = random.Random(seed)
+    extra = flash_event_log(spec, reads_per_follower_per_day, rng)
+    return base_log.merged_with(extra)
+
+
+__all__ = ["FlashEventSpec", "flash_event_log", "inject_flash_event", "plan_flash_event"]

@@ -1,0 +1,155 @@
+"""Request-log data model.
+
+A request log is a time-ordered sequence of events the simulator replays:
+
+* :class:`ReadRequest` — user ``u`` reads the views of the users she follows
+  (the target list is resolved against the social graph at execution time, so
+  graph mutations affect subsequent reads, as in the real system);
+* :class:`WriteRequest` — user ``u`` produced an event, her view must be
+  updated on every replica;
+* :class:`EdgeAdded` / :class:`EdgeRemoved` — the social network evolved
+  (used by the flash-event experiment and the dynamic-graph tests).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import WorkloadError
+
+
+@dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """User ``user`` requests her feed (the views of everyone she follows)."""
+
+    timestamp: float
+    user: int
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRequest:
+    """User ``user`` produced an event; her view must be updated."""
+
+    timestamp: float
+    user: int
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeAdded:
+    """``follower`` started following ``followee``."""
+
+    timestamp: float
+    follower: int
+    followee: int
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeRemoved:
+    """``follower`` stopped following ``followee``."""
+
+    timestamp: float
+    follower: int
+    followee: int
+
+
+Request = ReadRequest | WriteRequest | EdgeAdded | EdgeRemoved
+
+
+@dataclass
+class RequestLog:
+    """A time-ordered sequence of requests plus summary statistics."""
+
+    requests: list[Request] = field(default_factory=list)
+
+    def append(self, request: Request) -> None:
+        """Append a request (must not go back in time)."""
+        if self.requests and request.timestamp < self.requests[-1].timestamp:
+            raise WorkloadError("requests must be appended in non-decreasing time order")
+        self.requests.append(request)
+
+    def extend(self, requests: Iterable[Request]) -> None:
+        """Append many requests (must collectively be time ordered)."""
+        for request in requests:
+            self.append(request)
+
+    def merged_with(self, other: "RequestLog") -> "RequestLog":
+        """Return a new log merging two logs by timestamp (stable)."""
+        merged = sorted(
+            list(self.requests) + list(other.requests), key=lambda r: r.timestamp
+        )
+        log = RequestLog()
+        log.requests = merged
+        return log
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> Request:
+        return self.requests[index]
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the log (0 for empty logs)."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].timestamp - self.requests[0].timestamp
+
+    @property
+    def read_count(self) -> int:
+        """Number of read requests."""
+        return sum(1 for r in self.requests if isinstance(r, ReadRequest))
+
+    @property
+    def write_count(self) -> int:
+        """Number of write requests."""
+        return sum(1 for r in self.requests if isinstance(r, WriteRequest))
+
+    @property
+    def mutation_count(self) -> int:
+        """Number of graph mutations (edge additions and removals)."""
+        return sum(1 for r in self.requests if isinstance(r, (EdgeAdded, EdgeRemoved)))
+
+    def requests_per_day(self) -> dict[int, dict[str, int]]:
+        """Read/write counts per simulated day (used to reproduce Figure 2)."""
+        from ..constants import DAY
+
+        days: dict[int, dict[str, int]] = {}
+        for request in self.requests:
+            day = int(request.timestamp // DAY)
+            bucket = days.setdefault(day, {"reads": 0, "writes": 0})
+            if isinstance(request, ReadRequest):
+                bucket["reads"] += 1
+            elif isinstance(request, WriteRequest):
+                bucket["writes"] += 1
+        return days
+
+    def slice_time(self, start: float, end: float) -> "RequestLog":
+        """Sub-log with requests whose timestamp lies in ``[start, end)``."""
+        timestamps = [r.timestamp for r in self.requests]
+        lo = bisect.bisect_left(timestamps, start)
+        hi = bisect.bisect_left(timestamps, end)
+        log = RequestLog()
+        log.requests = self.requests[lo:hi]
+        return log
+
+    def validate(self) -> None:
+        """Raise when the log is not sorted by timestamp."""
+        for earlier, later in zip(self.requests, self.requests[1:]):
+            if later.timestamp < earlier.timestamp:
+                raise WorkloadError("request log is not sorted by timestamp")
+
+
+__all__ = [
+    "EdgeAdded",
+    "EdgeRemoved",
+    "ReadRequest",
+    "Request",
+    "RequestLog",
+    "WriteRequest",
+]

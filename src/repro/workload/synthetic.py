@@ -1,0 +1,128 @@
+"""Synthetic request-log generator (paper section 4.2, "Synthetic logs").
+
+The generator follows the paper's assumptions:
+
+* read and write activity of a user is proportional to the logarithm of her
+  in- and out-degrees (Huberman et al.);
+* the system sees roughly four times more reads than writes
+  (Silberstein et al.);
+* each user issues on average one write request per day;
+* requests are evenly distributed over time (low variance), which lets
+  DynaSoRe estimate read and write rates accurately.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..constants import DAY, SYNTHETIC_READ_WRITE_RATIO
+from ..exceptions import WorkloadError
+from ..socialgraph.graph import SocialGraph
+from .requests import ReadRequest, RequestLog, WriteRequest
+
+
+@dataclass(frozen=True)
+class SyntheticWorkloadConfig:
+    """Parameters of the synthetic workload."""
+
+    #: Simulated duration in days.
+    days: float = 1.0
+    #: Average number of writes each user issues per day.
+    writes_per_user_per_day: float = 1.0
+    #: Global ratio of reads to writes.
+    read_write_ratio: float = SYNTHETIC_READ_WRITE_RATIO
+    #: Random seed.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise WorkloadError("days must be positive")
+        if self.writes_per_user_per_day < 0:
+            raise WorkloadError("writes_per_user_per_day cannot be negative")
+        if self.read_write_ratio < 0:
+            raise WorkloadError("read_write_ratio cannot be negative")
+
+
+class SyntheticWorkloadGenerator:
+    """Generates evenly-spread, degree-driven request logs."""
+
+    def __init__(self, graph: SocialGraph, config: SyntheticWorkloadConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or SyntheticWorkloadConfig()
+
+    # ------------------------------------------------------------- rates
+    def write_weights(self) -> dict[int, float]:
+        """Per-user write propensity, proportional to log(1 + out-degree).
+
+        Producers with more followers tend to post more (Huberman et al.); we
+        use the out-degree of the *follower graph transpose*, i.e. the user's
+        audience size (in-degree), as the popularity proxy, mixed with her
+        own out-degree so lurkers still write occasionally.
+        """
+        weights = {}
+        for user in self.graph.users:
+            audience = self.graph.in_degree(user)
+            activity = self.graph.out_degree(user)
+            weights[user] = 1.0 + math.log1p(audience) + 0.5 * math.log1p(activity)
+        return weights
+
+    def read_weights(self) -> dict[int, float]:
+        """Per-user read propensity, proportional to log(1 + out-degree)."""
+        weights = {}
+        for user in self.graph.users:
+            following = self.graph.out_degree(user)
+            weights[user] = 1.0 + math.log1p(following)
+        return weights
+
+    # ---------------------------------------------------------------- logs
+    def generate(self) -> RequestLog:
+        """Generate the request log."""
+        config = self.config
+        rng = random.Random(config.seed)
+        users = self.graph.users
+        if not users:
+            return RequestLog()
+
+        duration = config.days * DAY
+        total_writes = int(round(len(users) * config.writes_per_user_per_day * config.days))
+        total_reads = int(round(total_writes * config.read_write_ratio))
+
+        write_weights = self.write_weights()
+        read_weights = self.read_weights()
+
+        events: list[tuple[float, bool, int]] = []  # (time, is_read, user)
+        events.extend(
+            (rng.uniform(0.0, duration), False, user)
+            for user in _weighted_choices(users, write_weights, total_writes, rng)
+        )
+        events.extend(
+            (rng.uniform(0.0, duration), True, user)
+            for user in _weighted_choices(users, read_weights, total_reads, rng)
+        )
+        events.sort(key=lambda item: item[0])
+
+        log = RequestLog()
+        for timestamp, is_read, user in events:
+            if is_read:
+                log.append(ReadRequest(timestamp=timestamp, user=user))
+            else:
+                log.append(WriteRequest(timestamp=timestamp, user=user))
+        return log
+
+
+def _weighted_choices(
+    users: tuple[int, ...],
+    weights: dict[int, float],
+    count: int,
+    rng: random.Random,
+) -> list[int]:
+    """Draw ``count`` users proportionally to their weights."""
+    if count <= 0 or not users:
+        return []
+    weight_list = [weights[user] for user in users]
+    return rng.choices(list(users), weights=weight_list, k=count)
+
+
+__all__ = ["SyntheticWorkloadConfig", "SyntheticWorkloadGenerator"]

@@ -1,0 +1,174 @@
+"""Tests for the baseline placement strategies (Random, METIS, hMETIS, SPAR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hmetis_placement import HierarchicalMetisPlacement
+from repro.baselines.metis_placement import MetisPlacement
+from repro.baselines.random_placement import RandomPlacement
+from repro.baselines.spar import SparPlacement
+from repro.exceptions import SimulationError
+from repro.partitioning.quality import edge_cut
+from repro.store.memory import MemoryBudget
+from repro.traffic.accounting import TrafficAccountant
+from repro.traffic.messages import MessageKind
+
+
+def bind_strategy(strategy, topology, graph, extra_memory_pct=30.0, seed=3):
+    accountant = TrafficAccountant(topology)
+    budget = MemoryBudget(
+        views=graph.num_users, extra_memory_pct=extra_memory_pct, servers=len(topology.servers)
+    )
+    strategy.bind(topology, graph, accountant, budget, seed=seed)
+    strategy.build_initial_placement()
+    return accountant
+
+
+class TestStaticBaselines:
+    @pytest.mark.parametrize(
+        "strategy_class", [RandomPlacement, MetisPlacement, HierarchicalMetisPlacement]
+    )
+    def test_every_user_gets_exactly_one_replica(
+        self, strategy_class, tree_topology, small_graph
+    ):
+        strategy = strategy_class(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph)
+        locations = strategy.replica_locations()
+        assert set(locations) == set(small_graph.users)
+        assert all(len(devices) == 1 for devices in locations.values())
+
+    @pytest.mark.parametrize(
+        "strategy_class", [RandomPlacement, MetisPlacement, HierarchicalMetisPlacement]
+    )
+    def test_placement_is_roughly_balanced(self, strategy_class, tree_topology, small_graph):
+        strategy = strategy_class(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph)
+        counts: dict[int, int] = {}
+        for devices in strategy.replica_locations().values():
+            for device in devices:
+                counts[device] = counts.get(device, 0) + 1
+        average = small_graph.num_users / len(tree_topology.servers)
+        assert max(counts.values()) <= average * 1.6
+
+    def test_metis_cut_beats_random(self, tree_topology, small_graph):
+        random_strategy = RandomPlacement(seed=2)
+        metis_strategy = MetisPlacement(seed=2)
+        bind_strategy(random_strategy, tree_topology, small_graph)
+        bind_strategy(metis_strategy, tree_topology, small_graph)
+        adjacency = small_graph.undirected_adjacency()
+        assert edge_cut(adjacency, metis_strategy.assignment()) < edge_cut(
+            adjacency, random_strategy.assignment()
+        )
+
+    def test_read_routes_to_target_views(self, tree_topology, tiny_graph):
+        strategy = RandomPlacement(seed=2)
+        accountant = bind_strategy(strategy, tree_topology, tiny_graph, extra_memory_pct=0.0)
+        strategy.execute_read(0, now=0.0)
+        # user 0 follows two users → 2 requests + 2 responses, each at most 5 switches.
+        assert accountant.message_count == 4
+
+    def test_write_touches_single_replica(self, tree_topology, tiny_graph):
+        strategy = RandomPlacement(seed=2)
+        accountant = bind_strategy(strategy, tree_topology, tiny_graph, extra_memory_pct=0.0)
+        strategy.execute_write(0, now=0.0)
+        assert accountant.message_count == 2  # update + ack
+
+    def test_explicit_targets_override_graph(self, tree_topology, tiny_graph):
+        strategy = RandomPlacement(seed=2)
+        accountant = bind_strategy(strategy, tree_topology, tiny_graph, extra_memory_pct=0.0)
+        strategy.execute_read(0, now=0.0, targets=(1,))
+        assert accountant.message_count == 2
+
+    def test_unknown_reader_is_ignored(self, tree_topology, tiny_graph):
+        strategy = RandomPlacement(seed=2)
+        accountant = bind_strategy(strategy, tree_topology, tiny_graph, extra_memory_pct=0.0)
+        strategy.execute_read(999, now=0.0)
+        assert accountant.message_count == 0
+
+    def test_lazy_assignment_for_new_user(self, tree_topology, tiny_graph):
+        strategy = RandomPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, tiny_graph, extra_memory_pct=0.0)
+        tiny_graph.add_edge(42, 0)
+        strategy.execute_write(42, now=0.0)
+        assert strategy.replica_count(42) == 1
+
+    def test_unbound_strategy_raises(self, tree_topology):
+        strategy = RandomPlacement()
+        with pytest.raises(SimulationError):
+            strategy.require_bound()
+
+    def test_proxy_broker_in_same_rack_as_view(self, tree_topology, small_graph):
+        strategy = HierarchicalMetisPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph)
+        for user in list(small_graph.users)[:20]:
+            view_device = next(iter(strategy.replica_locations()[user]))
+            broker = strategy.proxy_broker(user)
+            assert tree_topology.rack_of(broker) == tree_topology.rack_of(view_device)
+
+
+class TestSpar:
+    def test_every_user_has_a_master(self, tree_topology, small_graph):
+        strategy = SparPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph, extra_memory_pct=50.0)
+        locations = strategy.replica_locations()
+        assert set(locations) == set(small_graph.users)
+        assert all(devices for devices in locations.values())
+
+    def test_respects_memory_budget(self, tree_topology, small_graph):
+        strategy = SparPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph, extra_memory_pct=30.0)
+        budget = MemoryBudget(
+            views=small_graph.num_users,
+            extra_memory_pct=30.0,
+            servers=len(tree_topology.servers),
+        )
+        assert strategy.total_replicas() <= budget.total_capacity
+        assert strategy.replication_factor() <= 1.3 + 1e-9
+
+    def test_uses_extra_memory_for_replication(self, tree_topology, small_graph):
+        strategy = SparPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph, extra_memory_pct=100.0)
+        assert strategy.replication_factor() > 1.5
+
+    def test_no_replication_without_extra_memory(self, tree_topology, small_graph):
+        strategy = SparPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph, extra_memory_pct=0.0)
+        assert strategy.replication_factor() == pytest.approx(1.0, abs=0.01)
+
+    def test_writes_update_every_replica(self, tree_topology, small_graph):
+        strategy = SparPlacement(seed=2)
+        accountant = bind_strategy(strategy, tree_topology, small_graph, extra_memory_pct=100.0)
+        # Find a user with several replicas.
+        user = max(small_graph.users, key=strategy.replica_count)
+        replicas = strategy.replica_count(user)
+        assert replicas >= 2
+        before = accountant.message_count
+        strategy.execute_write(user, now=0.0)
+        assert accountant.message_count - before == 2 * replicas
+
+    def test_reads_prefer_local_replica(self, tree_topology, small_graph):
+        """With abundant memory, most reads should be served from the reader's
+        own rack, keeping top-switch traffic below the random baseline."""
+        spar = SparPlacement(seed=2)
+        random_strategy = RandomPlacement(seed=2)
+        spar_accountant = bind_strategy(spar, tree_topology, small_graph, extra_memory_pct=200.0)
+        random_accountant = bind_strategy(
+            random_strategy, tree_topology, small_graph, extra_memory_pct=200.0
+        )
+        for user in list(small_graph.users)[:50]:
+            spar.execute_read(user, now=0.0)
+            random_strategy.execute_read(user, now=0.0)
+        assert spar_accountant.top_switch_traffic() < random_accountant.top_switch_traffic()
+
+    def test_new_edge_triggers_co_location(self, tree_topology, small_graph):
+        strategy = SparPlacement(seed=2)
+        bind_strategy(strategy, tree_topology, small_graph, extra_memory_pct=100.0)
+        users = list(small_graph.users)
+        follower, followee = users[0], users[-1]
+        before = strategy.replica_count(followee)
+        strategy.on_edge_added(follower, followee, now=0.0)
+        master_device = next(iter(strategy.replica_locations()[follower]))
+        assert master_device in strategy.replica_locations()[followee] or (
+            strategy.replica_count(followee) == before
+        )

@@ -1,0 +1,170 @@
+"""Tests for Algorithm 1 (utility / profit estimation) and the routing layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import RoutingService
+from repro.core.utility import estimate_profit, replica_utility
+from repro.exceptions import RoutingError
+from repro.store.stats import AccessStatistics
+from repro.topology.tree import TreeTopology
+
+
+@pytest.fixture
+def layout(tree_topology: TreeTopology):
+    """Convenient handles on two racks in different intermediate sub-trees."""
+    inter_a, inter_b = tree_topology.intermediate_switches[:2]
+    rack_a = tree_topology.racks_under_intermediate(inter_a)[0]
+    rack_b = tree_topology.racks_under_intermediate(inter_b)[0]
+    return {
+        "inter_a": inter_a,
+        "inter_b": inter_b,
+        "rack_a": rack_a,
+        "rack_b": rack_b,
+        "server_a": tree_topology.servers_in_rack(rack_a)[0],
+        "server_b": tree_topology.servers_in_rack(rack_b)[0],
+        "broker_a": tree_topology.broker_for_rack(rack_a),
+        "broker_b": tree_topology.broker_for_rack(rack_b),
+    }
+
+
+class TestEstimateProfit:
+    def test_replicating_near_remote_readers_is_profitable(self, tree_topology, layout):
+        stats = AccessStatistics()
+        # 10 reads from intermediate B recorded at the replica in sub-tree A.
+        for i in range(10):
+            stats.record_read(layout["inter_b"], float(i))
+        profit = estimate_profit(
+            tree_topology,
+            stats,
+            candidate_server=layout["server_b"],
+            reference_server=layout["server_a"],
+            write_broker=layout["broker_a"],
+        )
+        # Reads drop from cost 5 to cost 3 → 10 * 2 = 20 saved, no writes.
+        assert profit == pytest.approx(20.0)
+
+    def test_write_cost_reduces_profit(self, tree_topology, layout):
+        stats = AccessStatistics()
+        for i in range(10):
+            stats.record_read(layout["inter_b"], float(i))
+        for i in range(2):
+            stats.record_write(float(i))
+        profit = estimate_profit(
+            tree_topology,
+            stats,
+            candidate_server=layout["server_b"],
+            reference_server=layout["server_a"],
+            write_broker=layout["broker_a"],
+        )
+        # 20 read gain minus 2 writes * distance 5.
+        assert profit == pytest.approx(10.0)
+
+    def test_reads_never_become_more_expensive(self, tree_topology, layout):
+        """Reads from origins closer to the reference replica are unaffected
+        by a new replica (the routing policy keeps serving them locally)."""
+        stats = AccessStatistics()
+        for i in range(10):
+            stats.record_read(layout["rack_a"], float(i))  # local reads in A
+        profit = estimate_profit(
+            tree_topology,
+            stats,
+            candidate_server=layout["server_b"],
+            reference_server=layout["server_a"],
+            write_broker=None,
+        )
+        assert profit == pytest.approx(0.0)
+
+    def test_profit_of_useless_replica_is_write_cost(self, tree_topology, layout):
+        stats = AccessStatistics()
+        stats.record_write(0.0)
+        profit = estimate_profit(
+            tree_topology,
+            stats,
+            candidate_server=layout["server_b"],
+            reference_server=layout["server_a"],
+            write_broker=layout["broker_a"],
+        )
+        assert profit == pytest.approx(-5.0)
+
+    def test_no_write_broker_means_no_write_cost(self, tree_topology, layout):
+        stats = AccessStatistics()
+        stats.record_write(0.0)
+        profit = estimate_profit(
+            tree_topology,
+            stats,
+            candidate_server=layout["server_b"],
+            reference_server=layout["server_a"],
+            write_broker=None,
+        )
+        assert profit == pytest.approx(0.0)
+
+    def test_replica_utility_matches_estimate(self, tree_topology, layout):
+        stats = AccessStatistics()
+        for i in range(4):
+            stats.record_read(layout["rack_a"], float(i))
+        utility = replica_utility(
+            tree_topology,
+            stats,
+            server=layout["server_a"],
+            next_closest_replica=layout["server_b"],
+            write_broker=layout["broker_a"],
+        )
+        # Losing the local replica would push 4 reads from cost 1 to cost 5.
+        assert utility == pytest.approx(16.0)
+
+    def test_sole_replica_utility_without_reference(self, tree_topology, layout):
+        stats = AccessStatistics()
+        stats.record_read(layout["rack_a"], 0.0)
+        utility = replica_utility(
+            tree_topology,
+            stats,
+            server=layout["server_a"],
+            next_closest_replica=None,
+            write_broker=layout["broker_a"],
+        )
+        assert utility <= 0.0  # no alternative replica → no measurable gain
+
+
+class TestRoutingService:
+    def test_closest_replica_prefers_same_rack(self, tree_topology, layout):
+        routing = RoutingService(tree_topology)
+        same_rack_server = tree_topology.servers_in_rack(layout["rack_a"])[1]
+        chosen = routing.closest_replica(
+            layout["broker_a"], {layout["server_b"], same_rack_server}
+        )
+        assert chosen == same_rack_server
+
+    def test_closest_replica_breaks_ties_by_index(self, tree_topology, layout):
+        routing = RoutingService(tree_topology)
+        servers = tree_topology.servers_in_rack(layout["rack_a"])[:2]
+        chosen = routing.closest_replica(layout["broker_a"], set(servers))
+        assert chosen == min(servers)
+
+    def test_empty_replica_set_raises(self, tree_topology):
+        routing = RoutingService(tree_topology)
+        with pytest.raises(RoutingError):
+            routing.closest_replica(tree_topology.brokers[0].index, set())
+
+    def test_affected_brokers_on_new_replica(self, tree_topology, layout):
+        routing = RoutingService(tree_topology)
+        before = {layout["server_a"]}
+        after = {layout["server_a"], layout["server_b"]}
+        affected = routing.affected_brokers(before, after)
+        # Brokers in sub-tree B now route to the new local replica.
+        assert layout["broker_b"] in affected
+        assert layout["broker_a"] not in affected
+
+    def test_next_closest(self, tree_topology, layout):
+        routing = RoutingService(tree_topology)
+        devices = {layout["server_a"], layout["server_b"]}
+        assert routing.next_closest(layout["server_a"], devices) == layout["server_b"]
+        assert routing.next_closest(layout["server_a"], {layout["server_a"]}) is None
+
+    def test_routing_table_for(self, tree_topology, layout):
+        routing = RoutingService(tree_topology)
+        replica_map = {1: {layout["server_a"]}, 2: {layout["server_b"]}}
+        table = routing.routing_table_for(layout["broker_a"], replica_map)
+        assert table[1] == layout["server_a"]
+        assert table[2] == layout["server_b"]

@@ -1,0 +1,219 @@
+"""Tests for the experiment harness (every figure/table runner and the CLI).
+
+These tests run the experiments at a reduced scale (shorter logs, fewer
+memory points) so the whole suite stays fast; the full CI-profile runs live
+in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentProfile
+from repro.experiments import report
+from repro.experiments.datasets import PAPER_TABLE1, run_table1
+from repro.experiments.figure2 import run_figure2, trace_summary
+from repro.experiments.figure3 import run_memory_sweep
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_convergence
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.tables import run_switch_traffic_table
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def tiny_profile() -> ExperimentProfile:
+    """Even smaller than the CI profile: used to keep experiment tests fast."""
+    ci = ExperimentProfile.ci()
+    return dataclasses.replace(
+        ci,
+        users={"twitter": 200, "facebook": 250, "livejournal": 300},
+        synthetic_days=0.5,
+        trace_days=1.0,
+        memory_sweep=(0.0, 50.0),
+        flash_repetitions=1,
+    )
+
+
+class TestTable1:
+    def test_rows_cover_all_datasets(self, tiny_profile):
+        rows = run_table1(tiny_profile)
+        assert [row.dataset for row in rows] == ["twitter", "facebook", "livejournal"]
+        for row in rows:
+            assert row.generated_users == tiny_profile.users[row.dataset]
+            assert row.generated_links > 0
+            assert row.paper_users == PAPER_TABLE1[row.dataset]["users"]
+
+    def test_render(self, tiny_profile):
+        text = report.render_table1(run_table1(tiny_profile))
+        assert "twitter" in text and "facebook" in text
+
+
+class TestFigure2:
+    def test_trace_is_write_heavy_like_the_paper(self, tiny_profile):
+        series = run_figure2(tiny_profile)
+        summary = trace_summary(series)
+        assert summary["total_writes"] > summary["total_reads"]
+        assert summary["days"] >= 1
+
+    def test_render(self, tiny_profile):
+        text = report.render_figure2(run_figure2(tiny_profile))
+        assert "day" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def sweep(self, tiny_profile):
+        return run_memory_sweep(
+            tiny_profile,
+            "facebook",
+            memory_points=(0.0, 100.0),
+            strategies=("random", "spar", "dynasore_hmetis"),
+        )
+
+    def test_random_normalises_to_one(self, sweep):
+        for values in sweep.points.values():
+            assert values["random"] == pytest.approx(1.0)
+
+    def test_dynasore_beats_spar_with_memory(self, sweep):
+        values = sweep.points[100.0]
+        assert values["dynasore_hmetis"] < values["spar"]
+        assert values["spar"] <= 1.05
+
+    def test_more_memory_does_not_hurt_dynasore(self, sweep):
+        assert (
+            sweep.points[100.0]["dynasore_hmetis"]
+            <= sweep.points[0.0]["dynasore_hmetis"] + 0.05
+        )
+
+    def test_series_accessor(self, sweep):
+        series = sweep.series("dynasore_hmetis")
+        assert [memory for memory, _ in series] == [0.0, 100.0]
+
+    def test_render(self, sweep):
+        text = report.render_figure3(sweep)
+        assert "dynasore_hmetis" in text
+
+
+class TestTables23:
+    def test_dynasore_below_spar_at_every_level(self, tiny_profile):
+        table = run_switch_traffic_table(tiny_profile, 100.0, datasets=("facebook",))
+        for level in ("top", "intermediate", "rack"):
+            dynasore = table.value("facebook", "dynasore_hmetis", level)
+            spar = table.value("facebook", "spar", level)
+            assert dynasore <= spar + 0.05
+        assert table.value("facebook", "dynasore_hmetis", "top") < 1.0
+
+    def test_render(self, tiny_profile):
+        table = run_switch_traffic_table(tiny_profile, 100.0, datasets=("facebook",))
+        text = report.render_switch_table(table)
+        assert "facebook" in text
+
+
+class TestFigure4:
+    def test_series_and_totals(self, tiny_profile):
+        result = run_figure4(
+            tiny_profile, extra_memory_pct=50.0, strategies=("random", "dynasore_metis")
+        )
+        totals = result.normalised_totals()
+        assert totals["random"] == pytest.approx(1.0)
+        assert totals["dynasore_metis"] < 1.0
+        series = result.normalised_series()
+        assert series["dynasore_metis"]
+
+    def test_render(self, tiny_profile):
+        result = run_figure4(
+            tiny_profile, extra_memory_pct=50.0, strategies=("random", "dynasore_metis")
+        )
+        assert "Figure 4" in report.render_figure4(result)
+
+
+class TestFigure5:
+    def test_flash_event_grows_replicas(self, tiny_profile):
+        outcome = run_figure5(
+            tiny_profile,
+            followers=40,
+            start_day=0.15,
+            end_day=0.35,
+            duration_days=0.5,
+            repetitions=1,
+        )
+        assert outcome.replicas_by_day
+        before = outcome.replicas_during(0.0, 0.15)
+        during = max(outcome.replicas_by_day.values())
+        assert during >= before
+        assert during >= 1.0
+
+    def test_render(self, tiny_profile):
+        outcome = run_figure5(
+            tiny_profile,
+            followers=20,
+            start_day=0.15,
+            end_day=0.35,
+            duration_days=0.5,
+            repetitions=1,
+        )
+        assert "Figure 5" in report.render_figure5(outcome)
+
+
+class TestFigure6:
+    def test_convergence_series_shape(self, tiny_profile):
+        result = run_convergence(
+            tiny_profile,
+            "synthetic",
+            extra_memory_pct=100.0,
+            strategies=("random", "dynasore_hmetis"),
+        )
+        series = result.series["dynasore_hmetis"]
+        assert series.application
+        # System traffic decays (or at least does not grow) after convergence.
+        first, second = series.system_halves()
+        assert second <= first + 1e-6
+
+    def test_render(self, tiny_profile):
+        result = run_convergence(
+            tiny_profile,
+            "synthetic",
+            extra_memory_pct=100.0,
+            strategies=("random", "dynasore_hmetis"),
+        )
+        assert "Figure 6" in report.render_figure6(result)
+
+
+class TestRegistryAndCli:
+    def test_registry_covers_every_paper_item(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "figure2",
+            "figure3a",
+            "figure3b",
+            "figure3c",
+            "figure3d",
+            "figure4",
+            "figure5",
+            "figure6a",
+            "figure6b",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("figure99")
+
+    def test_cli_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure3a" in output and "table2" in output
+
+    def test_cli_unknown_experiment(self, capsys):
+        assert cli_main(["run", "figure99"]) == 2
+
+    def test_cli_runs_table1(self, capsys):
+        assert cli_main(["run", "table1", "--profile", "ci"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output

@@ -1,0 +1,159 @@
+"""End-to-end integration tests crossing module boundaries.
+
+These tests exercise the same paths as the paper's evaluation at a very small
+scale and assert the qualitative results the paper reports: DynaSoRe reduces
+top-switch traffic relative to the baselines, keeps every view available,
+respects the memory budget, reacts to flash events, and recovers from
+crashes through replicas or the persistent store.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.random_placement import RandomPlacement
+from repro.baselines.spar import SparPlacement
+from repro.config import ClusterSpec, FlatClusterSpec, SimulationConfig
+from repro.constants import DAY
+from repro.core.engine import DynaSoRe
+from repro.persistence.backend import PersistentStore
+from repro.persistence.recovery import execute_recovery, plan_recovery
+from repro.simulator.engine import ClusterSimulator
+from repro.socialgraph.generators import facebook_like
+from repro.topology.flat import FlatTopology
+from repro.topology.tree import TreeTopology
+from repro.workload.flash import inject_flash_event, plan_flash_event
+from repro.workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+
+SPEC = ClusterSpec(intermediate_switches=3, racks_per_intermediate=2, machines_per_rack=4)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    graph = facebook_like(users=250, seed=13)
+    log = SyntheticWorkloadGenerator(
+        graph, SyntheticWorkloadConfig(days=0.5, seed=13)
+    ).generate()
+    return graph, log
+
+
+def run_strategy(strategy, graph, log, extra_memory_pct, measure_from=0.0, topology=None):
+    topology = topology or TreeTopology(SPEC)
+    simulator = ClusterSimulator(
+        topology,
+        graph.copy(),
+        strategy,
+        SimulationConfig(extra_memory_pct=extra_memory_pct, measure_from=measure_from, seed=13),
+    )
+    return simulator.run(log), simulator
+
+
+class TestEndToEndComparison:
+    def test_dynasore_beats_random_and_spar(self, scenario):
+        graph, log = scenario
+        cutoff = log.duration / 2
+        random_result, _ = run_strategy(RandomPlacement(seed=13), graph, log, 50.0, cutoff)
+        spar_result, _ = run_strategy(SparPlacement(seed=13), graph, log, 50.0, cutoff)
+        dynasore_result, _ = run_strategy(
+            DynaSoRe(initializer="hmetis", seed=13), graph, log, 50.0, cutoff
+        )
+        assert dynasore_result.top_switch_traffic < spar_result.top_switch_traffic
+        assert dynasore_result.top_switch_traffic < 0.6 * random_result.top_switch_traffic
+        assert spar_result.top_switch_traffic <= random_result.top_switch_traffic * 1.02
+
+    def test_memory_budget_is_never_exceeded(self, scenario):
+        graph, log = scenario
+        _, simulator = run_strategy(DynaSoRe(initializer="random", seed=13), graph, log, 30.0)
+        strategy = simulator.strategy
+        assert strategy.memory_in_use() <= strategy.memory_capacity()
+        for server in strategy.servers:
+            assert server.used <= server.capacity
+
+    def test_every_view_remains_available(self, scenario):
+        graph, log = scenario
+        _, simulator = run_strategy(DynaSoRe(initializer="metis", seed=13), graph, log, 30.0)
+        locations = simulator.strategy.replica_locations()
+        assert set(graph.users) <= set(locations)
+        assert all(len(devices) >= 1 for devices in locations.values())
+
+    def test_more_memory_means_less_top_traffic(self, scenario):
+        graph, log = scenario
+        cutoff = log.duration / 2
+        lean, _ = run_strategy(DynaSoRe(initializer="hmetis", seed=13), graph, log, 0.0, cutoff)
+        rich, _ = run_strategy(DynaSoRe(initializer="hmetis", seed=13), graph, log, 150.0, cutoff)
+        assert rich.top_switch_traffic <= lean.top_switch_traffic * 1.05
+
+    def test_flat_topology_end_to_end(self, scenario):
+        graph, log = scenario
+        # A flat cluster where, as in the paper, machines hold many views each.
+        flat_spec = FlatClusterSpec(machines=20)
+        cutoff = log.duration / 2
+        random_result, _ = run_strategy(
+            RandomPlacement(seed=13), graph, log, 100.0, cutoff, topology=FlatTopology(flat_spec)
+        )
+        dynasore_result, _ = run_strategy(
+            DynaSoRe(initializer="metis", seed=13),
+            graph,
+            log,
+            100.0,
+            cutoff,
+            topology=FlatTopology(flat_spec),
+        )
+        assert dynasore_result.top_switch_traffic < random_result.top_switch_traffic
+
+
+class TestFlashEventIntegration:
+    def test_replicas_grow_then_shrink(self):
+        graph = facebook_like(users=200, seed=21)
+        rng = random.Random(21)
+        base = SyntheticWorkloadGenerator(
+            graph, SyntheticWorkloadConfig(days=1.0, seed=21)
+        ).generate()
+        spec = plan_flash_event(graph, rng, followers=80, start_day=0.2, end_day=0.6)
+        log = inject_flash_event(base, spec, reads_per_follower_per_day=6.0, seed=21)
+        simulator = ClusterSimulator(
+            TreeTopology(SPEC),
+            graph,
+            DynaSoRe(initializer="hmetis", seed=21),
+            SimulationConfig(extra_memory_pct=30.0, seed=21),
+        )
+        simulator.track_view(spec.target_user)
+        result = simulator.run(log)
+        timeline = result.tracked_views[spec.target_user]
+        counts = dict(timeline.replica_counts)
+        peak = max(counts.values())
+        during = [c for t, c in counts.items() if 0.25 * DAY <= t <= 0.6 * DAY]
+        after = [c for t, c in counts.items() if t >= 0.95 * DAY]
+        assert peak >= 2, "the hot view should be replicated during the flash event"
+        assert during and max(during) >= 2
+        assert after and min(after) <= max(during), "replicas should not keep growing after the event"
+
+
+class TestCrashRecoveryIntegration:
+    def test_recovery_uses_replicas_and_persistent_store(self, scenario):
+        graph, log = scenario
+        _, simulator = run_strategy(DynaSoRe(initializer="hmetis", seed=13), graph, log, 100.0)
+        strategy = simulator.strategy
+        locations = {user: set(devs) for user, devs in strategy.replica_locations().items()}
+
+        persistent = PersistentStore()
+        for user in graph.users:
+            persistent.process_write(user, 0.0, b"event")
+
+        crashed = next(iter(next(iter(locations.values()))))
+        plan = plan_recovery(crashed, locations)
+        survivors = [d.index for d in simulator.topology.servers if d.index != crashed]
+        targets = {
+            user: survivors[i % len(survivors)]
+            for i, user in enumerate(plan.recoverable_from_memory + plan.recoverable_from_disk)
+        }
+        recovered = execute_recovery(plan, locations, targets, persistent)
+        assert set(recovered) == set(
+            plan.recoverable_from_memory + plan.recoverable_from_disk
+        )
+        assert all(crashed not in devices for devices in locations.values())
+        # With 100% extra memory a good share of views had surviving replicas.
+        assert plan.memory_recovery_fraction > 0.2

@@ -1,0 +1,200 @@
+"""Tests for the multilevel k-way and hierarchical graph partitioners."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import ClusterSpec
+from repro.exceptions import PartitioningError
+from repro.partitioning.coarsen import coarsen_once, coarsen_to_size
+from repro.partitioning.hierarchical import hierarchical_partition
+from repro.partitioning.kway import partition_kway, random_partition
+from repro.partitioning.quality import balance_ratio, edge_cut, part_weights, validate_partition
+from repro.partitioning.refine import rebalance_partition, refine_partition
+from repro.socialgraph.generators import facebook_like
+
+
+def two_cliques(size: int = 8) -> dict[int, dict[int, int]]:
+    """Two cliques connected by a single bridge edge."""
+    adjacency: dict[int, dict[int, int]] = {i: {} for i in range(2 * size)}
+    for offset in (0, size):
+        for i in range(size):
+            for j in range(i + 1, size):
+                adjacency[offset + i][offset + j] = 1
+                adjacency[offset + j][offset + i] = 1
+    adjacency[0][size] = 1
+    adjacency[size][0] = 1
+    return adjacency
+
+
+class TestQuality:
+    def test_edge_cut_of_perfect_split(self):
+        adjacency = two_cliques(6)
+        assignment = {node: 0 if node < 6 else 1 for node in adjacency}
+        assert edge_cut(adjacency, assignment) == 1
+
+    def test_edge_cut_of_interleaved_split(self):
+        adjacency = two_cliques(6)
+        assignment = {node: node % 2 for node in adjacency}
+        assert edge_cut(adjacency, assignment) > 10
+
+    def test_balance_ratio_perfect(self):
+        adjacency = two_cliques(4)
+        assignment = {node: 0 if node < 4 else 1 for node in adjacency}
+        assert balance_ratio(assignment, 2) == pytest.approx(1.0)
+
+    def test_part_weights_with_node_weights(self):
+        assignment = {1: 0, 2: 1}
+        weights = part_weights(assignment, 2, node_weights={1: 5, 2: 3})
+        assert weights == [5, 3]
+
+    def test_validate_partition_detects_missing_nodes(self):
+        with pytest.raises(PartitioningError):
+            validate_partition({1: 0}, {1, 2}, parts=2)
+
+    def test_validate_partition_detects_bad_part(self):
+        with pytest.raises(PartitioningError):
+            validate_partition({1: 5}, {1}, parts=2)
+
+
+class TestCoarsening:
+    def test_coarsen_once_halves_clique(self):
+        adjacency = two_cliques(8)
+        weights = {node: 1 for node in adjacency}
+        coarse = coarsen_once(adjacency, weights, random.Random(1))
+        assert coarse.num_nodes < len(adjacency)
+        assert sum(coarse.node_weights.values()) == len(adjacency)
+
+    def test_coarsen_preserves_total_weight(self):
+        graph = facebook_like(users=200, seed=5)
+        adjacency = graph.undirected_adjacency()
+        levels = coarsen_to_size(adjacency, target_size=50, rng=random.Random(2))
+        for level in levels:
+            assert sum(level.node_weights.values()) == 200
+
+    def test_coarsen_to_size_reaches_target_or_stalls(self):
+        graph = facebook_like(users=300, seed=6)
+        adjacency = graph.undirected_adjacency()
+        levels = coarsen_to_size(adjacency, target_size=60, rng=random.Random(3))
+        assert levels, "at least one coarsening level expected"
+        assert levels[-1].num_nodes < 300
+
+    def test_fine_to_coarse_covers_all_nodes(self):
+        adjacency = two_cliques(10)
+        weights = {node: 1 for node in adjacency}
+        coarse = coarsen_once(adjacency, weights, random.Random(4))
+        assert set(coarse.fine_to_coarse) == set(adjacency)
+
+
+class TestRefinement:
+    def test_refine_improves_bad_partition(self):
+        adjacency = two_cliques(8)
+        assignment = {node: node % 2 for node in adjacency}
+        before = edge_cut(adjacency, assignment)
+        refine_partition(adjacency, assignment, parts=2)
+        after = edge_cut(adjacency, assignment)
+        assert after <= before
+
+    def test_refine_respects_balance(self):
+        adjacency = two_cliques(8)
+        assignment = {node: node % 2 for node in adjacency}
+        refine_partition(adjacency, assignment, parts=2, max_part_weight=9)
+        weights = part_weights(assignment, 2)
+        assert max(weights) <= 9
+
+    def test_rebalance_fixes_overweight_part(self):
+        adjacency = two_cliques(8)
+        assignment = {node: 0 for node in adjacency}
+        rebalance_partition(adjacency, assignment, parts=2, tolerance=1.1)
+        assert balance_ratio(assignment, 2) <= 1.15
+
+
+class TestKWay:
+    def test_partition_covers_all_nodes(self):
+        graph = facebook_like(users=300, seed=7)
+        adjacency = graph.undirected_adjacency()
+        result = partition_kway(adjacency, parts=6, seed=1)
+        assert set(result.assignment) == set(adjacency)
+
+    def test_partition_is_balanced(self):
+        graph = facebook_like(users=400, seed=8)
+        adjacency = graph.undirected_adjacency()
+        result = partition_kway(adjacency, parts=8, seed=1)
+        assert result.balance <= 1.25
+
+    def test_partition_beats_random_cut(self):
+        graph = facebook_like(users=400, seed=9)
+        adjacency = graph.undirected_adjacency()
+        clever = partition_kway(adjacency, parts=8, seed=1)
+        rand = random_partition(list(adjacency), parts=8, seed=1)
+        assert clever.edge_cut < edge_cut(adjacency, rand.assignment)
+
+    def test_two_cliques_are_separated(self):
+        adjacency = two_cliques(12)
+        result = partition_kway(adjacency, parts=2, seed=1)
+        parts_of_first = {result.assignment[node] for node in range(12)}
+        parts_of_second = {result.assignment[node] for node in range(12, 24)}
+        assert len(parts_of_first) == 1
+        assert len(parts_of_second) == 1
+        assert parts_of_first != parts_of_second
+
+    def test_single_part(self):
+        adjacency = two_cliques(4)
+        result = partition_kway(adjacency, parts=1)
+        assert set(result.assignment.values()) == {0}
+
+    def test_more_parts_than_nodes(self):
+        adjacency = {1: {}, 2: {}, 3: {}}
+        result = partition_kway(adjacency, parts=10, seed=1)
+        assert set(result.assignment) == {1, 2, 3}
+
+    def test_empty_graph(self):
+        result = partition_kway({}, parts=4)
+        assert result.assignment == {}
+
+    def test_invalid_parts(self):
+        with pytest.raises(PartitioningError):
+            partition_kway({1: {}}, parts=0)
+
+    def test_random_partition_balance(self):
+        result = random_partition(list(range(100)), parts=10, seed=2)
+        weights = part_weights(result.assignment, 10)
+        assert max(weights) - min(weights) <= 1
+
+
+class TestHierarchical:
+    def test_assignment_within_server_range(self):
+        graph = facebook_like(users=300, seed=10)
+        spec = ClusterSpec(
+            intermediate_switches=2, racks_per_intermediate=2, machines_per_rack=4
+        )
+        result = hierarchical_partition(graph.undirected_adjacency(), spec, seed=1)
+        assert set(result.server_assignment) == set(graph.users)
+        assert all(0 <= s < spec.total_servers for s in result.server_assignment.values())
+
+    def test_rack_consistent_with_server(self):
+        graph = facebook_like(users=200, seed=11)
+        spec = ClusterSpec(
+            intermediate_switches=2, racks_per_intermediate=2, machines_per_rack=4
+        )
+        result = hierarchical_partition(graph.undirected_adjacency(), spec, seed=1)
+        for node, server in result.server_assignment.items():
+            assert result.rack_assignment[node] == server // spec.servers_per_rack
+
+    def test_intermediate_consistent_with_rack(self):
+        graph = facebook_like(users=200, seed=12)
+        spec = ClusterSpec(
+            intermediate_switches=3, racks_per_intermediate=2, machines_per_rack=4
+        )
+        result = hierarchical_partition(graph.undirected_adjacency(), spec, seed=1)
+        for node, rack in result.rack_assignment.items():
+            assert result.intermediate_assignment[node] == rack // spec.racks_per_intermediate
+
+    def test_empty_graph(self):
+        spec = ClusterSpec(
+            intermediate_switches=2, racks_per_intermediate=2, machines_per_rack=4
+        )
+        result = hierarchical_partition({}, spec)
+        assert result.server_assignment == {}

@@ -1,0 +1,145 @@
+"""Tests for the write-ahead log, persistent store and recovery planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.persistence.backend import PersistentStore
+from repro.persistence.recovery import execute_recovery, plan_recovery
+from repro.persistence.wal import LogRecord, WriteAheadLog
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_sequence_numbers(self):
+        wal = WriteAheadLog()
+        first = wal.append("write", user=1, timestamp=0.0)
+        second = wal.append("write", user=2, timestamp=1.0)
+        assert first.sequence == 0
+        assert second.sequence == 1
+        assert wal.last_sequence() == 1
+        assert len(wal) == 2
+
+    def test_replay_from_sequence(self):
+        wal = WriteAheadLog()
+        for user in range(5):
+            wal.append("write", user=user, timestamp=float(user))
+        replayed = wal.replay(from_sequence=3)
+        assert [r.user for r in replayed] == [3, 4]
+
+    def test_persistence_on_disk(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append("write", user=1, timestamp=0.0, payload="hello")
+        reloaded = WriteAheadLog(path)
+        assert len(reloaded) == 1
+        assert reloaded.replay()[0].payload == "hello"
+        reloaded.append("write", user=2, timestamp=1.0)
+        assert reloaded.last_sequence() == 1
+
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        for user in range(4):
+            wal.append("write", user=user, timestamp=float(user))
+        dropped = wal.truncate(up_to_sequence=2)
+        assert dropped == 2
+        assert [r.sequence for r in wal.replay()] == [2, 3]
+        assert [r.sequence for r in WriteAheadLog(path).replay()] == [2, 3]
+
+    def test_corrupt_record_raises(self):
+        with pytest.raises(PersistenceError):
+            LogRecord.from_json("not json at all")
+
+    def test_record_round_trip(self):
+        record = LogRecord(sequence=3, timestamp=1.5, kind="write", user=9, payload="x")
+        assert LogRecord.from_json(record.to_json()) == record
+
+
+class TestPersistentStore:
+    def test_write_then_fetch(self):
+        store = PersistentStore()
+        version = store.process_write(user=1, timestamp=0.0, payload=b"event-1")
+        assert version == 1
+        view = store.fetch_view(1)
+        assert view.version == 1
+        assert view.events[0].payload == b"event-1"
+
+    def test_versions_increase(self):
+        store = PersistentStore()
+        assert store.process_write(1, 0.0) == 1
+        assert store.process_write(1, 1.0) == 2
+        assert store.current_version(1) == 2
+
+    def test_fetch_unknown_user_returns_empty_view(self):
+        store = PersistentStore()
+        view = store.fetch_view(42)
+        assert view.version == 0
+        assert view.events == []
+        assert not store.has_view(42)
+
+    def test_fetch_returns_copy(self):
+        store = PersistentStore()
+        store.process_write(1, 0.0, b"a")
+        fetched = store.fetch_view(1)
+        fetched.append_payload = None  # mutate the copy object freely
+        fetched.events.clear()
+        assert store.fetch_view(1).events
+
+    def test_rebuild_from_wal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        store = PersistentStore(WriteAheadLog(path))
+        store.process_write(1, 0.0, b"a")
+        store.process_write(1, 1.0, b"b")
+        store.process_write(2, 2.0, b"c")
+        recovered = PersistentStore(WriteAheadLog(path))
+        assert recovered.current_version(1) == 2
+        assert recovered.current_version(2) == 1
+
+    def test_verify_integrity(self):
+        store = PersistentStore()
+        store.process_write(1, 0.0)
+        store.verify_integrity()
+        # Corrupt the materialised state on purpose.
+        store._views[1].version = 99
+        with pytest.raises(PersistenceError):
+            store.verify_integrity()
+
+
+class TestRecovery:
+    def test_plan_splits_memory_and_disk(self):
+        locations = {1: {10, 11}, 2: {10}, 3: {12}}
+        plan = plan_recovery(crashed_server=10, replica_locations=locations)
+        assert set(plan.recoverable_from_memory) == {1}
+        assert set(plan.recoverable_from_disk) == {2}
+        assert plan.total_views == 2
+        assert 0.0 < plan.memory_recovery_fraction < 1.0
+
+    def test_execute_recovery_updates_locations(self):
+        locations = {1: {10, 11}, 2: {10}}
+        plan = plan_recovery(10, locations)
+        store = PersistentStore()
+        recovered = execute_recovery(
+            plan, locations, target_servers={1: 13, 2: 14}, persistent_store=store
+        )
+        assert recovered == {1: 13, 2: 14}
+        assert 10 not in locations[1] and 13 in locations[1]
+        assert locations[2] == {14}
+
+    def test_disk_recovery_requires_persistent_store(self):
+        locations = {2: {10}}
+        plan = plan_recovery(10, locations)
+        with pytest.raises(PersistenceError):
+            execute_recovery(plan, locations, target_servers={2: 11}, persistent_store=None)
+
+    def test_missing_target_raises(self):
+        locations = {1: {10, 11}}
+        plan = plan_recovery(10, locations)
+        with pytest.raises(PersistenceError):
+            execute_recovery(plan, locations, target_servers={}, persistent_store=None)
+
+    def test_unaffected_server_has_empty_plan(self):
+        locations = {1: {11}, 2: {12}}
+        plan = plan_recovery(10, locations)
+        assert plan.total_views == 0
+        assert plan.memory_recovery_fraction == 1.0

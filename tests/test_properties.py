@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utility import estimate_profit
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.quality import part_weights, validate_partition
+from repro.socialgraph.graph import SocialGraph
+from repro.store.counters import RotatingCounter
+from repro.store.memory import MemoryBudget
+from repro.store.stats import AccessStatistics
+from repro.topology.tree import TreeTopology
+from repro.config import ClusterSpec
+from repro.workload.requests import ReadRequest, RequestLog, WriteRequest
+
+
+# --------------------------------------------------------------------------- counters
+@given(
+    events=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1e6), st.integers(1, 5)), max_size=60
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_rotating_counter_total_never_exceeds_recorded(events):
+    """The sliding-window total never exceeds the total amount recorded."""
+    counter = RotatingCounter(slots=6, period=100.0)
+    recorded = 0.0
+    for timestamp, amount in sorted(events):
+        counter.record(timestamp, amount)
+        recorded += amount
+        assert counter.total() <= recorded + 1e-9
+        assert counter.total() >= 0.0
+
+
+@given(
+    timestamps=st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=40)
+)
+@settings(max_examples=60, deadline=None)
+def test_counter_window_only_keeps_recent_periods(timestamps):
+    """After a long silence the window drains completely."""
+    counter = RotatingCounter(slots=4, period=10.0)
+    for timestamp in sorted(timestamps):
+        counter.record(timestamp)
+    counter.advance(max(timestamps) + 10.0 * 4 + 1.0)
+    assert counter.is_empty()
+
+
+# --------------------------------------------------------------------------- stats
+@given(
+    reads=st.lists(st.tuples(st.integers(0, 5), st.floats(0.0, 1000.0)), max_size=50),
+    writes=st.lists(st.floats(0.0, 1000.0), max_size=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_access_statistics_totals_are_consistent(reads, writes):
+    stats = AccessStatistics(slots=8, period=500.0)
+    for origin, timestamp in sorted(reads, key=lambda item: item[1]):
+        stats.record_read(origin, timestamp)
+    for timestamp in sorted(writes):
+        stats.record_write(timestamp)
+    by_origin = stats.reads_by_origin()
+    assert sum(by_origin.values()) == stats.total_reads()
+    assert all(count > 0 for count in by_origin.values())
+    assert stats.total_writes() <= len(writes)
+
+
+# --------------------------------------------------------------------------- memory
+@given(
+    views=st.integers(1, 5000),
+    extra=st.floats(0.0, 300.0),
+    servers=st.integers(1, 64),
+)
+@settings(max_examples=80, deadline=None)
+def test_memory_budget_split_is_exact_and_even(views, extra, servers):
+    budget = MemoryBudget(views=views, extra_memory_pct=extra, servers=servers)
+    capacities = budget.per_server_capacity()
+    assert sum(capacities) == budget.total_capacity
+    assert max(capacities) - min(capacities) <= 1
+    assert budget.total_capacity >= views
+
+
+# --------------------------------------------------------------------------- graph
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+        max_size=150,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_social_graph_degree_invariants(edges):
+    graph = SocialGraph()
+    for follower, followee in edges:
+        graph.add_edge(follower, followee)
+    assert graph.num_edges == sum(graph.out_degree(u) for u in graph.users)
+    assert graph.num_edges == sum(graph.in_degree(u) for u in graph.users)
+    for follower, followee in set(edges):
+        assert graph.has_edge(follower, followee)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 25), st.integers(0, 25)).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=120,
+    ),
+    parts=st.integers(2, 8),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_partition_covers_every_node_and_respects_part_range(edges, parts, seed):
+    graph = SocialGraph()
+    for follower, followee in edges:
+        graph.add_edge(follower, followee)
+    adjacency = graph.undirected_adjacency()
+    result = partition_kway(adjacency, parts=parts, seed=seed)
+    validate_partition(result.assignment, set(adjacency), parts)
+    weights = part_weights(result.assignment, parts)
+    assert sum(weights) == len(adjacency)
+
+
+# --------------------------------------------------------------------------- request log
+@given(
+    items=st.lists(
+        st.tuples(st.floats(0.0, 1e6), st.booleans(), st.integers(0, 50)), max_size=80
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_request_log_counts_match_contents(items):
+    log = RequestLog()
+    for timestamp, is_read, user in sorted(items, key=lambda item: item[0]):
+        if is_read:
+            log.append(ReadRequest(timestamp, user))
+        else:
+            log.append(WriteRequest(timestamp, user))
+    assert log.read_count + log.write_count == len(log)
+    log.validate()
+    per_day = log.requests_per_day()
+    assert sum(d["reads"] for d in per_day.values()) == log.read_count
+    assert sum(d["writes"] for d in per_day.values()) == log.write_count
+
+
+# --------------------------------------------------------------------------- utility
+_topology = TreeTopology(
+    ClusterSpec(intermediate_switches=2, racks_per_intermediate=2, machines_per_rack=4)
+)
+
+
+@given(
+    read_counts=st.lists(st.integers(0, 20), min_size=1, max_size=5),
+    writes=st.integers(0, 10),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_estimate_profit_bounded_by_read_volume(read_counts, writes, data):
+    """Profit can never exceed the maximum possible read saving (4 switches
+    per read) and is never below the negated write cost (5 per write)."""
+    rng = random.Random(data.draw(st.integers(0, 1000)))
+    server_a = _topology.servers[0].index
+    server_b = _topology.servers[-1].index
+    origins = _topology.origin_regions(server_a)
+    stats = AccessStatistics()
+    total_reads = 0
+    for count in read_counts:
+        origin = origins[rng.randrange(len(origins))]
+        if count:
+            stats.record_read(origin, 0.0, count)
+            total_reads += count
+    if writes:
+        stats.record_write(0.0, writes)
+    broker = _topology.brokers[0].index
+    profit = estimate_profit(_topology, stats, server_b, server_a, broker)
+    assert profit <= 4 * total_reads + 1e-9
+    assert profit >= -5 * writes - 1e-9

@@ -1,0 +1,197 @@
+"""Tests for the simulation clock, cluster simulator and runner helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.random_placement import RandomPlacement
+from repro.config import SimulationConfig
+from repro.constants import DAY, HOUR
+from repro.core.engine import DynaSoRe
+from repro.exceptions import SimulationError
+from repro.simulator.clock import SimulationClock
+from repro.simulator.engine import ClusterSimulator
+from repro.simulator.runner import normalise_results, run_comparison, run_simulation
+from repro.socialgraph.generators import facebook_like
+from repro.topology.tree import TreeTopology
+from repro.workload.requests import EdgeAdded, EdgeRemoved, ReadRequest, RequestLog, WriteRequest
+
+
+class TestSimulationClock:
+    def test_advance_returns_due_ticks(self):
+        clock = SimulationClock(tick_period=HOUR)
+        due = clock.advance_to(2.5 * HOUR)
+        assert due == [HOUR, 2 * HOUR]
+        assert clock.now == 2.5 * HOUR
+
+    def test_no_tick_when_advancing_within_period(self):
+        clock = SimulationClock(tick_period=HOUR)
+        assert clock.advance_to(0.5 * HOUR) == []
+        assert clock.advance_to(0.9 * HOUR) == []
+
+    def test_time_never_goes_backwards(self):
+        clock = SimulationClock(tick_period=HOUR)
+        clock.advance_to(HOUR * 3)
+        assert clock.advance_to(HOUR) == []
+        assert clock.now == HOUR * 3
+
+    def test_current_day(self):
+        clock = SimulationClock()
+        clock.advance_to(1.5 * DAY)
+        assert clock.current_day == pytest.approx(1.5)
+
+    def test_invalid_tick_period(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(tick_period=0.0)
+
+
+def small_scenario():
+    graph = facebook_like(users=80, seed=5)
+    topology = TreeTopology.__call__ if False else None  # placeholder, unused
+    return graph
+
+
+class TestClusterSimulator:
+    @pytest.fixture
+    def scenario(self, cluster_spec):
+        graph = facebook_like(users=80, seed=5)
+        topology = TreeTopology(cluster_spec)
+        log = RequestLog()
+        users = list(graph.users)
+        time = 0.0
+        for i in range(200):
+            time += 30.0
+            user = users[i % len(users)]
+            if i % 5 == 0:
+                log.append(WriteRequest(time, user))
+            else:
+                log.append(ReadRequest(time, user))
+        return topology, graph, log
+
+    def test_run_counts_requests(self, scenario):
+        topology, graph, log = scenario
+        simulator = ClusterSimulator(
+            topology, graph, RandomPlacement(seed=1), SimulationConfig(extra_memory_pct=0.0)
+        )
+        result = simulator.run(log)
+        assert result.requests_executed == len(log)
+        assert result.reads_executed == log.read_count
+        assert result.writes_executed == log.write_count
+        assert result.top_switch_traffic > 0
+
+    def test_graph_mutations_are_applied(self, scenario):
+        topology, graph, _ = scenario
+        users = list(graph.users)
+        log = RequestLog()
+        log.append(EdgeAdded(10.0, users[0], users[5]))
+        log.append(ReadRequest(20.0, users[0]))
+        log.append(EdgeRemoved(30.0, users[0], users[5]))
+        simulator = ClusterSimulator(
+            topology, graph, RandomPlacement(seed=1), SimulationConfig(extra_memory_pct=0.0)
+        )
+        simulator.run(log)
+        assert not graph.has_edge(users[0], users[5])
+
+    def test_tracked_view_timeline(self, scenario):
+        topology, graph, log = scenario
+        simulator = ClusterSimulator(
+            topology, graph, DynaSoRe(initializer="random", seed=1),
+            SimulationConfig(extra_memory_pct=50.0),
+        )
+        tracked_user = list(graph.users)[0]
+        simulator.track_view(tracked_user)
+        result = simulator.run(log)
+        timeline = result.tracked_views[tracked_user]
+        assert timeline.replica_counts
+        assert all(count >= 1 for _, count in timeline.replica_counts)
+
+    def test_dynasore_run_produces_system_traffic(self, scenario):
+        topology, graph, log = scenario
+        simulator = ClusterSimulator(
+            topology, graph, DynaSoRe(initializer="random", seed=1),
+            SimulationConfig(extra_memory_pct=100.0),
+        )
+        result = simulator.run(log)
+        assert result.snapshot.system_by_level.get("top", 0.0) >= 0.0
+        assert result.replication_factor >= 1.0
+
+    def test_measure_from_reduces_traffic(self, scenario):
+        topology, graph, log = scenario
+        full = ClusterSimulator(
+            topology, graph.copy(), RandomPlacement(seed=1), SimulationConfig(extra_memory_pct=0.0)
+        ).run(log)
+        half = ClusterSimulator(
+            topology,
+            graph.copy(),
+            RandomPlacement(seed=1),
+            SimulationConfig(extra_memory_pct=0.0, measure_from=log.duration / 2),
+        ).run(log)
+        assert half.top_switch_traffic < full.top_switch_traffic
+
+    def test_result_summary_and_series(self, scenario):
+        topology, graph, log = scenario
+        result = ClusterSimulator(
+            topology, graph, RandomPlacement(seed=1), SimulationConfig(extra_memory_pct=0.0)
+        ).run(log)
+        summary = result.summary()
+        assert summary["reads"] == log.read_count
+        series = result.top_switch_series()
+        assert sum(series.values()) == pytest.approx(result.top_switch_traffic)
+        split = result.top_switch_series(split=True)
+        assert all(len(pair) == 2 for pair in split.values())
+
+    def test_normalised_against(self, scenario):
+        topology, graph, log = scenario
+        random_result = ClusterSimulator(
+            topology, graph.copy(), RandomPlacement(seed=1), SimulationConfig(extra_memory_pct=0.0)
+        ).run(log)
+        ratios = random_result.normalised_against(random_result)
+        assert ratios["top"] == pytest.approx(1.0)
+
+
+class TestRunner:
+    def test_run_comparison_and_normalise(self, ci_profile):
+        from repro.experiments.common import (
+            graph_factory,
+            simulation_config,
+            strategy_factories,
+            synthetic_log,
+            tree_topology_factory,
+        )
+
+        graphs = graph_factory(ci_profile, "twitter")
+        log = synthetic_log(ci_profile, graphs()).slice_time(0.0, 0.2 * DAY)
+        results = run_comparison(
+            tree_topology_factory(ci_profile),
+            graphs,
+            strategy_factories(ci_profile, include=("random", "hmetis")),
+            log,
+            simulation_config(ci_profile, 0.0),
+        )
+        assert set(results) == {"random", "hmetis"}
+        normalised = normalise_results(results)
+        assert normalised["random"] == pytest.approx(1.0)
+        assert normalised["hmetis"] <= 1.0
+
+    def test_run_simulation_with_tracked_views(self, ci_profile):
+        from repro.experiments.common import (
+            graph_factory,
+            simulation_config,
+            synthetic_log,
+            tree_topology_factory,
+        )
+        from repro.core.engine import DynaSoRe
+
+        graphs = graph_factory(ci_profile, "twitter")
+        graph = graphs()
+        log = synthetic_log(ci_profile, graph).slice_time(0.0, 0.1 * DAY)
+        tracked = graph.users[0]
+        result = run_simulation(
+            tree_topology_factory(ci_profile),
+            graphs,
+            lambda: DynaSoRe(initializer="random", seed=1),
+            log,
+            simulation_config(ci_profile, 50.0),
+            tracked_views=(tracked,),
+        )
+        assert tracked in result.tracked_views

@@ -1,0 +1,193 @@
+"""Tests for the social graph data structure, generators, IO and mutations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.socialgraph.generators import (
+    dataset_preset,
+    facebook_like,
+    generate_social_graph,
+    graph_statistics,
+    twitter_like,
+)
+from repro.socialgraph.graph import SocialGraph
+from repro.socialgraph.io import load_edge_list, save_edge_list
+from repro.socialgraph.mutations import (
+    apply_mutation,
+    flash_event_mutations,
+    random_new_followers,
+)
+
+
+class TestSocialGraph:
+    def test_add_edge_creates_users(self):
+        graph = SocialGraph()
+        assert graph.add_edge(1, 2)
+        assert graph.has_user(1) and graph.has_user(2)
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_is_ignored(self):
+        graph = SocialGraph()
+        graph.add_edge(1, 2)
+        assert not graph.add_edge(1, 2)
+        assert graph.num_edges == 1
+
+    def test_self_follow_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(WorkloadError):
+            graph.add_edge(3, 3)
+
+    def test_following_and_followers_are_consistent(self, tiny_graph: SocialGraph):
+        for follower, followee in tiny_graph.edges():
+            assert followee in tiny_graph.following(follower)
+            assert follower in tiny_graph.followers(followee)
+
+    def test_degrees(self, tiny_graph: SocialGraph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.in_degree(2) == 2
+
+    def test_remove_edge(self, tiny_graph: SocialGraph):
+        assert tiny_graph.remove_edge(0, 1)
+        assert not tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.remove_edge(0, 1)
+
+    def test_remove_edge_updates_counts(self, tiny_graph: SocialGraph):
+        before = tiny_graph.num_edges
+        tiny_graph.remove_edge(0, 1)
+        assert tiny_graph.num_edges == before - 1
+
+    def test_unknown_user_raises(self):
+        graph = SocialGraph()
+        with pytest.raises(WorkloadError):
+            graph.following(42)
+
+    def test_undirected_adjacency_weights_reciprocal_edges(self):
+        graph = SocialGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        graph.add_edge(1, 3)
+        adjacency = graph.undirected_adjacency()
+        assert adjacency[1][2] == 2
+        assert adjacency[1][3] == 1
+        assert adjacency[3][1] == 1
+
+    def test_copy_is_independent(self, tiny_graph: SocialGraph):
+        clone = tiny_graph.copy()
+        clone.add_edge(0, 5)
+        assert not tiny_graph.has_edge(0, 5)
+        assert clone.num_edges == tiny_graph.num_edges + 1
+
+    def test_contains_and_len(self, tiny_graph: SocialGraph):
+        assert 0 in tiny_graph
+        assert 99 not in tiny_graph
+        assert len(tiny_graph) == 6
+
+
+class TestGenerators:
+    def test_generated_size_matches_request(self):
+        graph = facebook_like(users=300, seed=2)
+        assert graph.num_users == 300
+        # Average degree of the preset is ~15.7; allow generous tolerance.
+        assert graph.num_edges > 300 * 5
+
+    def test_every_user_follows_someone(self):
+        graph = twitter_like(users=200, seed=4)
+        assert all(graph.out_degree(user) > 0 for user in graph.users)
+
+    def test_generation_is_deterministic(self):
+        a = facebook_like(users=150, seed=9)
+        b = facebook_like(users=150, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = facebook_like(users=150, seed=1)
+        b = facebook_like(users=150, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_preset_scaling_preserves_density(self):
+        preset = dataset_preset("twitter", users=1000)
+        assert preset.users == 1000
+        assert preset.average_out_degree == pytest.approx(2.9)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_preset("myspace")
+
+    def test_degree_distribution_is_skewed(self):
+        graph = twitter_like(users=500, seed=3)
+        stats = graph_statistics(graph)
+        assert stats["max_in_degree"] > 4 * stats["avg_out_degree"]
+
+    def test_statistics_keys(self):
+        stats = graph_statistics(facebook_like(users=100, seed=1))
+        assert {"users", "edges", "avg_out_degree", "max_in_degree"} <= set(stats)
+
+    def test_empty_spec(self):
+        spec = dataset_preset("twitter", users=1)
+        graph = generate_social_graph(spec, seed=1)
+        assert graph.num_users == 1
+        assert graph.num_edges == 0
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path, tiny_graph: SocialGraph):
+        path = tmp_path / "edges.tsv"
+        written = save_edge_list(tiny_graph, path)
+        assert written == tiny_graph.num_edges
+        loaded = load_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(tiny_graph.edges())
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_edge_list(tmp_path / "nope.tsv")
+
+    def test_load_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n1 2\n2 3\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 two\n")
+        with pytest.raises(WorkloadError):
+            load_edge_list(path)
+
+    def test_load_rejects_short_lines(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(WorkloadError):
+            load_edge_list(path)
+
+
+class TestMutations:
+    def test_random_new_followers_excludes_existing(self, tiny_graph: SocialGraph, rng: random.Random):
+        pairs = random_new_followers(tiny_graph, 2, count=10, rng=rng)
+        followers = {f for f, _ in pairs}
+        assert 2 not in followers
+        assert followers.isdisjoint(tiny_graph.followers(2))
+
+    def test_flash_event_mutations_symmetry(self, tiny_graph: SocialGraph, rng: random.Random):
+        mutations = flash_event_mutations(
+            tiny_graph, target_user=5, new_followers=3, start_time=10.0, end_time=20.0, rng=rng
+        )
+        additions = [m for m in mutations if m.add]
+        removals = [m for m in mutations if not m.add]
+        assert len(additions) == len(removals)
+        assert {(m.follower, m.followee) for m in additions} == {
+            (m.follower, m.followee) for m in removals
+        }
+
+    def test_apply_mutation(self, tiny_graph: SocialGraph, rng: random.Random):
+        mutations = flash_event_mutations(
+            tiny_graph, target_user=5, new_followers=2, start_time=0.0, end_time=1.0, rng=rng
+        )
+        additions = [m for m in mutations if m.add]
+        for mutation in additions:
+            assert apply_mutation(tiny_graph, mutation)
+        for mutation in additions:
+            assert not apply_mutation(tiny_graph, mutation)

@@ -1,0 +1,273 @@
+"""Tests for the in-memory store substrate: counters, stats, servers, budget."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import CapacityError, StorageError
+from repro.store.counters import RotatingCounter
+from repro.store.memory import MemoryBudget, budget_for
+from repro.store.server import StorageServer
+from repro.store.stats import AccessStatistics
+from repro.store.view import Event, INFINITE_UTILITY, View, ViewReplica
+
+
+class TestRotatingCounter:
+    def test_records_and_totals(self):
+        counter = RotatingCounter(slots=4, period=10.0)
+        counter.record(1.0)
+        counter.record(2.0)
+        assert counter.total() == 2.0
+
+    def test_rotation_clears_oldest(self):
+        counter = RotatingCounter(slots=3, period=10.0)
+        counter.record(5.0)  # slot for period 0
+        counter.record(15.0)  # period 1
+        counter.record(25.0)  # period 2
+        assert counter.total() == 3.0
+        counter.record(35.0)  # period 3 reuses slot of period 0
+        assert counter.total() == 3.0
+
+    def test_long_gap_clears_everything(self):
+        counter = RotatingCounter(slots=3, period=10.0)
+        counter.record(1.0)
+        counter.advance(1000.0)
+        assert counter.is_empty()
+
+    def test_advance_is_monotonic(self):
+        counter = RotatingCounter(slots=3, period=10.0)
+        counter.record(25.0)
+        counter.advance(5.0)  # going back in time is a no-op
+        assert counter.total() == 1.0
+
+    def test_rate_per_period(self):
+        counter = RotatingCounter(slots=4, period=10.0)
+        for t in (1.0, 2.0, 11.0, 21.0):
+            counter.record(t)
+        assert counter.rate_per_period() == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        counter = RotatingCounter(slots=2, period=10.0)
+        counter.record(1.0)
+        clone = counter.copy()
+        clone.record(2.0)
+        assert counter.total() == 1.0
+        assert clone.total() == 2.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(StorageError):
+            RotatingCounter(slots=0)
+        with pytest.raises(StorageError):
+            RotatingCounter(period=0.0)
+
+    def test_record_amount(self):
+        counter = RotatingCounter(slots=2, period=10.0)
+        counter.record(0.0, amount=5.0)
+        assert counter.total() == 5.0
+
+
+class TestAccessStatistics:
+    def test_reads_by_origin(self):
+        stats = AccessStatistics(slots=4, period=10.0)
+        stats.record_read(origin=7, timestamp=1.0)
+        stats.record_read(origin=7, timestamp=2.0)
+        stats.record_read(origin=9, timestamp=3.0)
+        assert stats.reads_by_origin() == {7: 2.0, 9: 1.0}
+        assert stats.total_reads() == 3.0
+
+    def test_writes(self):
+        stats = AccessStatistics(slots=4, period=10.0)
+        stats.record_write(1.0)
+        stats.record_write(2.0)
+        assert stats.total_writes() == 2.0
+
+    def test_window_expiry(self):
+        stats = AccessStatistics(slots=2, period=10.0)
+        stats.record_read(origin=1, timestamp=0.0)
+        stats.advance(100.0)
+        assert stats.total_reads() == 0.0
+        assert stats.reads_by_origin() == {}
+
+    def test_evaluation_marker(self):
+        stats = AccessStatistics()
+        stats.record_read(1, 0.0)
+        stats.record_read(1, 1.0)
+        assert stats.reads_since_last_evaluation() == 2
+        stats.mark_evaluated()
+        assert stats.reads_since_last_evaluation() == 0
+
+    def test_copy(self):
+        stats = AccessStatistics(slots=4, period=10.0)
+        stats.record_read(3, 0.0)
+        stats.record_write(0.0)
+        clone = stats.copy()
+        clone.record_read(3, 1.0)
+        assert stats.reads_from(3) == 1.0
+        assert clone.reads_from(3) == 2.0
+
+    def test_clear(self):
+        stats = AccessStatistics()
+        stats.record_read(1, 0.0)
+        stats.record_write(0.0)
+        stats.clear()
+        assert stats.total_reads() == 0.0
+        assert stats.total_writes() == 0.0
+
+
+class TestView:
+    def test_append_orders_most_recent_first(self):
+        view = View(user=1)
+        view.append(Event(1, 1.0, b"a"))
+        view.append(Event(1, 2.0, b"b"))
+        assert view.events[0].payload == b"b"
+        assert view.version == 2
+
+    def test_max_events_trims(self):
+        view = View(user=1, max_events=2)
+        for i in range(5):
+            view.append(Event(1, float(i)))
+        assert len(view.events) == 2
+        assert view.version == 5
+
+    def test_latest(self):
+        view = View(user=1)
+        for i in range(4):
+            view.append(Event(1, float(i)))
+        assert [e.timestamp for e in view.latest(2)] == [3.0, 2.0]
+
+    def test_copy_is_deep(self):
+        view = View(user=1)
+        view.append(Event(1, 1.0))
+        clone = view.copy()
+        clone.append(Event(1, 2.0))
+        assert view.version == 1
+        assert clone.version == 2
+
+    def test_replica_sole_utility_is_infinite(self):
+        replica = ViewReplica(user=1, server=0, stats=AccessStatistics())
+        assert replica.is_sole_replica
+        assert replica.effective_utility() == INFINITE_UTILITY
+        replica.next_closest_replica = 5
+        replica.utility = 3.0
+        assert replica.effective_utility() == 3.0
+
+
+class TestStorageServer:
+    def make_server(self, capacity: int = 10) -> StorageServer:
+        return StorageServer(server_index=0, capacity=capacity, counter_slots=4, counter_period=10.0)
+
+    def test_add_and_remove(self):
+        server = self.make_server()
+        server.add_replica(1)
+        assert server.has_view(1)
+        assert server.used == 1
+        server.remove_replica(1)
+        assert not server.has_view(1)
+
+    def test_duplicate_add_rejected(self):
+        server = self.make_server()
+        server.add_replica(1)
+        with pytest.raises(StorageError):
+            server.add_replica(1)
+
+    def test_full_server_rejects_unless_overflow(self):
+        server = self.make_server(capacity=1)
+        server.add_replica(1)
+        with pytest.raises(StorageError):
+            server.add_replica(2)
+        server.add_replica(2, allow_overflow=True)
+        assert server.used == 2
+
+    def test_remove_unknown_rejected(self):
+        server = self.make_server()
+        with pytest.raises(StorageError):
+            server.remove_replica(9)
+
+    def test_utilisation(self):
+        server = self.make_server(capacity=4)
+        server.add_replica(1)
+        server.add_replica(2)
+        assert server.utilisation == pytest.approx(0.5)
+        assert server.free_slots == 2
+
+    def test_admission_threshold_zero_when_not_full(self):
+        server = self.make_server(capacity=10)
+        for user in range(5):
+            server.add_replica(user)
+        assert server.update_admission_threshold() == 0.0
+
+    def test_admission_threshold_positive_when_nearly_full(self):
+        server = self.make_server(capacity=10)
+        for user in range(10):
+            replica = server.add_replica(user)
+            replica.next_closest_replica = 99  # not sole, finite utility
+            replica.utility = float(user)
+        threshold = server.update_admission_threshold()
+        assert threshold > 0.0
+
+    def test_eviction_candidates_exclude_sole_replicas(self):
+        server = self.make_server(capacity=5)
+        sole = server.add_replica(1)
+        replicated = server.add_replica(2)
+        replicated.next_closest_replica = 7
+        replicated.utility = 1.0
+        candidates = server.eviction_candidates()
+        assert sole not in candidates
+        assert replicated in candidates
+
+    def test_eviction_candidates_sorted_by_utility(self):
+        server = self.make_server(capacity=5)
+        for user, utility in ((1, 5.0), (2, 1.0), (3, 3.0)):
+            replica = server.add_replica(user)
+            replica.next_closest_replica = 9
+            replica.utility = utility
+        users = [r.user for r in server.eviction_candidates()]
+        assert users == [2, 3, 1]
+
+    def test_needs_eviction(self):
+        server = self.make_server(capacity=100)
+        for user in range(100):
+            server.add_replica(user)
+        assert server.needs_eviction()
+        assert server.excess_replicas() == 5
+
+    def test_full_server_always_frees_one_slot(self):
+        # Even when 95% of a small capacity rounds up to "full", a full
+        # server frees at least one slot so the cluster can keep adapting.
+        server = self.make_server(capacity=10)
+        for user in range(10):
+            server.add_replica(user)
+        assert server.needs_eviction()
+        assert server.excess_replicas() == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            StorageServer(server_index=0, capacity=-1)
+
+
+class TestMemoryBudget:
+    def test_total_capacity(self):
+        budget = MemoryBudget(views=100, extra_memory_pct=30.0, servers=4)
+        assert budget.total_capacity == 130
+        assert budget.replication_headroom == 30
+        assert budget.average_replication_factor() == pytest.approx(1.3)
+
+    def test_per_server_split_is_exact(self):
+        budget = MemoryBudget(views=100, extra_memory_pct=30.0, servers=7)
+        capacities = budget.per_server_capacity()
+        assert sum(capacities) == budget.total_capacity
+        assert max(capacities) - min(capacities) <= 1
+
+    def test_zero_extra_memory(self):
+        budget = budget_for(views=50, extra_memory_pct=0.0, servers=5)
+        assert budget.total_capacity == 50
+
+    def test_rejects_insufficient_capacity(self):
+        with pytest.raises(CapacityError):
+            MemoryBudget(views=10, extra_memory_pct=-5.0, servers=2)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(CapacityError):
+            MemoryBudget(views=10, extra_memory_pct=0.0, servers=0)

@@ -1,0 +1,79 @@
+"""Tests for the flat topology used by the fairness experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FlatClusterSpec
+from repro.exceptions import TopologyError
+from repro.topology.flat import FlatTopology
+
+
+class TestFlatTopology:
+    def test_machines_are_both_servers_and_brokers(self, flat_topology: FlatTopology):
+        assert flat_topology.servers == flat_topology.brokers
+        assert len(flat_topology.servers) == 10
+
+    def test_single_switch(self, flat_topology: FlatTopology):
+        assert len(flat_topology.switches) == 1
+        assert flat_topology.level_of(flat_topology.top_switch.index) == "top"
+
+    def test_local_access_crosses_no_switch(self, flat_topology: FlatTopology):
+        machine = flat_topology.servers[0].index
+        assert flat_topology.path_between(machine, machine) == ()
+        assert flat_topology.distance(machine, machine) == 0
+
+    def test_remote_access_crosses_one_switch(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        b = flat_topology.servers[1].index
+        assert flat_topology.distance(a, b) == 1
+        assert flat_topology.path_between(a, b) == (flat_topology.top_switch.index,)
+
+    def test_origin_is_the_source_machine(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        b = flat_topology.servers[1].index
+        assert flat_topology.origin_of(a, b) == b
+
+    def test_origin_regions_are_all_machines(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        assert len(flat_topology.origin_regions(a)) == 10
+
+    def test_cost_from_origin_local_is_zero(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        assert flat_topology.cost_from_origin(a, a) == 0
+
+    def test_cost_from_origin_remote_is_one(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        b = flat_topology.servers[1].index
+        assert flat_topology.cost_from_origin(a, b) == 1
+
+    def test_servers_under_switch_is_everything(self, flat_topology: FlatTopology):
+        under = flat_topology.servers_under(flat_topology.top_switch.index)
+        assert len(under) == 10
+
+    def test_servers_under_machine_is_itself(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[3].index
+        assert flat_topology.servers_under(a) == (a,)
+
+    def test_proxy_broker_is_the_machine_itself(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[4].index
+        assert flat_topology.proxy_broker_for_server(a) == a
+
+    def test_rack_and_intermediate_collapse_to_switch(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        assert flat_topology.rack_of(a) == flat_topology.top_switch.index
+        assert flat_topology.intermediate_of(a) == flat_topology.top_switch.index
+
+    def test_rejects_out_of_range_leaf(self, flat_topology: FlatTopology):
+        with pytest.raises(TopologyError):
+            flat_topology.path_between(0, 9999)
+
+    def test_default_spec_matches_paper(self):
+        topology = FlatTopology()
+        assert len(topology.servers) == 250
+
+    def test_co_located(self, flat_topology: FlatTopology):
+        a = flat_topology.servers[0].index
+        b = flat_topology.servers[1].index
+        assert flat_topology.co_located(a, a)
+        assert not flat_topology.co_located(a, b)

@@ -1,0 +1,177 @@
+"""Tests for the tree topology (paths, distances, origins, structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterSpec
+from repro.exceptions import TopologyError
+from repro.topology.devices import DeviceKind
+from repro.topology.tree import TreeTopology
+
+
+class TestConstruction:
+    def test_device_counts(self, tree_topology: TreeTopology):
+        spec = tree_topology.spec
+        assert len(tree_topology.servers) == spec.total_servers
+        assert len(tree_topology.brokers) == spec.total_brokers
+        # 1 top + intermediates + racks
+        expected_switches = 1 + spec.intermediate_switches + spec.total_racks
+        assert len(tree_topology.switches) == expected_switches
+
+    def test_paper_cluster_size(self):
+        topology = TreeTopology(ClusterSpec())
+        assert len(topology.servers) == 225
+        assert len(topology.brokers) == 25
+        assert len(topology.switches) == 1 + 5 + 25
+
+    def test_every_leaf_has_a_rack(self, tree_topology: TreeTopology):
+        for leaf in tree_topology.servers + tree_topology.brokers:
+            rack = tree_topology.rack_of(leaf.index)
+            assert tree_topology.devices[rack].kind is DeviceKind.RACK_SWITCH
+
+    def test_device_indices_are_dense(self, tree_topology: TreeTopology):
+        indices = [device.index for device in tree_topology.devices]
+        assert indices == list(range(len(tree_topology.devices)))
+
+    def test_describe_mentions_counts(self, tree_topology: TreeTopology):
+        text = tree_topology.describe()
+        assert str(len(tree_topology.servers)) in text
+
+
+class TestPaths:
+    def test_same_rack_distance_is_one(self, tree_topology: TreeTopology):
+        rack = tree_topology.rack_switches[0]
+        servers = tree_topology.servers_in_rack(rack)
+        assert tree_topology.distance(servers[0], servers[1]) == 1
+
+    def test_same_intermediate_distance_is_three(self, tree_topology: TreeTopology):
+        inter = tree_topology.intermediate_switches[0]
+        racks = tree_topology.racks_under_intermediate(inter)
+        a = tree_topology.servers_in_rack(racks[0])[0]
+        b = tree_topology.servers_in_rack(racks[1])[0]
+        assert tree_topology.distance(a, b) == 3
+
+    def test_cross_intermediate_distance_is_five(self, tree_topology: TreeTopology):
+        inter_a, inter_b = tree_topology.intermediate_switches[:2]
+        a = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter_a)[0])[0]
+        b = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter_b)[0])[0]
+        assert tree_topology.distance(a, b) == 5
+
+    def test_path_to_self_is_empty(self, tree_topology: TreeTopology):
+        server = tree_topology.servers[0].index
+        assert tree_topology.path_between(server, server) == ()
+
+    def test_path_is_symmetric_in_length(self, tree_topology: TreeTopology):
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        assert len(tree_topology.path_between(a, b)) == len(tree_topology.path_between(b, a))
+
+    def test_cross_intermediate_path_goes_through_top(self, tree_topology: TreeTopology):
+        inter_a, inter_b = tree_topology.intermediate_switches[:2]
+        a = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter_a)[0])[0]
+        b = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter_b)[0])[0]
+        assert tree_topology.top_switch_index in tree_topology.path_between(a, b)
+
+    def test_same_intermediate_path_avoids_top(self, tree_topology: TreeTopology):
+        inter = tree_topology.intermediate_switches[0]
+        racks = tree_topology.racks_under_intermediate(inter)
+        a = tree_topology.servers_in_rack(racks[0])[0]
+        b = tree_topology.servers_in_rack(racks[1])[0]
+        assert tree_topology.top_switch_index not in tree_topology.path_between(a, b)
+
+    def test_path_rejects_switch_argument(self, tree_topology: TreeTopology):
+        with pytest.raises(TopologyError):
+            tree_topology.path_between(tree_topology.top_switch_index, tree_topology.servers[0].index)
+
+
+class TestOrigins:
+    def test_origin_within_same_intermediate_is_rack(self, tree_topology: TreeTopology):
+        inter = tree_topology.intermediate_switches[0]
+        racks = tree_topology.racks_under_intermediate(inter)
+        server = tree_topology.servers_in_rack(racks[0])[0]
+        broker = tree_topology.broker_for_rack(racks[1])
+        assert tree_topology.origin_of(server, broker) == racks[1]
+
+    def test_origin_across_intermediates_is_intermediate(self, tree_topology: TreeTopology):
+        inter_a, inter_b = tree_topology.intermediate_switches[:2]
+        server = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter_a)[0])[0]
+        broker = tree_topology.broker_for_rack(tree_topology.racks_under_intermediate(inter_b)[0])
+        assert tree_topology.origin_of(server, broker) == inter_b
+
+    def test_origin_regions_count(self, tree_topology: TreeTopology):
+        # n sibling racks + (m - 1) other intermediates (paper section 3.2).
+        spec = tree_topology.spec
+        server = tree_topology.servers[0].index
+        regions = tree_topology.origin_regions(server)
+        assert len(regions) == spec.racks_per_intermediate + spec.intermediate_switches - 1
+
+    def test_origin_regions_cover_all_origins(self, tree_topology: TreeTopology):
+        server = tree_topology.servers[0].index
+        regions = set(tree_topology.origin_regions(server))
+        for broker in tree_topology.brokers:
+            assert tree_topology.origin_of(server, broker.index) in regions
+
+    def test_cost_from_own_rack_is_one(self, tree_topology: TreeTopology):
+        server = tree_topology.servers[0].index
+        rack = tree_topology.rack_of(server)
+        assert tree_topology.cost_from_origin(rack, server) == 1
+
+    def test_cost_from_sibling_rack_is_three(self, tree_topology: TreeTopology):
+        inter = tree_topology.intermediate_switches[0]
+        racks = tree_topology.racks_under_intermediate(inter)
+        server = tree_topology.servers_in_rack(racks[0])[0]
+        assert tree_topology.cost_from_origin(racks[1], server) == 3
+
+    def test_cost_from_other_intermediate_is_five(self, tree_topology: TreeTopology):
+        inter_a, inter_b = tree_topology.intermediate_switches[:2]
+        server = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter_a)[0])[0]
+        assert tree_topology.cost_from_origin(inter_b, server) == 5
+
+    def test_cost_from_own_intermediate_is_three(self, tree_topology: TreeTopology):
+        inter = tree_topology.intermediate_switches[0]
+        server = tree_topology.servers_in_rack(tree_topology.racks_under_intermediate(inter)[0])[0]
+        assert tree_topology.cost_from_origin(inter, server) == 3
+
+    def test_cost_rejects_top_switch_origin(self, tree_topology: TreeTopology):
+        with pytest.raises(TopologyError):
+            tree_topology.cost_from_origin(
+                tree_topology.top_switch_index, tree_topology.servers[0].index
+            )
+
+
+class TestStructure:
+    def test_servers_under_rack(self, tree_topology: TreeTopology):
+        rack = tree_topology.rack_switches[0]
+        servers = tree_topology.servers_under(rack)
+        assert len(servers) == tree_topology.spec.servers_per_rack
+
+    def test_servers_under_top_is_everything(self, tree_topology: TreeTopology):
+        servers = tree_topology.servers_under(tree_topology.top_switch_index)
+        assert len(servers) == len(tree_topology.servers)
+
+    def test_brokers_under_intermediate(self, tree_topology: TreeTopology):
+        inter = tree_topology.intermediate_switches[0]
+        brokers = tree_topology.brokers_under(inter)
+        expected = tree_topology.spec.racks_per_intermediate * tree_topology.spec.brokers_per_rack
+        assert len(brokers) == expected
+
+    def test_broker_for_rack_is_in_rack(self, tree_topology: TreeTopology):
+        rack = tree_topology.rack_switches[0]
+        broker = tree_topology.broker_for_rack(rack)
+        assert tree_topology.rack_of(broker) == rack
+
+    def test_level_of(self, tree_topology: TreeTopology):
+        assert tree_topology.level_of(tree_topology.top_switch_index) == "top"
+        assert tree_topology.level_of(tree_topology.intermediate_switches[0]) == "intermediate"
+        assert tree_topology.level_of(tree_topology.rack_switches[0]) == "rack"
+
+    def test_level_of_rejects_leaf(self, tree_topology: TreeTopology):
+        with pytest.raises(TopologyError):
+            tree_topology.level_of(tree_topology.servers[0].index)
+
+    def test_proxy_broker_for_server_shares_rack(self, tree_topology: TreeTopology):
+        server = tree_topology.servers[5].index
+        broker = tree_topology.proxy_broker_for_server(server)
+        assert tree_topology.rack_of(broker) == tree_topology.rack_of(server)
+        assert tree_topology.devices[broker].kind is DeviceKind.BROKER

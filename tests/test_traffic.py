@@ -1,0 +1,146 @@
+"""Tests for message taxonomy and traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.topology.tree import TreeTopology
+from repro.traffic.accounting import TrafficAccountant
+from repro.traffic.messages import MessageClass, MessageKind
+
+
+class TestMessageKind:
+    def test_application_kinds(self):
+        for kind in (
+            MessageKind.READ_REQUEST,
+            MessageKind.READ_RESPONSE,
+            MessageKind.WRITE_UPDATE,
+            MessageKind.WRITE_ACK,
+        ):
+            assert kind.message_class is MessageClass.APPLICATION
+            assert kind.default_size == 10
+
+    def test_protocol_kinds_are_system_and_small(self):
+        for kind in (
+            MessageKind.REPLICA_CONTROL,
+            MessageKind.ROUTING_UPDATE,
+            MessageKind.THRESHOLD_PIGGYBACK,
+            MessageKind.PROXY_MIGRATION,
+        ):
+            assert kind.message_class is MessageClass.SYSTEM
+            assert kind.default_size == 1
+
+    def test_replica_copy_is_system_but_large(self):
+        assert MessageKind.REPLICA_COPY.message_class is MessageClass.SYSTEM
+        assert MessageKind.REPLICA_COPY.default_size == 10
+
+
+class TestTrafficAccountant:
+    def test_records_on_every_switch_on_path(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        crossed = accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=0.0)
+        assert crossed == 5
+        snapshot = accountant.snapshot()
+        assert snapshot.total_by_level["top"] == 10
+        assert snapshot.total_by_level["intermediate"] == 20
+        assert snapshot.total_by_level["rack"] == 20
+
+    def test_same_rack_message_avoids_top(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        rack = tree_topology.rack_switches[0]
+        servers = tree_topology.servers_in_rack(rack)
+        accountant.record(servers[0], servers[1], MessageKind.WRITE_UPDATE, timestamp=0.0)
+        assert accountant.top_switch_traffic() == 0
+        assert accountant.level_traffic("rack") == 10
+
+    def test_roundtrip_records_both_directions(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record_roundtrip(
+            a, b, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, timestamp=0.0
+        )
+        assert accountant.top_switch_traffic() == 20
+
+    def test_application_system_split(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=0.0)
+        accountant.record(a, b, MessageKind.REPLICA_COPY, timestamp=0.0)
+        accountant.record(a, b, MessageKind.ROUTING_UPDATE, timestamp=0.0)
+        snapshot = accountant.snapshot()
+        assert snapshot.application_by_level["top"] == 10
+        assert snapshot.system_by_level["top"] == 11
+
+    def test_time_series_buckets(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology, bucket_width=3600.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=100.0)
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=4000.0)
+        app, _sys = accountant.top_switch_series()
+        assert app[0] == 10
+        assert app[1] == 10
+
+    def test_local_message_crosses_nothing(self, flat_topology):
+        accountant = TrafficAccountant(flat_topology)
+        machine = flat_topology.servers[0].index
+        crossed = accountant.record(machine, machine, MessageKind.READ_REQUEST, timestamp=0.0)
+        assert crossed == 0
+        assert accountant.top_switch_traffic() == 0
+
+    def test_explicit_size_overrides_default(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        rack = tree_topology.rack_switches[0]
+        servers = tree_topology.servers_in_rack(rack)
+        accountant.record(servers[0], servers[1], MessageKind.READ_REQUEST, timestamp=0.0, size=3)
+        assert accountant.level_traffic("rack") == 3
+
+    def test_measure_from_skips_warmup(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology, measure_from=1000.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=10.0)
+        assert accountant.top_switch_traffic() == 0
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=2000.0)
+        assert accountant.top_switch_traffic() == 10
+
+    def test_reset_clears_everything(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=0.0)
+        accountant.reset()
+        assert accountant.top_switch_traffic() == 0
+        assert accountant.message_count == 0
+
+    def test_level_average_traffic(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=0.0)
+        spec = tree_topology.spec
+        assert accountant.level_average_traffic("top") == 10
+        assert accountant.level_average_traffic("intermediate") == pytest.approx(
+            20 / spec.intermediate_switches
+        )
+
+    def test_rejects_bad_bucket_width(self, tree_topology: TreeTopology):
+        with pytest.raises(SimulationError):
+            TrafficAccountant(tree_topology, bucket_width=0.0)
+
+    def test_rejects_negative_measure_from(self, tree_topology: TreeTopology):
+        with pytest.raises(SimulationError):
+            TrafficAccountant(tree_topology, measure_from=-5.0)
+
+    def test_snapshot_counts_messages(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=0.0)
+        accountant.record(a, b, MessageKind.READ_RESPONSE, timestamp=0.0)
+        assert accountant.snapshot().messages == 2
