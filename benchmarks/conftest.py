@@ -38,6 +38,22 @@ def quick_profile() -> ExperimentProfile:
     )
 
 
+@pytest.fixture(scope="session")
+def scenario_profile() -> ExperimentProfile:
+    """Short profile for the fault-path benchmarks (scenario subsystem).
+
+    Crash recovery and churn add strategy-side evacuation work on top of
+    the replay, so the fault benchmarks run on a slightly smaller graph
+    than the plain ``ci`` profile to keep the suite fast.
+    """
+    ci = ExperimentProfile.ci()
+    return dataclasses.replace(
+        ci,
+        users={"twitter": 400, "facebook": 500, "livejournal": 600},
+        synthetic_days=0.75,
+    )
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run an experiment exactly once under pytest-benchmark timing."""

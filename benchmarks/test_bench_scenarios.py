@@ -1,0 +1,34 @@
+"""Smoke benchmark of the fault path: crash-and-recover comparison.
+
+Tracks the cost of running the figure-7 scenario (server crashes with
+WAL-driven recovery, rejoin, re-convergence) from this PR onward, so a
+regression in the evacuation/recovery hot path shows up in the benchmark
+history.  Like the other benchmarks it asserts the *shape* of the result:
+everyone fully recovers, and DynaSoRe beats the Random baseline on traffic
+even while paying for recovery.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure7 import run_figure7
+
+
+def test_bench_figure7_crash_recover(run_once, scenario_profile):
+    result = run_once(
+        run_figure7,
+        scenario_profile,
+        dataset="facebook",
+        extra_memory_pct=50.0,
+        crashes=2,
+    )
+    assert set(result.outcomes) == {"random", "spar", "dynasore_hmetis"}
+    for label, outcome in result.outcomes.items():
+        assert outcome.fully_recovered, f"{label} failed to recover"
+    # The Random baseline keeps one replica per view: every crashed view
+    # goes through the persistent store.
+    assert result.outcomes["random"].memory_recovery_fraction == 0.0
+    # DynaSoRe's replication keeps it cheaper than Random despite the
+    # recovery traffic, and lets part of the crash recover from memory.
+    dynasore = result.outcomes["dynasore_hmetis"]
+    assert dynasore.normalised_traffic < 1.0
+    assert dynasore.views_recovered_from_memory > 0

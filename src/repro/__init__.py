@@ -35,7 +35,16 @@ from .baselines import (
     SparPlacement,
 )
 from .core import DynaSoRe, DynaSoReStore
-from .simulator import ClusterSimulator, SimulationResult, run_comparison, run_simulation
+from .scenarios import (
+    CompositeScenario,
+    CrashRecoverScenario,
+    DiurnalLoadScenario,
+    NodeChurnScenario,
+    RackOutageScenario,
+    RegionalFlashCrowdScenario,
+    Scenario,
+)
+from .simulator import ClusterSimulator, FaultRecord, SimulationResult, run_comparison, run_simulation
 from .socialgraph import SocialGraph, facebook_like, livejournal_like, twitter_like
 from .store import MemoryBudget
 from .topology import FlatTopology, TreeTopology
@@ -52,12 +61,20 @@ __version__ = "1.0.0"
 __all__ = [
     "ClusterSimulator",
     "ClusterSpec",
+    "CompositeScenario",
+    "CrashRecoverScenario",
+    "DiurnalLoadScenario",
     "DynaSoRe",
     "DynaSoReConfig",
     "DynaSoReStore",
     "ExperimentProfile",
+    "FaultRecord",
     "FlatClusterSpec",
     "FlatTopology",
+    "NodeChurnScenario",
+    "RackOutageScenario",
+    "RegionalFlashCrowdScenario",
+    "Scenario",
     "HierarchicalMetisPlacement",
     "MemoryBudget",
     "MetisPlacement",

@@ -15,6 +15,7 @@ import random
 from abc import ABC, abstractmethod
 
 from ..exceptions import SimulationError
+from ..persistence.recovery import RecoveryPlan
 from ..socialgraph.graph import SocialGraph
 from ..store.memory import MemoryBudget
 from ..topology.base import ClusterTopology
@@ -86,6 +87,53 @@ class PlacementStrategy(ABC):
     def on_edge_removed(self, follower: int, followee: int, now: float) -> None:
         """The social graph lost an edge (already applied to ``self.graph``)."""
 
+    # ------------------------------------------------------------------ faults
+    def on_server_down(
+        self, position: int, now: float, graceful: bool = False
+    ) -> RecoveryPlan:
+        """A storage server left the cluster; evacuate and re-place its views.
+
+        ``graceful=False`` models a crash: the server's memory is gone, and
+        views without a surviving replica must be re-fetched from the
+        persistent store (the returned plan's ``recoverable_from_disk``).
+        ``graceful=True`` models a planned drain: views are copied out over
+        the network before shutdown, so nothing touches the disk.
+
+        Strategies that cannot survive failures keep this default, which
+        refuses the event with a clear error.
+        """
+        raise SimulationError(
+            f"strategy {self.name!r} does not support server failures"
+        )
+
+    def on_server_up(self, position: int, now: float) -> None:
+        """A previously departed server rejoined (with empty memory)."""
+        raise SimulationError(
+            f"strategy {self.name!r} does not support server recovery"
+        )
+
+    def _begin_server_down(
+        self, position: int, down_positions: set[int], servers: int
+    ) -> None:
+        """Shared guard of every ``on_server_down``: validate and register.
+
+        At least one server must stay in service — the cluster can shrink,
+        never vanish.
+        """
+        if not 0 <= position < servers:
+            raise SimulationError(f"invalid server position {position}")
+        if position in down_positions:
+            raise SimulationError(f"server position {position} is already down")
+        if len(down_positions) + 1 >= servers:
+            raise SimulationError("cannot take down the last available server")
+        down_positions.add(position)
+
+    def _begin_server_up(self, position: int, down_positions: set[int]) -> None:
+        """Shared guard of every ``on_server_up``: validate and deregister."""
+        if position not in down_positions:
+            raise SimulationError(f"server position {position} is not down")
+        down_positions.discard(position)
+
     # ------------------------------------------------------------ introspection
     @abstractmethod
     def replica_locations(self) -> dict[int, set[int]]:
@@ -133,6 +181,8 @@ class StaticPlacementStrategy(PlacementStrategy):
         super().__init__()
         #: user -> storage-server position (0 .. num_servers - 1)
         self._assignment: dict[int, int] = {}
+        #: server positions currently out of service
+        self._down_positions: set[int] = set()
 
     # ----------------------------------------------------------- assignment
     @abstractmethod
@@ -163,10 +213,62 @@ class StaticPlacementStrategy(PlacementStrategy):
 
     def _least_loaded_position(self) -> int:
         assert self.topology is not None
-        loads: dict[int, int] = {i: 0 for i in range(len(self.topology.servers))}
+        loads: dict[int, int] = {
+            i: 0
+            for i in range(len(self.topology.servers))
+            if i not in self._down_positions
+        }
         for position in self._assignment.values():
-            loads[position] = loads.get(position, 0) + 1
+            if position in loads:
+                loads[position] += 1
+        if not loads:
+            raise SimulationError("no storage server is available")
         return min(loads, key=lambda p: (loads[p], p))
+
+    # ---------------------------------------------------------------- faults
+    def on_server_down(
+        self, position: int, now: float, graceful: bool = False
+    ) -> RecoveryPlan:
+        """Re-place every view of the departed server on the survivors.
+
+        Static strategies keep a single replica per view, so a crash always
+        goes through the persistent store (slow path): the new host's rack
+        broker fetches each lost view with a :data:`REPLICA_COPY` message.
+        A graceful drain copies views directly from the leaving server.
+        """
+        self.require_bound()
+        assert self.topology is not None and self.accountant is not None
+        servers = len(self.topology.servers)
+        self._begin_server_down(position, self._down_positions, servers)
+
+        plan = RecoveryPlan(crashed_server=position)
+        loads: dict[int, int] = {
+            i: 0 for i in range(servers) if i not in self._down_positions
+        }
+        for assigned in self._assignment.values():
+            if assigned in loads:
+                loads[assigned] += 1
+        source_device = self.server_device(position)
+        for user, assigned in self._assignment.items():
+            if assigned != position:
+                continue
+            target = min(loads, key=lambda p: (loads[p], p))
+            loads[target] += 1
+            self._assignment[user] = target
+            target_device = self.server_device(target)
+            if graceful:
+                plan.recoverable_from_memory.append(user)
+                source = source_device
+            else:
+                plan.recoverable_from_disk.append(user)
+                source = self.topology.proxy_broker_for_server(target_device)
+            self.accountant.record(
+                source, target_device, MessageKind.REPLICA_COPY, now
+            )
+        return plan
+
+    def on_server_up(self, position: int, now: float) -> None:
+        self._begin_server_up(position, self._down_positions)
 
     # -------------------------------------------------------------- proxies
     def proxy_broker(self, user: int) -> int:

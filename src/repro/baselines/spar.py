@@ -26,6 +26,7 @@ every replica of the written view.
 from __future__ import annotations
 
 from ..exceptions import SimulationError
+from ..persistence.recovery import RecoveryPlan
 from ..traffic.messages import MessageKind
 from .base import PlacementStrategy
 
@@ -46,6 +47,8 @@ class SparPlacement(PlacementStrategy):
         self._load: list[int] = []
         #: server position -> capacity in views
         self._capacity: list[int] = []
+        #: server positions currently out of service
+        self._down_positions: set[int] = set()
 
     # ------------------------------------------------------------- placement
     def build_initial_placement(self) -> None:
@@ -72,7 +75,10 @@ class SparPlacement(PlacementStrategy):
 
     def _place_master(self, user: int) -> int:
         """Create the master replica of a user on the least-loaded server."""
-        position = min(range(len(self._load)), key=lambda p: (self._load[p], p))
+        position = min(
+            (p for p in range(len(self._load)) if p not in self._down_positions),
+            key=lambda p: (self._load[p], p),
+        )
         self._master[user] = position
         self._replicas[user] = {position}
         self._load[position] += 1
@@ -89,6 +95,8 @@ class SparPlacement(PlacementStrategy):
         if followee not in self._master:
             self._place_master(followee)
         target = self._master[follower]
+        if target in self._down_positions:
+            return False
         if target in self._replicas[followee]:
             return False
         if self._load[target] >= self._capacity[target]:
@@ -143,6 +151,61 @@ class SparPlacement(PlacementStrategy):
     def on_edge_added(self, follower: int, followee: int, now: float) -> None:
         """SPAR reacts to the social graph: try to co-locate the new pair."""
         self._co_locate(follower, followee)
+
+    # ---------------------------------------------------------------- faults
+    def on_server_down(
+        self, position: int, now: float, graceful: bool = False
+    ) -> RecoveryPlan:
+        """Evacuate a departed server.
+
+        Masters with a surviving secondary replica are promoted in place
+        (fast path, the data is already in memory); masters without one are
+        re-created on the least-loaded survivor — from the persistent store
+        after a crash, by direct copy on a graceful drain.  Secondary
+        (co-location) replicas lost with the server are simply dropped;
+        SPAR re-creates them lazily as the edge stream evolves.
+        """
+        self.require_bound()
+        assert self.topology is not None and self.accountant is not None
+        servers = len(self.topology.servers)
+        self._begin_server_down(position, self._down_positions, servers)
+
+        plan = RecoveryPlan(crashed_server=position)
+        source_device = self.server_device(position)
+        for user, positions in self._replicas.items():
+            if position not in positions:
+                continue
+            positions.discard(position)
+            if self._master.get(user) != position:
+                continue  # a lost secondary replica; the master survives
+            if positions:
+                # Promote the closest surviving replica to master.
+                self._master[user] = min(positions)
+                plan.recoverable_from_memory.append(user)
+                continue
+            target = min(
+                (p for p in range(servers) if p not in self._down_positions),
+                key=lambda p: (self._load[p], p),
+            )
+            positions.add(target)
+            self._master[user] = target
+            self._load[target] += 1
+            target_device = self.server_device(target)
+            if graceful:
+                plan.recoverable_from_memory.append(user)
+                source = source_device
+            else:
+                plan.recoverable_from_disk.append(user)
+                source = self.topology.proxy_broker_for_server(target_device)
+            self.accountant.record(
+                source, target_device, MessageKind.REPLICA_COPY, now
+            )
+        self._load[position] = 0
+        return plan
+
+    def on_server_up(self, position: int, now: float) -> None:
+        """The server rejoins empty; co-location refills it as edges arrive."""
+        self._begin_server_up(position, self._down_positions)
 
     # ----------------------------------------------------------- introspection
     def replica_locations(self) -> dict[int, set[int]]:

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run figure3c --profile ci
     python -m repro run all --profile laptop
+    python -m repro figure7            # shorthand for "run figure7"
 
 Every experiment prints the paper-style rows/series to stdout; use shell
 redirection to capture them.
@@ -43,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``dynasore-repro`` command."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``python -m repro figure7`` is shorthand for ``python -m repro run figure7``.
+    if argv and (argv[0] in EXPERIMENTS or argv[0] == "all"):
+        argv = ["run", *argv]
     parser = build_parser()
     args = parser.parse_args(argv)
 

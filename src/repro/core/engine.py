@@ -28,6 +28,7 @@ from ..baselines.metis_placement import metis_assignment
 from ..baselines.random_placement import random_assignment
 from ..config import DynaSoReConfig
 from ..exceptions import ConfigurationError, SimulationError
+from ..persistence.recovery import RecoveryPlan
 from ..socialgraph.graph import SocialGraph
 from ..store.server import StorageServer
 from ..store.view import INFINITE_UTILITY, ViewReplica
@@ -60,6 +61,9 @@ class EngineCounters:
     read_proxy_migrations: int = 0
     write_proxy_migrations: int = 0
     creation_rejected_full: int = 0
+    servers_lost: int = 0
+    views_recovered_from_memory: int = 0
+    views_recovered_from_disk: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view used by reports and tests."""
@@ -70,6 +74,9 @@ class EngineCounters:
             "read_proxy_migrations": self.read_proxy_migrations,
             "write_proxy_migrations": self.write_proxy_migrations,
             "creation_rejected_full": self.creation_rejected_full,
+            "servers_lost": self.servers_lost,
+            "views_recovered_from_memory": self.views_recovered_from_memory,
+            "views_recovered_from_disk": self.views_recovered_from_disk,
         }
 
 
@@ -142,6 +149,10 @@ class DynaSoRe(PlacementStrategy):
         self._positions_under_switch: dict[int, tuple[int, ...]] = {}
         self._threshold_cache: dict[int, float] = {}
         self._last_tick: float = 0.0
+        #: storage-server positions currently out of service
+        self._down_positions: set[int] = set()
+        #: nominal capacity of each position (restored when a server rejoins)
+        self._position_capacity: list[int] = []
         self.counters = EngineCounters()
 
     # =====================================================================
@@ -155,16 +166,11 @@ class DynaSoRe(PlacementStrategy):
             raise SimulationError("memory budget does not match the number of servers")
 
         self.servers = [
-            StorageServer(
-                server_index=position,
-                capacity=capacity,
-                counter_slots=self.config.counter_slots,
-                counter_period=self.config.counter_period,
-                admission_fill=self.config.admission_fill,
-                eviction_threshold=self.config.eviction_threshold,
-            )
+            self._fresh_server(position, capacity)
             for position, capacity in enumerate(capacities)
         ]
+        self._position_capacity = list(capacities)
+        self._down_positions = set()
         self._device_of_position = [server.index for server in self.topology.servers]
         self._position_of_device = {
             device: position for position, device in enumerate(self._device_of_position)
@@ -182,6 +188,17 @@ class DynaSoRe(PlacementStrategy):
             self.servers[position].add_replica(user, write_proxy_broker=broker)
             self._replica_positions[user] = {position}
             self.proxies.place_both(user, broker)
+
+    def _fresh_server(self, position: int, capacity: int) -> StorageServer:
+        """An empty storage server configured like the rest of the fleet."""
+        return StorageServer(
+            server_index=position,
+            capacity=capacity,
+            counter_slots=self.config.counter_slots,
+            counter_period=self.config.counter_period,
+            admission_fill=self.config.admission_fill,
+            eviction_threshold=self.config.eviction_threshold,
+        )
 
     def _build_switch_index(self) -> None:
         """Pre-compute the storage-server positions under every switch."""
@@ -223,7 +240,7 @@ class DynaSoRe(PlacementStrategy):
         best_key: tuple[float, int] | None = None
         holders = self._replica_positions.get(user, set())
         for position in self.positions_under(origin):
-            if position in holders:
+            if position in holders or position in self._down_positions:
                 continue
             server = self.servers[position]
             if server.capacity == 0 or server.is_full():
@@ -256,6 +273,10 @@ class DynaSoRe(PlacementStrategy):
         """Leaf device index of a storage-server position."""
         return self._device_of_position[position]
 
+    def position_available(self, position: int) -> bool:
+        """True when the storage server at ``position`` is in service."""
+        return position not in self._down_positions
+
     # =====================================================================
     # Request execution
     # =====================================================================
@@ -270,7 +291,7 @@ class DynaSoRe(PlacementStrategy):
             return
         assert self.topology is not None
         position = min(
-            range(len(self.servers)),
+            (p for p in range(len(self.servers)) if p not in self._down_positions),
             key=lambda p: (self.servers[p].utilisation, p),
         )
         device = self._device_of_position[position]
@@ -380,6 +401,7 @@ class DynaSoRe(PlacementStrategy):
             self.least_loaded_server_under,
             self.admission_threshold_under,
             self.device_of_position,
+            position_available=self.position_available,
         )
         if decision.should_replicate and decision.target_position is not None:
             self._create_replica(
@@ -402,6 +424,7 @@ class DynaSoRe(PlacementStrategy):
             self.least_loaded_server_under,
             self.admission_threshold_under,
             self.device_of_position,
+            position_available=self.position_available,
         )
         if decision.action is MigrationAction.REMOVE:
             self._remove_replica(replica.user, position, now)
@@ -621,6 +644,111 @@ class DynaSoRe(PlacementStrategy):
 
     def on_edge_removed(self, follower: int, followee: int, now: float) -> None:
         """Removed connection: nothing to do, statistics decay naturally."""
+
+    # =====================================================================
+    # Server failures and elastic capacity
+    # =====================================================================
+    def on_server_down(
+        self, position: int, now: float, graceful: bool = False
+    ) -> RecoveryPlan:
+        """Evacuate a departed server and re-place what it held.
+
+        Views replicated elsewhere only need routing updates (the surviving
+        replicas keep serving — the paper's fast recovery path).  Views
+        whose sole replica lived here are re-created on the least-loaded
+        survivor: after a crash the data comes from the persistent store
+        through the view's write proxy, on a graceful drain it is copied
+        directly from the leaving server (and keeps its access statistics).
+        """
+        self.require_bound()
+        assert self.accountant is not None and self.topology is not None
+        if self.routing is None or not self.servers:
+            raise SimulationError("the placement has not been deployed yet")
+        self._begin_server_down(position, self._down_positions, len(self.servers))
+        self.counters.servers_lost += 1
+
+        crashed = self.servers[position]
+        device = self._device_of_position[position]
+        plan = RecoveryPlan(crashed_server=position)
+        for replica in crashed.replicas():
+            user = replica.user
+            positions = self._replica_positions[user]
+            before_devices = {self._device_of_position[p] for p in positions}
+            positions.discard(position)
+            if positions:
+                # Fast path: other replicas keep serving; reroute brokers.
+                plan.recoverable_from_memory.append(user)
+                self.counters.views_recovered_from_memory += 1
+                after_devices = {self._device_of_position[p] for p in positions}
+                self._notify_routing_change(user, before_devices, after_devices, now)
+                self._refresh_next_closest(user)
+                continue
+            # Slow path: the sole replica is gone; rebuild it elsewhere.
+            target = self._recovery_target()
+            target_device = self._device_of_position[target]
+            write_broker = self.proxies.write_broker(user)
+            if graceful:
+                plan.recoverable_from_memory.append(user)
+                self.counters.views_recovered_from_memory += 1
+                source = device
+                stats = replica.stats
+            else:
+                plan.recoverable_from_disk.append(user)
+                self.counters.views_recovered_from_disk += 1
+                # The write proxy pulls the view out of the persistent
+                # store and ships it to the new host; the crash wiped the
+                # access statistics along with the memory.
+                source = (
+                    write_broker
+                    if write_broker is not None
+                    else self.topology.proxy_broker_for_server(target_device)
+                )
+                stats = None
+            self.accountant.record(source, target_device, MessageKind.REPLICA_COPY, now)
+            self.servers[target].add_replica(
+                user,
+                write_proxy_broker=replica.write_proxy_broker,
+                stats=stats,
+                allow_overflow=True,
+            )
+            positions.add(target)
+            self._notify_routing_change(user, before_devices, {target_device}, now)
+            self._refresh_next_closest(user)
+
+        # The departed slot keeps zero capacity (and an infinite admission
+        # threshold) while it is away so no decision ever lands on it.
+        placeholder = self._fresh_server(position, 0)
+        placeholder.update_admission_threshold()
+        self.servers[position] = placeholder
+        self._threshold_cache.clear()
+        return plan
+
+    def on_server_up(self, position: int, now: float) -> None:
+        """A server rejoins with empty memory and its nominal capacity.
+
+        Nothing is placed on it eagerly: its zero admission threshold makes
+        it the most attractive target, so Algorithms 2 and 3 rebalance views
+        onto it as traffic flows.
+        """
+        self._begin_server_up(position, self._down_positions)
+        self.servers[position] = self._fresh_server(
+            position, self._position_capacity[position]
+        )
+        self._threshold_cache.clear()
+
+    def _recovery_target(self) -> int:
+        """Least-loaded in-service server, preferring ones with free slots.
+
+        Recovery must always succeed, so when every survivor is full the
+        least-utilised one takes the view anyway (``allow_overflow``); the
+        next maintenance tick's eviction pass works the overshoot off.
+        """
+        candidates = [
+            p for p in range(len(self.servers)) if p not in self._down_positions
+        ]
+        with_space = [p for p in candidates if not self.servers[p].is_full()]
+        pool = with_space or candidates
+        return min(pool, key=lambda p: (self.servers[p].utilisation, p))
 
     # =====================================================================
     # Introspection

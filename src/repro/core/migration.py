@@ -45,12 +45,16 @@ def evaluate_replica_migration(
     least_loaded_server_under,
     admission_threshold_under,
     device_of_position,
+    position_available=None,
 ) -> MigrationDecision:
     """Run Algorithm 3 for one replica.
 
     ``next_closest_device`` is the location of the next-closest replica of
     the same view (None when this is the sole replica, in which case the
     replica is compared against itself and can never be removed).
+    ``position_available`` optionally filters candidate targets (the
+    engine's server up/down mask), so a migration never lands on a server
+    that left the cluster.
     """
     sole_replica = next_closest_device is None
     reference = replica_device if sole_replica else next_closest_device
@@ -64,6 +68,8 @@ def evaluate_replica_migration(
     for origin, _reads in replica.stats.reads_by_origin().items():
         candidate_position = least_loaded_server_under(origin, replica.user)
         if candidate_position is None:
+            continue
+        if position_available is not None and not position_available(candidate_position):
             continue
         candidate_device = device_of_position(candidate_position)
         if candidate_device == replica_device:

@@ -39,6 +39,7 @@ def evaluate_replica_creation(
     least_loaded_server_under,
     admission_threshold_under,
     device_of_position,
+    position_available=None,
 ) -> ReplicationDecision:
     """Run Algorithm 2 for one replica.
 
@@ -64,12 +65,19 @@ def evaluate_replica_creation(
         broker learns through piggybacking).
     device_of_position:
         Callable ``(position) -> leaf device index``.
+    position_available:
+        Optional callable ``(position) -> bool``; candidates for which it
+        returns False are skipped.  The engine passes its server up/down
+        mask here so replicas are never created on a crashed or drained
+        server, even if a caller's candidate source lags behind a fault.
     """
     best_profit = 0.0
     best_position: int | None = None
     for origin, _reads in replica.stats.reads_by_origin().items():
         candidate_position = least_loaded_server_under(origin, replica.user)
         if candidate_position is None:
+            continue
+        if position_available is not None and not position_available(candidate_position):
             continue
         candidate_device = device_of_position(candidate_position)
         if candidate_device == replica_device:

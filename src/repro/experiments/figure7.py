@@ -1,0 +1,166 @@
+"""Figure 7 — crash-and-recover comparison (extension beyond the paper).
+
+The paper evaluates DynaSoRe only under benign dynamics (flash crowds, edge
+churn).  This experiment injects infrastructure faults: partway through a
+synthetic day, several storage servers crash; later they rejoin empty.
+Every strategy replays the *same* workload under the *same* fault stream
+(scenario randomness derives from the profile seed), and we compare
+
+* top-switch traffic, normalised against the Random baseline, as in the
+  rest of the evaluation — recovery copies and re-convergence system
+  traffic are part of the bill;
+* how each strategy recovered the crashed servers' views: from surviving
+  in-memory replicas (fast path) vs. from the WAL-backed persistent store
+  (slow path).  DynaSoRe's adaptive replication keeps popular views
+  replicated, so a large fraction recovers from memory; single-replica
+  baselines always pay the slow path;
+* availability: after the run every view must have at least one replica
+  (``unavailable_views == 0``) and memory must be back within budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ExperimentProfile
+from ..constants import DAY
+from ..scenarios.faults import CrashRecoverScenario
+from ..simulator.results import FaultRecord, SimulationResult
+from ..simulator.runner import normalise_results, run_comparison
+from .common import (
+    graph_factory,
+    simulation_config,
+    strategy_factories,
+    synthetic_log,
+    tree_topology_factory,
+)
+
+#: Strategies compared under faults (the paper's main contenders).
+FIGURE7_STRATEGIES = ("random", "spar", "dynasore_hmetis")
+
+
+@dataclass
+class StrategyFaultOutcome:
+    """Traffic and recovery behaviour of one strategy under the fault stream."""
+
+    top_switch_traffic: float
+    normalised_traffic: float
+    views_recovered_from_memory: int
+    views_recovered_from_disk: int
+    unavailable_views: int
+    memory_in_use: int
+    memory_capacity: int
+    fault_records: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def memory_recovery_fraction(self) -> float:
+        """Fraction of crashed views recovered without touching the disk."""
+        total = self.views_recovered_from_memory + self.views_recovered_from_disk
+        if total == 0:
+            return 1.0
+        return self.views_recovered_from_memory / total
+
+    @property
+    def fully_recovered(self) -> bool:
+        """True when no view was lost and memory is back within budget."""
+        return (
+            self.unavailable_views == 0
+            and self.memory_in_use <= self.memory_capacity
+        )
+
+
+@dataclass
+class CrashRecoveryComparison:
+    """Result of the crash-and-recover experiment."""
+
+    dataset: str
+    extra_memory_pct: float
+    crashes: int
+    crash_time: float
+    recover_time: float
+    outcomes: dict[str, StrategyFaultOutcome] = field(default_factory=dict)
+
+
+def _outcome(
+    result: SimulationResult, normalised: float, capacity: int
+) -> StrategyFaultOutcome:
+    return StrategyFaultOutcome(
+        top_switch_traffic=result.top_switch_traffic,
+        normalised_traffic=normalised,
+        views_recovered_from_memory=sum(
+            r.views_from_memory for r in result.fault_records
+        ),
+        views_recovered_from_disk=sum(
+            r.views_from_disk for r in result.fault_records
+        ),
+        unavailable_views=result.unavailable_views,
+        memory_in_use=result.memory_in_use,
+        memory_capacity=capacity,
+        fault_records=list(result.fault_records),
+    )
+
+
+def run_figure7(
+    profile: ExperimentProfile,
+    dataset: str = "facebook",
+    extra_memory_pct: float = 50.0,
+    crashes: int = 2,
+    strategies: tuple[str, ...] | None = None,
+) -> CrashRecoveryComparison:
+    """Run the crash-and-recover comparison at the profile's scale.
+
+    ``crashes`` servers fail 35% into the trace and rejoin at 70%; the
+    crashed positions are drawn deterministically from the profile seed, so
+    every strategy faces the identical fault stream.
+    """
+    if strategies is None:
+        strategies = FIGURE7_STRATEGIES
+    graphs = graph_factory(profile, dataset)
+    base_graph = graphs()
+    log = synthetic_log(profile, base_graph)
+    duration = profile.synthetic_days * DAY
+    crash_time = duration * 0.35
+    recover_time = duration * 0.70
+    scenario = CrashRecoverScenario(
+        crash_time=crash_time, recover_time=recover_time, count=crashes
+    )
+
+    config = simulation_config(profile, extra_memory_pct)
+    runs = run_comparison(
+        tree_topology_factory(profile),
+        graphs,
+        strategy_factories(profile, include=strategies),
+        log,
+        config,
+        scenario=scenario,
+    )
+    normalised = normalise_results(runs)
+    # Memory budget of the runs (rebuilt here; every run shares it because
+    # graph size and extra memory are identical across strategies).
+    from ..store.memory import MemoryBudget
+
+    topology = tree_topology_factory(profile)()
+    capacity = MemoryBudget(
+        views=base_graph.num_users,
+        extra_memory_pct=extra_memory_pct,
+        servers=len(topology.servers),
+    ).total_capacity
+
+    comparison = CrashRecoveryComparison(
+        dataset=dataset,
+        extra_memory_pct=extra_memory_pct,
+        crashes=crashes,
+        crash_time=crash_time,
+        recover_time=recover_time,
+    )
+    for label, result in runs.items():
+        comparison.outcomes[label] = _outcome(result, normalised[label], capacity)
+    return comparison
+
+
+__all__ = [
+    "FIGURE7_STRATEGIES",
+    "CrashRecoveryComparison",
+    "StrategyFaultOutcome",
+    "run_figure7",
+]

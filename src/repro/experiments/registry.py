@@ -18,6 +18,7 @@ from .figure3 import run_figure3a, run_figure3b, run_figure3c, run_figure3d
 from .figure4 import run_figure4
 from .figure5 import run_figure5
 from .figure6 import run_figure6a, run_figure6b
+from .figure7 import run_figure7
 from .tables import run_table2, run_table3
 
 
@@ -90,6 +91,12 @@ EXPERIMENTS: dict[str, Experiment] = {
     ),
     "figure6b": Experiment(
         "figure6b", "Convergence with real requests", run_figure6b, report.render_figure6
+    ),
+    "figure7": Experiment(
+        "figure7",
+        "Crash & recovery: traffic and availability under server failures",
+        run_figure7,
+        report.render_figure7,
     ),
 }
 

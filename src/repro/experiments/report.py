@@ -13,6 +13,7 @@ from .figure3 import MemorySweepResult
 from .figure4 import TrafficOverTime
 from .figure5 import FlashEventOutcome
 from .figure6 import ConvergenceResult
+from .figure7 import CrashRecoveryComparison
 from .tables import LEVELS, SwitchTrafficTable
 
 
@@ -146,12 +147,48 @@ def render_figure6(result: ConvergenceResult) -> str:
     return "\n".join(lines)
 
 
+def render_figure7(result: CrashRecoveryComparison) -> str:
+    """Render the crash-and-recover comparison."""
+    from ..constants import HOUR
+
+    lines = [
+        f"Figure 7 - crash and recovery ({result.dataset}, "
+        f"{result.extra_memory_pct:.0f}% extra memory, {result.crashes} server(s) "
+        f"crash at {result.crash_time / HOUR:.1f}h, recover at "
+        f"{result.recover_time / HOUR:.1f}h; traffic normalised by Random)"
+    ]
+    widths = [18, 10, 12, 12, 10, 10]
+    lines.append(
+        _format_row(
+            ["strategy", "traffic", "mem-recov", "disk-recov", "mem-frac", "recovered"],
+            widths,
+        )
+    )
+    for label in sorted(result.outcomes):
+        outcome = result.outcomes[label]
+        lines.append(
+            _format_row(
+                [
+                    label,
+                    f"{outcome.normalised_traffic:.3f}",
+                    str(outcome.views_recovered_from_memory),
+                    str(outcome.views_recovered_from_disk),
+                    f"{outcome.memory_recovery_fraction:.0%}",
+                    "yes" if outcome.fully_recovered else "NO",
+                ],
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
 __all__ = [
     "render_figure2",
     "render_figure3",
     "render_figure4",
     "render_figure5",
     "render_figure6",
+    "render_figure7",
     "render_switch_table",
     "render_table1",
 ]

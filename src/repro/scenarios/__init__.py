@@ -1,0 +1,51 @@
+"""Failure and churn scenarios for the cluster simulator.
+
+This package turns the simulator from a benign trace replayer into a fault
+harness: scenarios inject server crashes with WAL-driven recovery, rack
+outages, elastic node churn, diurnal load modulation and regional flash
+crowds into any :class:`~repro.simulator.engine.ClusterSimulator` run, for
+any placement strategy.
+
+The pieces:
+
+* :mod:`repro.scenarios.events` — the fault-event primitives applied by the
+  simulator (crash, recovery, graceful leave/join);
+* :mod:`repro.scenarios.base` — the :class:`Scenario` interface, the
+  deterministic :class:`ScenarioContext`, and scenario composition;
+* :mod:`repro.scenarios.faults` — crash/recover, rack-outage and
+  node-churn generators;
+* :mod:`repro.scenarios.load` — diurnal thinning and regional multi-target
+  flash crowds.
+
+Quick example::
+
+    from repro.scenarios import CrashRecoverScenario
+    simulator = ClusterSimulator(topology, graph, strategy, config,
+                                 scenario=CrashRecoverScenario(
+                                     crash_time=6 * HOUR,
+                                     recover_time=18 * HOUR,
+                                     count=2))
+    result = simulator.run(log)
+    assert result.unavailable_views == 0
+"""
+
+from .base import CompositeScenario, Scenario, ScenarioContext
+from .events import FaultEvent, NodeJoin, NodeLeave, ServerCrash, ServerRecovery
+from .faults import CrashRecoverScenario, NodeChurnScenario, RackOutageScenario
+from .load import DiurnalLoadScenario, RegionalFlashCrowdScenario
+
+__all__ = [
+    "CompositeScenario",
+    "CrashRecoverScenario",
+    "DiurnalLoadScenario",
+    "FaultEvent",
+    "NodeChurnScenario",
+    "NodeJoin",
+    "NodeLeave",
+    "RackOutageScenario",
+    "RegionalFlashCrowdScenario",
+    "Scenario",
+    "ScenarioContext",
+    "ServerCrash",
+    "ServerRecovery",
+]

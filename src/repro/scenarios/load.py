@@ -1,0 +1,140 @@
+"""Load-dynamics scenarios: diurnal modulation and regional flash crowds.
+
+Unlike the fault scenarios these do not inject infrastructure events — they
+reshape the *request log* before the run starts:
+
+* :class:`DiurnalLoadScenario` thins the request stream with a sinusoidal
+  day/night profile, so off-peak hours carry less traffic (social workloads
+  are strongly diurnal; adaptation must not thrash when load ebbs);
+* :class:`RegionalFlashCrowdScenario` injects several simultaneous flash
+  events whose new followers are drawn from one contiguous region of the
+  user space, concentrating the extra read load in a part of the cluster
+  (the paper's Figure 5 studies a single global flash event; the regional
+  multi-target variant is the harder case for replica placement).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import DAY
+from ..exceptions import SimulationError
+from ..workload.flash import FlashEventSpec, flash_event_log
+from ..workload.requests import ReadRequest, RequestLog, WriteRequest
+from .base import Scenario, ScenarioContext
+
+
+class DiurnalLoadScenario(Scenario):
+    """Sinusoidal day/night thinning of the request stream.
+
+    The keep-probability of a read/write at time ``t`` oscillates between
+    ``trough_fraction`` (deepest night) and 1.0 (peak), with period
+    ``period`` and a phase shift of ``phase`` seconds.  Graph mutations are
+    never dropped — the social network evolves regardless of load.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        trough_fraction: float = 0.4,
+        period: float = DAY,
+        phase: float = 0.0,
+    ) -> None:
+        if not 0.0 <= trough_fraction <= 1.0:
+            raise SimulationError("trough_fraction must lie in [0, 1]")
+        if period <= 0:
+            raise SimulationError("the diurnal period must be positive")
+        self.trough_fraction = trough_fraction
+        self.period = period
+        self.phase = phase
+
+    def keep_probability(self, timestamp: float) -> float:
+        """Probability that a request at ``timestamp`` survives thinning."""
+        wave = 0.5 * (1.0 - math.cos(2.0 * math.pi * (timestamp + self.phase) / self.period))
+        return self.trough_fraction + (1.0 - self.trough_fraction) * wave
+
+    def transform_log(self, log: RequestLog, context: ScenarioContext) -> RequestLog:
+        rng = context.rng(self.name)
+        thinned = RequestLog()
+        kept = []
+        for request in log:
+            if isinstance(request, (ReadRequest, WriteRequest)):
+                if rng.random() >= self.keep_probability(request.timestamp):
+                    continue
+            kept.append(request)
+        thinned.requests = kept
+        return thinned
+
+
+class RegionalFlashCrowdScenario(Scenario):
+    """Several simultaneous flash crowds from one region of the user space.
+
+    ``targets`` users each gain ``followers`` new followers at
+    ``start_time``; the followers unfollow at ``end_time`` and actively
+    read their feeds in between.  All followers of one event are drawn from
+    a contiguous window of the (community-ordered) user list, so the extra
+    read load originates from one neighbourhood of the social graph rather
+    than uniformly — the regional hot spot the adaptive placement must
+    absorb.
+    """
+
+    name = "regional-flash"
+
+    def __init__(
+        self,
+        start_time: float,
+        end_time: float,
+        targets: int = 3,
+        followers: int = 50,
+        reads_per_follower_per_day: float = 4.0,
+    ) -> None:
+        if end_time <= start_time:
+            raise SimulationError("the flash crowd must end after it starts")
+        if targets < 1 or followers < 1:
+            raise SimulationError("targets and followers must be positive")
+        self.start_time = start_time
+        self.end_time = end_time
+        self.targets = targets
+        self.followers = followers
+        self.reads_per_follower_per_day = reads_per_follower_per_day
+
+    def plan(self, context: ScenarioContext) -> list[FlashEventSpec]:
+        """The flash events this scenario will inject (deterministic)."""
+        rng = context.rng(f"{self.name}:{self.targets}")
+        users = context.graph.users
+        if len(users) < 2:
+            raise SimulationError("a flash crowd needs at least two users")
+        window = min(len(users), max(2 * self.followers, 20))
+        specs: list[FlashEventSpec] = []
+        for _ in range(self.targets):
+            target = users[rng.randrange(len(users))]
+            anchor = rng.randrange(len(users))
+            region = [users[(anchor + offset) % len(users)] for offset in range(window)]
+            existing = context.graph.followers(target)
+            candidates = [
+                user for user in region if user != target and user not in existing
+            ]
+            rng.shuffle(candidates)
+            chosen = tuple(candidates[: self.followers])
+            if not chosen:
+                continue
+            specs.append(
+                FlashEventSpec(
+                    target_user=target,
+                    new_followers=chosen,
+                    start_time=self.start_time,
+                    end_time=self.end_time,
+                )
+            )
+        return specs
+
+    def transform_log(self, log: RequestLog, context: ScenarioContext) -> RequestLog:
+        rng = context.rng(f"{self.name}:reads")
+        for spec in self.plan(context):
+            fragment = flash_event_log(spec, self.reads_per_follower_per_day, rng)
+            log = log.merged_with(fragment)
+        return log
+
+
+__all__ = ["DiurnalLoadScenario", "RegionalFlashCrowdScenario"]

@@ -2,11 +2,12 @@
 
 from .clock import SimulationClock
 from .engine import ClusterSimulator
-from .results import ReplicaTimeline, SimulationResult
+from .results import FaultRecord, ReplicaTimeline, SimulationResult
 from .runner import StrategyFactory, normalise_results, run_comparison, run_simulation
 
 __all__ = [
     "ClusterSimulator",
+    "FaultRecord",
     "ReplicaTimeline",
     "SimulationClock",
     "SimulationResult",

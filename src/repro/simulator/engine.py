@@ -5,21 +5,43 @@ a cluster topology.  It owns the traffic accountant (so every strategy is
 measured identically), applies social-graph mutations, fires the periodic
 maintenance ticks, and optionally samples the replica count of tracked views
 (the flash-event experiment).
+
+On top of the benign replay the simulator hosts the *scenario* layer
+(:mod:`repro.scenarios`): an attached scenario may reshape the request log
+(diurnal load, flash crowds) and inject infrastructure faults — server
+crashes, graceful drains, rejoins — which the simulator applies at their
+simulated timestamps, interleaved with maintenance ticks.  The simulator
+keeps the authoritative server up/down mask, drives the strategy's
+evacuation hooks, and wires crashes into the persistence layer: writes are
+mirrored into a :class:`~repro.persistence.backend.PersistentStore` as they
+execute, and views whose only replica died are re-fetched from that store
+in simulated time (WAL-driven recovery, paper sections 2.2 and 3.3).
+
+Instrumentation hooks (``add_pre_tick_hook`` / ``add_post_request_hook``)
+let tests and experiments observe a run without subclassing.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..config import SimulationConfig
 from ..constants import MINUTE
 from ..exceptions import SimulationError
 from ..baselines.base import PlacementStrategy
+from ..persistence.backend import PersistentStore
 from ..socialgraph.graph import SocialGraph
 from ..store.memory import MemoryBudget
 from ..topology.base import ClusterTopology
 from ..traffic.accounting import TrafficAccountant
-from ..workload.requests import EdgeAdded, EdgeRemoved, ReadRequest, RequestLog, WriteRequest
+from ..workload.requests import EdgeAdded, EdgeRemoved, ReadRequest, Request, RequestLog, WriteRequest
 from .clock import SimulationClock
-from .results import ReplicaTimeline, SimulationResult
+from .results import FaultRecord, ReplicaTimeline, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.base import Scenario
+    from ..scenarios.events import FaultEvent
 
 
 class ClusterSimulator:
@@ -31,11 +53,14 @@ class ClusterSimulator:
         graph: SocialGraph,
         strategy: PlacementStrategy,
         config: SimulationConfig | None = None,
+        scenario: "Scenario | None" = None,
+        persistent_store: PersistentStore | None = None,
     ) -> None:
         self.topology = topology
         self.graph = graph
         self.strategy = strategy
         self.config = config or SimulationConfig()
+        self.scenario = scenario
         self.accountant = TrafficAccountant(
             topology,
             bucket_width=self.config.bucket_width,
@@ -46,7 +71,16 @@ class ClusterSimulator:
             extra_memory_pct=self.config.extra_memory_pct,
             servers=len(topology.servers),
         )
+        self.persistent_store = persistent_store
         self._prepared = False
+        #: Per-position server availability mask (True = in service).
+        self.server_up: list[bool] = [True] * len(topology.servers)
+        #: Faults applied during the run, in order.
+        self.fault_records: list[FaultRecord] = []
+        self._fault_events: list["FaultEvent"] = []
+        self._next_fault = 0
+        self._pre_tick_hooks: list[Callable[[float], None]] = []
+        self._post_request_hooks: list[Callable[[Request], None]] = []
         #: Views whose replica count is sampled over time (flash events).
         self._tracked_views: dict[int, ReplicaTimeline] = {}
         #: Sampling period of tracked views (the paper samples every 10 min).
@@ -75,6 +109,80 @@ class ClusterSimulator:
         """Clear the traffic counters (e.g. after a warm-up phase)."""
         self.accountant.reset()
 
+    # ------------------------------------------------------------------ hooks
+    def add_pre_tick_hook(self, hook: Callable[[float], None]) -> None:
+        """Run ``hook(tick_time)`` before every maintenance tick."""
+        self._pre_tick_hooks.append(hook)
+
+    def add_post_request_hook(self, hook: Callable[[Request], None]) -> None:
+        """Run ``hook(request)`` after every executed request."""
+        self._post_request_hooks.append(hook)
+
+    # ----------------------------------------------------------------- faults
+    def available_server_positions(self) -> tuple[int, ...]:
+        """Positions of the storage servers currently in service."""
+        return tuple(p for p, up in enumerate(self.server_up) if up)
+
+    def crash_server(self, position: int, now: float, graceful: bool = False) -> FaultRecord:
+        """Take a storage server out of service and recover its views.
+
+        The strategy evacuates the server (views with surviving replicas
+        keep serving; sole replicas are re-placed).  After an abrupt crash
+        the re-placed views are additionally fetched from the persistent
+        store — the in-memory copy is gone, so the write-ahead log is the
+        only source of truth for them.
+        """
+        self._check_position(position)
+        if not self.server_up[position]:
+            raise SimulationError(f"server position {position} is already down")
+        if sum(self.server_up) <= 1:
+            raise SimulationError("cannot take down the last available server")
+        plan = self.strategy.on_server_down(position, now, graceful=graceful)
+        self.server_up[position] = False
+        if plan.recoverable_from_disk:
+            store = self._ensure_store()
+            for user in plan.recoverable_from_disk:
+                store.fetch_view(user)
+        record = FaultRecord(
+            timestamp=now,
+            kind="drain" if graceful else "crash",
+            position=position,
+            views_from_memory=len(plan.recoverable_from_memory),
+            views_from_disk=len(plan.recoverable_from_disk),
+        )
+        self.fault_records.append(record)
+        return record
+
+    def drain_server(self, position: int, now: float) -> FaultRecord:
+        """Gracefully remove a server: views are copied out, nothing is lost."""
+        return self.crash_server(position, now, graceful=True)
+
+    def restore_server(self, position: int, now: float) -> FaultRecord:
+        """Bring a previously departed server back (with empty memory)."""
+        self._check_position(position)
+        if self.server_up[position]:
+            raise SimulationError(f"server position {position} is not down")
+        self.strategy.on_server_up(position, now)
+        self.server_up[position] = True
+        record = FaultRecord(timestamp=now, kind="restore", position=position)
+        self.fault_records.append(record)
+        return record
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < len(self.server_up):
+            raise SimulationError(f"invalid server position {position}")
+
+    def _ensure_store(self) -> PersistentStore:
+        """The persistent store, created on first need.
+
+        A store created here starts empty: views recovered from it reflect
+        only the writes mirrored since the run began.  Pass a pre-seeded
+        store to the constructor to model older durable state.
+        """
+        if self.persistent_store is None:
+            self.persistent_store = PersistentStore()
+        return self.persistent_store
+
     # -------------------------------------------------------------------- run
     def run(self, log: RequestLog) -> SimulationResult:
         """Replay a request log and return the measured result.
@@ -82,15 +190,18 @@ class ClusterSimulator:
         The log must be sorted by timestamp.  Graph mutations are applied to
         the simulator's graph before the strategy is notified, and the
         strategy's periodic maintenance runs every ``tick_period`` of
-        simulated time.
+        simulated time.  An attached scenario first transforms the log, then
+        its fault events are applied at their timestamps, interleaved with
+        the requests and maintenance ticks.
         """
         self.prepare()
+        log = self._materialise_scenario(log)
         clock = SimulationClock(tick_period=self.config.tick_period)
         reads = writes = 0
 
         for request in log:
-            for tick_time in clock.advance_to(request.timestamp):
-                self.strategy.on_tick(tick_time)
+            self._apply_due_faults(clock, request.timestamp)
+            self._advance_ticks(clock, request.timestamp)
             self._sample_tracked(request.timestamp)
 
             if isinstance(request, ReadRequest):
@@ -100,6 +211,12 @@ class ClusterSimulator:
             elif isinstance(request, WriteRequest):
                 self.strategy.execute_write(request.user, request.timestamp)
                 writes += 1
+                if self.persistent_store is not None:
+                    # Durability path: the write reaches the WAL-backed
+                    # store before (in simulated time) the cache serves it.
+                    self.persistent_store.process_write(
+                        request.user, request.timestamp
+                    )
             elif isinstance(request, EdgeAdded):
                 self.graph.add_edge(request.follower, request.followee)
                 self.strategy.on_edge_added(request.follower, request.followee, request.timestamp)
@@ -110,9 +227,19 @@ class ClusterSimulator:
                 )
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown request type {type(request).__name__}")
+            for hook in self._post_request_hooks:
+                hook(request)
+
+        # Faults scheduled past the end of the log still happen (e.g. a
+        # recovery that closes a crash window after the last request).
+        final_time = log[len(log) - 1].timestamp if len(log) else 0.0
+        if self._next_fault < len(self._fault_events):
+            last_fault = self._fault_events[-1].timestamp
+            self._apply_due_faults(clock, last_fault)
+            final_time = max(final_time, last_fault)
 
         # Final maintenance tick and sample so end-of-run state is captured.
-        final_time = log[len(log) - 1].timestamp if len(log) else 0.0
+        self._fire_pre_tick(final_time)
         self.strategy.on_tick(final_time)
         self._sample_tracked(final_time, force=True)
 
@@ -132,7 +259,68 @@ class ClusterSimulator:
             replication_factor=replication_factor,
             memory_in_use=self.strategy.memory_in_use(),
             tracked_views=dict(self._tracked_views),
+            fault_records=list(self.fault_records),
+            unavailable_views=self._count_unavailable_views(),
         )
+
+    # -------------------------------------------------------------- scenario
+    def _materialise_scenario(self, log: RequestLog) -> RequestLog:
+        """Apply the scenario's log transform and stage its fault events."""
+        if self.scenario is None:
+            return log
+        from ..scenarios.base import ScenarioContext
+
+        context = ScenarioContext(
+            topology=self.topology, graph=self.graph, seed=self.config.seed
+        )
+        log = self.scenario.transform_log(log, context)
+        events = sorted(
+            self.scenario.fault_events(context), key=lambda event: event.timestamp
+        )
+        for event in events:
+            if event.timestamp < 0:
+                raise SimulationError("fault events cannot happen before time 0")
+        self._fault_events = events
+        self._next_fault = 0
+        # Abrupt crashes recover sole replicas from the WAL-backed store, so
+        # writes must be mirrored from t=0.  Pure load scenarios and
+        # graceful-only churn never touch the store — don't pay for one.
+        from ..scenarios.events import ServerCrash
+
+        if self.persistent_store is None and any(
+            isinstance(event, ServerCrash) for event in events
+        ):
+            self.persistent_store = PersistentStore()
+        return log
+
+    def _apply_due_faults(self, clock: SimulationClock, until: float) -> None:
+        """Apply every staged fault event with ``timestamp <= until``.
+
+        Maintenance ticks due before a fault fire first, so the ordering of
+        ticks, faults and requests follows simulated time exactly.
+        """
+        while (
+            self._next_fault < len(self._fault_events)
+            and self._fault_events[self._next_fault].timestamp <= until
+        ):
+            event = self._fault_events[self._next_fault]
+            self._next_fault += 1
+            self._advance_ticks(clock, event.timestamp)
+            event.apply(self)
+
+    def _advance_ticks(self, clock: SimulationClock, until: float) -> None:
+        for tick_time in clock.advance_to(until):
+            self._fire_pre_tick(tick_time)
+            self.strategy.on_tick(tick_time)
+
+    def _fire_pre_tick(self, tick_time: float) -> None:
+        for hook in self._pre_tick_hooks:
+            hook(tick_time)
+
+    def _count_unavailable_views(self) -> int:
+        """Users with no replica anywhere (must be 0 after full recovery)."""
+        locations = self.strategy.replica_locations()
+        return sum(1 for user in self.graph.users if not locations.get(user))
 
     # ------------------------------------------------------------- tracking
     def _count_tracked_read(self, reader: int) -> None:

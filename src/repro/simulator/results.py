@@ -13,6 +13,28 @@ from dataclasses import dataclass, field
 from ..traffic.accounting import TrafficSnapshot
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied infrastructure fault and what its recovery did.
+
+    ``kind`` is ``"crash"`` (abrupt failure), ``"drain"`` (graceful leave)
+    or ``"restore"`` (server back in service).  The view counts say how the
+    affected views were recovered: from surviving in-memory replicas (fast
+    path) or from the persistent store (slow path).
+    """
+
+    timestamp: float
+    kind: str
+    position: int
+    views_from_memory: int = 0
+    views_from_disk: int = 0
+
+    @property
+    def total_views(self) -> int:
+        """Number of views that had to be recovered for this event."""
+        return self.views_from_memory + self.views_from_disk
+
+
 @dataclass
 class ReplicaTimeline:
     """Replica count and per-replica read load of one tracked view over time."""
@@ -46,6 +68,11 @@ class SimulationResult:
     memory_in_use: int
     #: timelines of explicitly tracked views (flash-event experiment)
     tracked_views: dict[int, ReplicaTimeline] = field(default_factory=dict)
+    #: infrastructure faults applied during the run (scenario subsystem)
+    fault_records: list[FaultRecord] = field(default_factory=list)
+    #: number of users left without any replica at the end of the run
+    #: (0 means every injected fault was fully recovered)
+    unavailable_views: int = 0
 
     # ----------------------------------------------------------------- totals
     @property
@@ -103,4 +130,4 @@ class SimulationResult:
         }
 
 
-__all__ = ["ReplicaTimeline", "SimulationResult"]
+__all__ = ["FaultRecord", "ReplicaTimeline", "SimulationResult"]

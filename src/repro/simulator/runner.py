@@ -3,20 +3,28 @@
 The experiment harness repeatedly needs the same operation: given a social
 graph, a request log, a topology and a memory budget, run a set of strategies
 and normalise their traffic against the Random baseline.  These helpers keep
-that orchestration in one place.
+that orchestration in one place.  Both runners accept an optional
+:class:`~repro.scenarios.base.Scenario`, so a fault/churn scenario can be
+replayed identically against every strategy being compared.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
+from typing import TYPE_CHECKING
 
 from ..baselines.base import PlacementStrategy
 from ..config import SimulationConfig
+from ..exceptions import SimulationError
+from ..persistence.backend import PersistentStore
 from ..socialgraph.graph import SocialGraph
 from ..topology.base import ClusterTopology
 from ..workload.requests import RequestLog
 from .engine import ClusterSimulator
 from .results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.base import Scenario
 
 #: A strategy factory: builds a fresh, unbound strategy instance per run.
 StrategyFactory = Callable[[], PlacementStrategy]
@@ -29,6 +37,8 @@ def run_simulation(
     log: RequestLog,
     config: SimulationConfig,
     tracked_views: tuple[int, ...] = (),
+    scenario: "Scenario | None" = None,
+    persistent_store: PersistentStore | None = None,
 ) -> SimulationResult:
     """Run one strategy on a fresh topology/graph pair and return the result.
 
@@ -38,7 +48,14 @@ def run_simulation(
     """
     topology = topology_factory()
     graph = graph_factory()
-    simulator = ClusterSimulator(topology, graph, strategy_factory(), config)
+    simulator = ClusterSimulator(
+        topology,
+        graph,
+        strategy_factory(),
+        config,
+        scenario=scenario,
+        persistent_store=persistent_store,
+    )
     for user in tracked_views:
         simulator.track_view(user)
     return simulator.run(log)
@@ -50,16 +67,26 @@ def run_comparison(
     strategies: Mapping[str, StrategyFactory],
     log: RequestLog,
     config: SimulationConfig,
+    scenario: "Scenario | None" = None,
+    store_factory: Callable[[], PersistentStore] | None = None,
 ) -> dict[str, SimulationResult]:
     """Run several strategies on the same scenario.
 
     Returns a mapping from the strategy label (the mapping key, not the
-    strategy's own name) to its result.
+    strategy's own name) to its result.  ``store_factory`` builds a fresh
+    persistent store per strategy (stores are mutated by write mirroring
+    and recovery, so they cannot be shared between runs).
     """
     results: dict[str, SimulationResult] = {}
     for label, factory in strategies.items():
         results[label] = run_simulation(
-            topology_factory, graph_factory, factory, log, config
+            topology_factory,
+            graph_factory,
+            factory,
+            log,
+            config,
+            scenario=scenario,
+            persistent_store=store_factory() if store_factory is not None else None,
         )
     return results
 
@@ -67,15 +94,30 @@ def run_comparison(
 def normalise_results(
     results: Mapping[str, SimulationResult], baseline_label: str = "random"
 ) -> dict[str, float]:
-    """Top-switch traffic of every run divided by the baseline's traffic."""
-    baseline = results[baseline_label]
-    reference = baseline.top_switch_traffic
-    normalised: dict[str, float] = {}
-    for label, result in results.items():
-        normalised[label] = (
-            result.top_switch_traffic / reference if reference > 0 else 0.0
+    """Top-switch traffic of every run divided by the baseline's traffic.
+
+    Raises :class:`SimulationError` when the baseline is missing or recorded
+    no top-switch traffic — a zero baseline means the comparison scenario is
+    degenerate (empty log, warm-up window covering the whole run, …) and
+    silently returning zeros would hide that.
+    """
+    baseline = results.get(baseline_label)
+    if baseline is None:
+        raise SimulationError(
+            f"baseline {baseline_label!r} is not among the results "
+            f"({', '.join(sorted(results)) or 'none'})"
         )
-    return normalised
+    reference = baseline.top_switch_traffic
+    if reference <= 0:
+        raise SimulationError(
+            f"baseline {baseline_label!r} recorded no top-switch traffic; "
+            "cannot normalise against it (is the request log empty or the "
+            "measurement window after every request?)"
+        )
+    return {
+        label: result.top_switch_traffic / reference
+        for label, result in results.items()
+    }
 
 
 __all__ = ["StrategyFactory", "normalise_results", "run_comparison", "run_simulation"]

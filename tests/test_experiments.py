@@ -198,6 +198,8 @@ class TestRegistryAndCli:
             "figure5",
             "figure6a",
             "figure6b",
+            # beyond the paper: crash-and-recover comparison
+            "figure7",
         }
         assert expected == set(EXPERIMENTS)
 

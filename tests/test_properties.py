@@ -175,3 +175,86 @@ def test_estimate_profit_bounded_by_read_volume(read_counts, writes, data):
     profit = estimate_profit(_topology, stats, server_b, server_a, broker)
     assert profit <= 4 * total_reads + 1e-9
     assert profit >= -5 * writes - 1e-9
+
+
+# ------------------------------------------------------------------ churn
+# Invariants of partitioning/replication under node churn: across random
+# join/leave sequences, every user keeps at least one master replica, no
+# replica ever sits on a departed server, and the memory budget is never
+# exceeded.
+
+_churn_graph = None
+
+
+def _get_churn_graph():
+    global _churn_graph
+    if _churn_graph is None:
+        from repro.socialgraph.generators import dataset_preset, generate_social_graph
+
+        spec = dataset_preset("facebook", users=90)
+        _churn_graph = generate_social_graph(spec, seed=13)
+    return _churn_graph
+
+
+def _churn_engine(seed: int):
+    from repro.core.engine import DynaSoRe
+    from repro.traffic.accounting import TrafficAccountant
+
+    graph = _get_churn_graph()
+    strategy = DynaSoRe(initializer="random", seed=seed)
+    budget = MemoryBudget(
+        views=graph.num_users,
+        extra_memory_pct=100.0,
+        servers=len(_topology.servers),
+    )
+    strategy.bind(_topology, graph, TrafficAccountant(_topology), budget, seed=seed)
+    strategy.build_initial_placement()
+    return strategy, graph, budget
+
+
+def _assert_churn_invariants(strategy, graph, budget, down):
+    locations = strategy.replica_locations()
+    down_devices = {strategy.device_of_position(p) for p in down}
+    for user in graph.users:
+        devices = locations.get(user)
+        assert devices, f"user {user} lost every replica"
+        assert not devices & down_devices, f"user {user} has a replica on a down server"
+    assert strategy.memory_in_use() <= budget.total_capacity
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    steps=st.integers(4, 10),
+)
+@settings(max_examples=50, deadline=None)
+def test_churn_preserves_replication_and_budget_invariants(seed, steps):
+    """50 random join/leave sequences never lose a view or bust the budget."""
+    strategy, graph, budget = _churn_engine(seed)
+    rng = random.Random(seed)
+    servers = len(_topology.servers)
+    down: set[int] = set()
+    now = 0.0
+    users = list(graph.users)
+    for _ in range(steps):
+        rejoin = down and (len(down) >= 3 or rng.random() < 0.5)
+        if rejoin:
+            position = rng.choice(sorted(down))
+            down.discard(position)
+            strategy.on_server_up(position, now)
+        else:
+            candidates = [p for p in range(servers) if p not in down]
+            position = rng.choice(candidates)
+            down.add(position)
+            strategy.on_server_down(position, now, graceful=rng.random() < 0.5)
+        # Interleave traffic so replication keeps running during churn.
+        for user in rng.sample(users, 5):
+            strategy.execute_read(user, now)
+        strategy.execute_write(rng.choice(users), now)
+        strategy.on_tick(now)
+        now += 3600.0
+        _assert_churn_invariants(strategy, graph, budget, down)
+    # Bring everyone back: the cluster ends at full strength and healthy.
+    for position in sorted(down):
+        strategy.on_server_up(position, now)
+    strategy.on_tick(now)
+    _assert_churn_invariants(strategy, graph, budget, set())

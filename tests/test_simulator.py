@@ -173,6 +173,63 @@ class TestRunner:
         assert normalised["random"] == pytest.approx(1.0)
         assert normalised["hmetis"] <= 1.0
 
+    def test_scenario_run_is_byte_identical_across_runs(self, ci_profile):
+        """Same seed + same scenario => byte-identical traffic series.
+
+        Regression guard for the scenario subsystem: all scenario
+        randomness must derive from the simulation seed, so repeating a
+        crash-and-recover run reproduces every number exactly.
+        """
+        import json
+
+        from repro.core.engine import DynaSoRe
+        from repro.experiments.common import (
+            graph_factory,
+            simulation_config,
+            synthetic_log,
+            tree_topology_factory,
+        )
+        from repro.scenarios import CompositeScenario, CrashRecoverScenario, DiurnalLoadScenario
+
+        graphs = graph_factory(ci_profile, "twitter")
+        log = synthetic_log(ci_profile, graphs()).slice_time(0.0, 0.3 * DAY)
+        scenario = CompositeScenario(
+            DiurnalLoadScenario(trough_fraction=0.5),
+            CrashRecoverScenario(
+                crash_time=0.1 * DAY, recover_time=0.2 * DAY, count=2
+            ),
+        )
+
+        def serialise(result):
+            return json.dumps(
+                {
+                    "app": sorted(result.top_series_application.items()),
+                    "sys": sorted(result.top_series_system.items()),
+                    "top": result.top_switch_traffic,
+                    "levels": sorted(result.snapshot.total_by_level.items()),
+                    "faults": [
+                        (r.timestamp, r.kind, r.position, r.views_from_memory, r.views_from_disk)
+                        for r in result.fault_records
+                    ],
+                    "requests": result.requests_executed,
+                },
+                sort_keys=True,
+            )
+
+        runs = [
+            run_simulation(
+                tree_topology_factory(ci_profile),
+                graphs,
+                lambda: DynaSoRe(initializer="random", seed=ci_profile.seed),
+                log,
+                simulation_config(ci_profile, 50.0),
+                scenario=scenario,
+            )
+            for _ in range(2)
+        ]
+        assert serialise(runs[0]) == serialise(runs[1])
+        assert runs[0].fault_records  # the scenario actually fired
+
     def test_run_simulation_with_tracked_views(self, ci_profile):
         from repro.experiments.common import (
             graph_factory,
