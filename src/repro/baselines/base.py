@@ -166,7 +166,10 @@ class PlacementStrategy(ABC):
         assert self.topology is not None
         if not servers:
             raise SimulationError("cannot route to a view with no replica")
-        return min(servers, key=lambda s: (self.topology.distance(broker, s), s))
+        if len(servers) == 1:
+            return next(iter(servers))
+        distances = self.topology.distance_row(broker)
+        return min(servers, key=lambda s: (distances[s], s))
 
 
 class StaticPlacementStrategy(PlacementStrategy):

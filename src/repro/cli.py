@@ -4,11 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro run figure3c --profile ci
-    python -m repro run all --profile laptop
-    python -m repro figure7            # shorthand for "run figure7"
+    python -m repro run all --profile laptop --jobs 4
+    python -m repro figure7 --no-cache    # shorthand for "run figure7 ..."
 
 Every experiment prints the paper-style rows/series to stdout; use shell
-redirection to capture them.
+redirection to capture them.  ``--jobs N`` fans each experiment's run grid
+out over N worker processes (results are identical to serial execution);
+completed runs land in an on-disk cache keyed by the run's content hash,
+so re-running an experiment only executes what changed.  ``--no-cache``
+bypasses the cache; the cache directory and default worker count come from
+the :class:`~repro.config.ExperimentProfile`.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import time
 
 from .config import ExperimentProfile
 from .experiments.registry import EXPERIMENTS, get_experiment
+from .runtime.executor import Progress, ResultCache, RuntimeExecutor
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,7 +45,55 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["ci", "laptop", "paper"],
         help="scale profile (default: ci)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for run grids (default: the profile's jobs)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default: the profile's cache_dir)",
+    )
     return parser
+
+
+def _progress_printer(stream) -> callable:
+    """Progress callback writing one status line per completed run."""
+
+    def show(progress: Progress) -> None:
+        print(f"  [{progress.describe()}]", file=stream)
+
+    return show
+
+
+def build_executor(
+    profile: ExperimentProfile,
+    jobs: int | None = None,
+    no_cache: bool = False,
+    cache_dir: str | None = None,
+    progress_stream=None,
+) -> RuntimeExecutor:
+    """Executor configured from a profile plus CLI overrides."""
+    cache = None
+    if not no_cache:
+        cache = ResultCache(cache_dir if cache_dir is not None else profile.cache_dir)
+    progress = (
+        _progress_printer(progress_stream) if progress_stream is not None else None
+    )
+    return RuntimeExecutor(
+        jobs=jobs if jobs is not None else profile.jobs,
+        cache=cache,
+        progress=progress,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,6 +112,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     profile = ExperimentProfile.by_name(args.profile)
+    executor = build_executor(
+        profile,
+        jobs=args.jobs,
+        no_cache=args.no_cache,
+        cache_dir=args.cache_dir,
+        progress_stream=sys.stderr,
+    )
     identifiers = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for identifier in identifiers:
         try:
@@ -66,8 +127,11 @@ def main(argv: list[str] | None = None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         started = time.time()
-        print(f"== {identifier}: {experiment.description} (profile={profile.name}) ==")
-        print(experiment.run_and_render(profile))
+        print(
+            f"== {identifier}: {experiment.description} "
+            f"(profile={profile.name}, jobs={executor.jobs}) =="
+        )
+        print(experiment.run_and_render(profile, executor=executor))
         print(f"-- completed in {time.time() - started:.1f}s --\n")
     return 0
 

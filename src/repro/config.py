@@ -193,6 +193,12 @@ class ExperimentProfile:
     memory_sweep: tuple[float, ...]
     flash_repetitions: int
     seed: int = 7
+    #: Default worker-process count of the experiment runtime (overridden by
+    #: the CLI's ``--jobs``); 1 executes in-process.
+    jobs: int = 1
+    #: Directory of the runtime's on-disk result cache (used by the CLI;
+    #: ``--no-cache`` bypasses it).
+    cache_dir: str = ".repro-cache"
 
     @staticmethod
     def ci() -> "ExperimentProfile":

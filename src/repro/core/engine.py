@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..baselines.base import PlacementStrategy
 from ..baselines.hmetis_placement import hmetis_assignment
@@ -36,7 +36,7 @@ from ..topology.base import ClusterTopology
 from ..traffic.messages import MessageKind
 from .migration import MigrationAction, evaluate_replica_migration
 from .proxies import ProxyDirectory, optimal_proxy_broker
-from .replication import evaluate_replica_creation
+from .replication import evaluate_replica_creation, origin_candidates
 from .routing import RoutingService
 from .utility import estimate_profit
 
@@ -148,6 +148,12 @@ class DynaSoRe(PlacementStrategy):
         self._position_of_device: dict[int, int] = {}
         self._positions_under_switch: dict[int, tuple[int, ...]] = {}
         self._threshold_cache: dict[int, float] = {}
+        # Replica-placement epoch: bumped on every occupancy change so the
+        # per-origin least-loaded rankings below can be reused between
+        # changes (they are queried for every origin of every evaluated
+        # read, far more often than occupancy actually changes).
+        self._occupancy_epoch = 0
+        self._origin_rank_cache: dict[int, tuple[int, tuple[int, ...]]] = {}
         self._last_tick: float = 0.0
         #: storage-server positions currently out of service
         self._down_positions: set[int] = set()
@@ -188,6 +194,8 @@ class DynaSoRe(PlacementStrategy):
             self.servers[position].add_replica(user, write_proxy_broker=broker)
             self._replica_positions[user] = {position}
             self.proxies.place_both(user, broker)
+        self._occupancy_epoch += 1
+        self._origin_rank_cache.clear()
 
     def _fresh_server(self, position: int, capacity: int) -> StorageServer:
         """An empty storage server configured like the rest of the fleet."""
@@ -236,20 +244,36 @@ class DynaSoRe(PlacementStrategy):
         on the spot; memory is freed by the proactive eviction pass of the
         maintenance tick (paper section 3.2, "Eviction of views").
         """
-        best_position: int | None = None
-        best_key: tuple[float, int] | None = None
-        holders = self._replica_positions.get(user, set())
-        for position in self.positions_under(origin):
-            if position in holders or position in self._down_positions:
-                continue
-            server = self.servers[position]
-            if server.capacity == 0 or server.is_full():
-                continue
-            key = (server.utilisation, position)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_position = position
-        return best_position
+        epoch = self._occupancy_epoch
+        cached = self._origin_rank_cache.get(origin)
+        if cached is not None and cached[0] == epoch:
+            ranked = cached[1]
+        else:
+            positions = self._positions_under_switch.get(origin)
+            if positions is None:
+                raise SimulationError(f"unknown origin {origin}")
+            servers = self.servers
+            loaded: list[tuple[float, int]] = []
+            for position in positions:
+                server = servers[position]
+                capacity = server.capacity
+                # Peek at the replica dict directly: this loop feeds every
+                # origin of every evaluated read, and the property/method
+                # hops of ``is_full``/``utilisation`` dominate its cost.
+                used = len(server._replicas)
+                if used < capacity:
+                    loaded.append((used / capacity, position))
+            loaded.sort()
+            ranked = tuple(position for _, position in loaded)
+            self._origin_rank_cache[origin] = (epoch, ranked)
+        holders = self._replica_positions.get(user)
+        down = self._down_positions
+        if holders or down:
+            for position in ranked:
+                if (holders is None or position not in holders) and position not in down:
+                    return position
+            return None
+        return ranked[0] if ranked else None
 
     def admission_threshold_under(self, origin: int) -> float:
         """Lowest admission threshold among the servers under ``origin``.
@@ -299,16 +323,32 @@ class DynaSoRe(PlacementStrategy):
         self.servers[position].add_replica(user, write_proxy_broker=broker, allow_overflow=True)
         self._replica_positions[user] = {position}
         self.proxies.place_both(user, broker)
+        self._occupancy_epoch += 1
 
     def _closest_position(self, broker: int, user: int) -> int:
-        """Position of the replica of ``user`` closest to ``broker``."""
-        assert self.routing is not None
+        """Position of the replica of ``user`` closest to ``broker``.
+
+        Same policy as :meth:`RoutingService.closest_replica` (distance,
+        ties on device index) but resolved on positions directly, without
+        materialising the device set of the replicas.
+        """
         positions = self._replica_positions[user]
         if len(positions) == 1:
             return next(iter(positions))
-        devices = {self._device_of_position[p] for p in positions}
-        device = self.routing.closest_replica(broker, devices)
-        return self._position_of_device[device]
+        distances = self.topology.distance_row(broker)
+        device_of_position = self._device_of_position
+        best_position = -1
+        best_distance = best_device = float("inf")
+        for position in positions:
+            device = device_of_position[position]
+            distance = distances[device]
+            if distance < best_distance or (
+                distance == best_distance and device < best_device
+            ):
+                best_distance = distance
+                best_device = device
+                best_position = position
+        return best_position
 
     def execute_read(
         self, user: int, now: float, targets: tuple[int, ...] | None = None
@@ -328,24 +368,33 @@ class DynaSoRe(PlacementStrategy):
             self.proxies.read_proxy[user] = broker
 
         transfers: dict[int, float] = {}
+        # Local bindings: this loop runs once per followed user per read and
+        # dominates the simulator's wall clock.
+        ensure_user = self._ensure_user
+        closest_position = self._closest_position
+        device_of_position = self._device_of_position
+        record_roundtrip = self.accountant.record_roundtrip
+        origin_of = self.topology.origin_of
+        servers = self.servers
+        check_interval = self.config.replication_check_interval
         for target in targets:
-            self._ensure_user(target)
-            position = self._closest_position(broker, target)
-            device = self._device_of_position[position]
-            self.accountant.record_roundtrip(
+            ensure_user(target)
+            position = closest_position(broker, target)
+            device = device_of_position[position]
+            record_roundtrip(
                 broker, device, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
             )
             transfers[device] = transfers.get(device, 0.0) + 1.0
 
-            replica = self.servers[position].replica(target)
-            origin = self.topology.origin_of(device, broker)
-            replica.stats.record_read(origin, now)
+            # Direct replica-dict lookup (the ``replica`` accessor's error
+            # wrapping costs real time at one call per followed user).
+            replica = servers[position]._replicas[target]
+            origin = origin_of(device, broker)
+            stats = replica.stats
+            stats.record_read(origin, now)
 
-            if (
-                replica.stats.reads_since_last_evaluation()
-                >= self.config.replication_check_interval
-            ):
-                replica.stats.mark_evaluated()
+            if stats.reads_since_last_evaluation() >= check_interval:
+                stats.mark_evaluated()
                 self._consider_replication(replica, position, now)
 
         if self.config.enable_proxy_migration and transfers:
@@ -393,15 +442,27 @@ class DynaSoRe(PlacementStrategy):
         """Run Algorithm 2 for a replica; fall back to Algorithm 3 when no
         replica can be created (paper: "When no replicas can be created, the
         server attempts to migrate the view to a more appropriate location")."""
+        replica_device = self._device_of_position[position]
+        # Both algorithms price the same per-origin candidates; resolve them
+        # once (nothing changes placement between the two evaluations).  No
+        # availability filter is needed: ``least_loaded_server_under`` never
+        # returns a position from the down set.
+        candidates = origin_candidates(
+            replica,
+            replica_device,
+            self.least_loaded_server_under,
+            self._device_of_position.__getitem__,
+        )
         decision = evaluate_replica_creation(
             self.topology,
             replica,
-            self._device_of_position[position],
+            replica_device,
             self.proxies.write_broker(replica.user),
             self.least_loaded_server_under,
             self.admission_threshold_under,
             self.device_of_position,
             position_available=self.position_available,
+            candidates=candidates,
         )
         if decision.should_replicate and decision.target_position is not None:
             self._create_replica(
@@ -410,9 +471,15 @@ class DynaSoRe(PlacementStrategy):
             )
             return
         if self.config.enable_view_migration:
-            self._consider_migration(replica, position, now)
+            self._consider_migration(replica, position, now, candidates=candidates)
 
-    def _consider_migration(self, replica: ViewReplica, position: int, now: float) -> None:
+    def _consider_migration(
+        self,
+        replica: ViewReplica,
+        position: int,
+        now: float,
+        candidates: list[tuple[int, int, int]] | None = None,
+    ) -> None:
         """Run Algorithm 3 for a replica and apply its decision."""
         next_device = replica.next_closest_replica
         decision = evaluate_replica_migration(
@@ -425,6 +492,7 @@ class DynaSoRe(PlacementStrategy):
             self.admission_threshold_under,
             self.device_of_position,
             position_available=self.position_available,
+            candidates=candidates,
         )
         if decision.action is MigrationAction.REMOVE:
             self._remove_replica(replica.user, position, now)
@@ -488,6 +556,7 @@ class DynaSoRe(PlacementStrategy):
             user, write_proxy_broker=write_broker, stats=seeded_stats
         )
         positions.add(target_position)
+        self._occupancy_epoch += 1
         after_devices = before_devices | {target_device}
         self._notify_routing_change(user, before_devices, after_devices, now)
         self._refresh_next_closest(user)
@@ -550,6 +619,7 @@ class DynaSoRe(PlacementStrategy):
         before_devices = {self._device_of_position[p] for p in positions}
         self.servers[position].remove_replica(user)
         positions.discard(position)
+        self._occupancy_epoch += 1
         after_devices = {self._device_of_position[p] for p in positions}
 
         write_broker = self.proxies.write_broker(user)
@@ -721,6 +791,8 @@ class DynaSoRe(PlacementStrategy):
         placeholder.update_admission_threshold()
         self.servers[position] = placeholder
         self._threshold_cache.clear()
+        self._occupancy_epoch += 1
+        self._origin_rank_cache.clear()
         return plan
 
     def on_server_up(self, position: int, now: float) -> None:
@@ -735,6 +807,8 @@ class DynaSoRe(PlacementStrategy):
             position, self._position_capacity[position]
         )
         self._threshold_cache.clear()
+        self._occupancy_epoch += 1
+        self._origin_rank_cache.clear()
 
     def _recovery_target(self) -> int:
         """Least-loaded in-service server, preferring ones with free slots.

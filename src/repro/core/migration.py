@@ -16,7 +16,7 @@ from enum import Enum
 
 from ..store.view import ViewReplica
 from ..topology.base import ClusterTopology
-from .utility import estimate_profit
+from .utility import estimate_profit, profit_estimator
 
 
 class MigrationAction(str, Enum):
@@ -46,6 +46,7 @@ def evaluate_replica_migration(
     admission_threshold_under,
     device_of_position,
     position_available=None,
+    candidates: list[tuple[int, int, int]] | None = None,
 ) -> MigrationDecision:
     """Run Algorithm 3 for one replica.
 
@@ -54,29 +55,44 @@ def evaluate_replica_migration(
     replica is compared against itself and can never be removed).
     ``position_available`` optionally filters candidate targets (the
     engine's server up/down mask), so a migration never lands on a server
-    that left the cluster.
+    that left the cluster.  ``candidates`` optionally supplies the
+    precomputed :func:`~repro.core.replication.origin_candidates` list.
     """
+    if candidates is None:
+        from .replication import origin_candidates
+
+        candidates = origin_candidates(
+            replica,
+            replica_device,
+            least_loaded_server_under,
+            device_of_position,
+            position_available,
+        )
     sole_replica = next_closest_device is None
     reference = replica_device if sole_replica else next_closest_device
 
+    if not candidates:
+        # No placement candidate: only the stay-vs-remove decision remains,
+        # priced with a single direct profit estimate (the common case — a
+        # view whose readers are already served from the best region).
+        stay_profit = estimate_profit(
+            topology, replica.stats, replica_device, reference, write_broker
+        )
+        if stay_profit < 0 and not sole_replica:
+            return MigrationDecision(action=MigrationAction.REMOVE, profit=stay_profit)
+        return MigrationDecision(action=MigrationAction.STAY, profit=stay_profit)
+
+    estimate = profit_estimator(topology, replica.stats, reference, write_broker)
     best_position: int | None = None
-    best_profit = estimate_profit(
-        topology, replica.stats, replica_device, reference, write_broker
-    )
+    best_profit = estimate(replica_device)
     stay_profit = best_profit
 
-    for origin, _reads in replica.stats.reads_by_origin().items():
-        candidate_position = least_loaded_server_under(origin, replica.user)
-        if candidate_position is None:
-            continue
-        if position_available is not None and not position_available(candidate_position):
-            continue
-        candidate_device = device_of_position(candidate_position)
-        if candidate_device == replica_device:
-            continue
-        profit = estimate_profit(
-            topology, replica.stats, candidate_device, reference, write_broker
-        )
+    profits: dict[int, float] = {}
+    for origin, candidate_position, candidate_device in candidates:
+        profit = profits.get(candidate_device)
+        if profit is None:
+            profit = estimate(candidate_device)
+            profits[candidate_device] = profit
         threshold = admission_threshold_under(origin)
         if profit > best_profit and profit > threshold:
             best_position = candidate_position

@@ -63,22 +63,29 @@ def optimal_proxy_broker(
     if not transfers:
         return default
     if isinstance(topology, TreeTopology):
-        # Aggregate per intermediate switch, pick the heaviest branch.
-        per_intermediate: dict[int, float] = {}
+        # One aggregation pass: per-rack counts plus each rack's
+        # intermediate switch, then pick the heaviest branch and the
+        # heaviest rack inside it.
+        rack_counts: dict[int, float] = {}
+        rack_inter: dict[int, int] = {}
         for device, count in transfers.items():
-            inter = topology.intermediate_of(device)
+            rack = topology.rack_of(device)
+            if rack in rack_counts:
+                rack_counts[rack] += count
+            else:
+                rack_counts[rack] = count
+                rack_inter[rack] = topology.intermediate_of(device)
+        per_intermediate: dict[int, float] = {}
+        for rack, count in rack_counts.items():
+            inter = rack_inter[rack]
             per_intermediate[inter] = per_intermediate.get(inter, 0.0) + count
         best_inter = min(
             per_intermediate, key=lambda i: (-per_intermediate[i], i)
         )
-        # Then per rack within that branch.
-        per_rack: dict[int, float] = {}
-        for device, count in transfers.items():
-            if topology.intermediate_of(device) != best_inter:
-                continue
-            rack = topology.rack_of(device)
-            per_rack[rack] = per_rack.get(rack, 0.0) + count
-        best_rack = min(per_rack, key=lambda r: (-per_rack[r], r))
+        best_rack = min(
+            (rack for rack in rack_counts if rack_inter[rack] == best_inter),
+            key=lambda r: (-rack_counts[r], r),
+        )
         return topology.broker_for_rack(best_rack)
     # Flat topology: the machine that served the most views is the best
     # broker (requests served locally traverse no switch at all).

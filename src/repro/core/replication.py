@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..store.view import ViewReplica
 from ..topology.base import ClusterTopology
-from .utility import estimate_profit
+from .utility import profit_estimator
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,36 @@ class ReplicationDecision:
         return self.target_position is not None
 
 
+def origin_candidates(
+    replica: ViewReplica,
+    replica_device: int,
+    least_loaded_server_under,
+    device_of_position,
+    position_available=None,
+) -> list[tuple[int, int, int]]:
+    """Per-origin placement candidates shared by Algorithms 2 and 3.
+
+    For every origin that reads the view, resolve the least-loaded available
+    server under that origin (skipping the replica's own server).  Returns
+    ``(origin, candidate_position, candidate_device)`` triples.  Both
+    algorithms iterate exactly this list, so the engine computes it once per
+    evaluated request instead of twice.
+    """
+    candidates: list[tuple[int, int, int]] = []
+    user = replica.user
+    for origin in replica.stats.reads_by_origin():
+        candidate_position = least_loaded_server_under(origin, user)
+        if candidate_position is None:
+            continue
+        if position_available is not None and not position_available(candidate_position):
+            continue
+        candidate_device = device_of_position(candidate_position)
+        if candidate_device == replica_device:
+            continue
+        candidates.append((origin, candidate_position, candidate_device))
+    return candidates
+
+
 def evaluate_replica_creation(
     topology: ClusterTopology,
     replica: ViewReplica,
@@ -40,6 +70,7 @@ def evaluate_replica_creation(
     admission_threshold_under,
     device_of_position,
     position_available=None,
+    candidates: list[tuple[int, int, int]] | None = None,
 ) -> ReplicationDecision:
     """Run Algorithm 2 for one replica.
 
@@ -70,25 +101,31 @@ def evaluate_replica_creation(
         returns False are skipped.  The engine passes its server up/down
         mask here so replicas are never created on a crashed or drained
         server, even if a caller's candidate source lags behind a fault.
+    candidates:
+        Optional precomputed result of :func:`origin_candidates`; when
+        omitted it is computed here.
     """
+    if candidates is None:
+        candidates = origin_candidates(
+            replica,
+            replica_device,
+            least_loaded_server_under,
+            device_of_position,
+            position_available,
+        )
     best_profit = 0.0
     best_position: int | None = None
-    for origin, _reads in replica.stats.reads_by_origin().items():
-        candidate_position = least_loaded_server_under(origin, replica.user)
-        if candidate_position is None:
-            continue
-        if position_available is not None and not position_available(candidate_position):
-            continue
-        candidate_device = device_of_position(candidate_position)
-        if candidate_device == replica_device:
-            continue
-        profit = estimate_profit(
-            topology,
-            replica.stats,
-            candidate_device,
-            replica_device,
-            write_broker,
-        )
+    estimate = None
+    profits: dict[int, float] = {}
+    for origin, candidate_position, candidate_device in candidates:
+        profit = profits.get(candidate_device)
+        if profit is None:
+            if estimate is None:
+                estimate = profit_estimator(
+                    topology, replica.stats, replica_device, write_broker
+                )
+            profit = estimate(candidate_device)
+            profits[candidate_device] = profit
         threshold = admission_threshold_under(origin)
         if profit > threshold and profit > best_profit:
             best_position = candidate_position
@@ -96,4 +133,4 @@ def evaluate_replica_creation(
     return ReplicationDecision(target_position=best_position, profit=best_profit)
 
 
-__all__ = ["ReplicationDecision", "evaluate_replica_creation"]
+__all__ = ["ReplicationDecision", "evaluate_replica_creation", "origin_candidates"]

@@ -28,10 +28,10 @@ class RoutingService:
         """Replica device closest to ``broker``; ties break on device index."""
         if not replica_devices:
             raise RoutingError("view has no replica to route to")
-        return min(
-            replica_devices,
-            key=lambda device: (self.topology.distance(broker, device), device),
-        )
+        if len(replica_devices) == 1:
+            return next(iter(replica_devices))
+        distances = self.topology.distance_row(broker)
+        return min(replica_devices, key=lambda device: (distances[device], device))
 
     def routing_table_for(self, broker: int, replica_map: dict[int, set[int]]) -> dict[int, int]:
         """Full routing table of one broker (used by tests and the API layer)."""
@@ -66,7 +66,8 @@ class RoutingService:
         others = [d for d in replica_devices if d != device]
         if not others:
             return None
-        return min(others, key=lambda d: (self.topology.distance(device, d), d))
+        distances = self.topology.distance_row(device)
+        return min(others, key=lambda d: (distances[d], d))
 
 
 __all__ = ["RoutingService"]

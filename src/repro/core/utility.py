@@ -47,24 +47,95 @@ def estimate_profit(
     """
     server_read_cost = 0.0
     nearest_read_cost = 0.0
-    for origin, reads in stats.reads_by_origin().items():
-        candidate_cost = topology.cost_from_origin(origin, candidate_server)
-        reference_cost = topology.cost_from_origin(origin, reference_server)
-        # Routing is deterministic and always picks the closest replica, so
-        # reads from an origin only move to the candidate when it is closer;
-        # they never become more expensive because the reference replica (the
-        # current server or the next-closest replica) still exists.  Without
-        # this clamp, views with geographically spread readers would never be
-        # replicated, which contradicts the paper's flash-event behaviour
-        # (one replica per intermediate switch).
-        server_read_cost += reads * min(candidate_cost, reference_cost)
-        nearest_read_cost += reads * reference_cost
+    reads_by_origin = stats.reads_by_origin()
+    if reads_by_origin:
+        candidate_costs = topology.cost_row(candidate_server)
+        reference_costs = topology.cost_row(reference_server)
+        for origin, reads in reads_by_origin.items():
+            candidate_cost = candidate_costs[origin]
+            reference_cost = reference_costs[origin]
+            if candidate_cost is None or reference_cost is None:
+                candidate_cost = topology.cost_from_origin(origin, candidate_server)
+                reference_cost = topology.cost_from_origin(origin, reference_server)
+            # Routing is deterministic and always picks the closest replica,
+            # so reads from an origin only move to the candidate when it is
+            # closer; they never become more expensive because the reference
+            # replica (the current server or the next-closest replica) still
+            # exists.  Without this clamp, views with geographically spread
+            # readers would never be replicated, which contradicts the
+            # paper's flash-event behaviour (one replica per intermediate
+            # switch).
+            if candidate_cost < reference_cost:
+                server_read_cost += reads * candidate_cost
+            else:
+                server_read_cost += reads * reference_cost
+            nearest_read_cost += reads * reference_cost
     writes = stats.total_writes()
     if writes and write_broker is not None:
-        server_write_cost = writes * topology.distance(write_broker, candidate_server)
+        server_write_cost = writes * topology.distance_row(write_broker)[candidate_server]
     else:
         server_write_cost = 0.0
     return nearest_read_cost - server_read_cost - server_write_cost
+
+
+def profit_estimator(
+    topology: ClusterTopology,
+    stats: AccessStatistics,
+    reference_server: int,
+    write_broker: int | None,
+):
+    """Amortised form of :func:`estimate_profit` for a fixed reference.
+
+    Algorithms 2 and 3 price many candidate servers against the *same*
+    reference replica and the *same* access statistics; the reference read
+    cost and the per-origin read counts only need to be resolved once.
+    Returns a callable ``candidate_server -> profit``.
+    """
+    reads_by_origin = stats.reads_by_origin()
+    nearest_read_cost = 0.0
+    reference_costs: list[int | None] | None = None
+    if reads_by_origin:
+        reference_costs = topology.cost_row(reference_server)
+        for origin, reads in reads_by_origin.items():
+            reference_cost = reference_costs[origin]
+            if reference_cost is None:
+                reference_cost = topology.cost_from_origin(origin, reference_server)
+            nearest_read_cost += reads * reference_cost
+    writes = stats.total_writes()
+    priced_writes = writes if write_broker is not None else 0.0
+    write_distances = (
+        topology.distance_row(write_broker) if priced_writes else None
+    )
+
+    def estimate(candidate_server: int) -> float:
+        server_read_cost = 0.0
+        if reference_costs is not None:
+            candidate_costs = topology.cost_row(candidate_server)
+            for origin, reads in reads_by_origin.items():
+                candidate_cost = candidate_costs[origin]
+                reference_cost = reference_costs[origin]
+                if candidate_cost is None or reference_cost is None:
+                    candidate_cost = topology.cost_from_origin(origin, candidate_server)
+                    reference_cost = topology.cost_from_origin(origin, reference_server)
+                # Routing is deterministic and always picks the closest
+                # replica, so reads from an origin only move to the candidate
+                # when it is closer; they never become more expensive because
+                # the reference replica (the current server or the
+                # next-closest replica) still exists.  Without this clamp,
+                # views with geographically spread readers would never be
+                # replicated, which contradicts the paper's flash-event
+                # behaviour (one replica per intermediate switch).
+                if candidate_cost < reference_cost:
+                    server_read_cost += reads * candidate_cost
+                else:
+                    server_read_cost += reads * reference_cost
+        if write_distances is not None:
+            server_write_cost = priced_writes * write_distances[candidate_server]
+        else:
+            server_write_cost = 0.0
+        return nearest_read_cost - server_read_cost - server_write_cost
+
+    return estimate
 
 
 def replica_utility(
@@ -84,4 +155,4 @@ def replica_utility(
     return estimate_profit(topology, stats, server, reference, write_broker)
 
 
-__all__ = ["estimate_profit", "replica_utility"]
+__all__ = ["estimate_profit", "profit_estimator", "replica_utility"]

@@ -1,25 +1,28 @@
 """Shared scaffolding of the experiment harness.
 
 Every figure/table experiment needs the same ingredients: a topology built
-from the profile's cluster spec, a scaled social graph, a request log, and a
-set of strategy factories (Random, METIS, hMETIS, SPAR, DynaSoRe from several
-initial placements).  This module centralises their construction so the
-per-experiment modules only contain the logic specific to their figure.
+from the profile's cluster spec, a scaled social graph, a request log, and
+the set of strategies evaluated by the paper (Random, METIS, hMETIS, SPAR,
+DynaSoRe from several initial placements).  This module translates an
+:class:`~repro.config.ExperimentProfile` into the *declarative* spec layer
+(:mod:`repro.runtime.spec`) that the figure/table modules expand into run
+grids, and keeps the older imperative factory helpers used by
+:func:`~repro.simulator.runner.run_simulation` and a handful of tests.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 
-from ..baselines import (
-    HierarchicalMetisPlacement,
-    MetisPlacement,
-    RandomPlacement,
-    SparPlacement,
-)
 from ..baselines.base import PlacementStrategy
-from ..config import DynaSoReConfig, ExperimentProfile, FlatClusterSpec, SimulationConfig
-from ..core.engine import DynaSoRe
+from ..config import ExperimentProfile, FlatClusterSpec, SimulationConfig
+from ..runtime.executor import RuntimeExecutor
+from ..runtime.spec import (
+    GraphSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_strategy,
+)
 from ..socialgraph.generators import dataset_preset, generate_social_graph
 from ..socialgraph.graph import SocialGraph
 from ..topology.base import ClusterTopology
@@ -31,6 +34,39 @@ from ..workload.trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
 
 #: Names of the social graphs used by the paper's evaluation.
 DATASETS = ("twitter", "facebook", "livejournal")
+
+
+# ---------------------------------------------------------------- spec layer
+def default_executor(executor: RuntimeExecutor | None) -> RuntimeExecutor:
+    """The executor an experiment runs on: the given one, or serial/no-cache.
+
+    Experiments accept ``executor=None`` so tests and library callers get
+    plain in-process execution; the CLI builds a configured executor
+    (workers, cache, progress) and threads it through.
+    """
+    return executor if executor is not None else RuntimeExecutor()
+
+
+def topology_spec(profile: ExperimentProfile, flat: bool = False) -> TopologySpec:
+    """Declarative topology of the profile (tree, or section 4.5's flat)."""
+    if flat:
+        return TopologySpec.flat(profile.flat_machines)
+    return TopologySpec.tree(profile.cluster)
+
+
+def graph_spec(profile: ExperimentProfile, dataset: str) -> GraphSpec:
+    """Declarative scaled analogue of one paper dataset."""
+    return GraphSpec(dataset=dataset, users=profile.users[dataset], seed=profile.seed)
+
+
+def synthetic_workload_spec(profile: ExperimentProfile) -> WorkloadSpec:
+    """Declarative synthetic request log (paper section 4.2)."""
+    return WorkloadSpec(kind="synthetic", days=profile.synthetic_days, seed=profile.seed)
+
+
+def trace_workload_spec(profile: ExperimentProfile) -> WorkloadSpec:
+    """Declarative Yahoo!-News-Activity-like request log (section 4.2)."""
+    return WorkloadSpec(kind="trace", days=profile.trace_days, seed=profile.seed)
 
 
 def tree_topology_factory(profile: ExperimentProfile) -> Callable[[], ClusterTopology]:
@@ -98,8 +134,10 @@ def convergence_cutoff(profile: ExperimentProfile) -> float:
     return profile.synthetic_days * DAY / 2.0
 
 
-def dynasore_config() -> DynaSoReConfig:
+def dynasore_config():
     """DynaSoRe tunables used by the experiments (the paper defaults)."""
+    from ..config import DynaSoReConfig
+
     return DynaSoReConfig()
 
 
@@ -109,38 +147,30 @@ def strategy_factories(
     """Factories of every strategy evaluated in the paper.
 
     Keys: ``random``, ``metis``, ``hmetis``, ``spar``, ``dynasore_random``,
-    ``dynasore_metis``, ``dynasore_hmetis``.  ``include`` restricts the
-    returned mapping while preserving this ordering.
+    ``dynasore_metis``, ``dynasore_hmetis`` (the runtime's strategy
+    registry).  ``include`` restricts the returned mapping while preserving
+    this ordering.
     """
+    from ..runtime.spec import STRATEGY_KEYS
+
     seed = profile.seed
-    factories: dict[str, Callable[[], PlacementStrategy]] = {
-        "random": lambda: RandomPlacement(seed=seed),
-        "metis": lambda: MetisPlacement(seed=seed),
-        "hmetis": lambda: HierarchicalMetisPlacement(seed=seed),
-        "spar": lambda: SparPlacement(seed=seed),
-        "dynasore_random": lambda: DynaSoRe(
-            initializer="random", config=dynasore_config(), seed=seed
-        ),
-        "dynasore_metis": lambda: DynaSoRe(
-            initializer="metis", config=dynasore_config(), seed=seed
-        ),
-        "dynasore_hmetis": lambda: DynaSoRe(
-            initializer="hmetis", config=dynasore_config(), seed=seed
-        ),
-    }
-    if include is None:
-        return factories
-    return {label: factories[label] for label in include}
+    keys = STRATEGY_KEYS if include is None else include
+    return {key: (lambda key=key: build_strategy(key, seed)) for key in keys}
 
 
 __all__ = [
     "DATASETS",
+    "default_executor",
     "dynasore_config",
     "flat_topology_factory",
     "graph_factory",
+    "graph_spec",
     "simulation_config",
     "strategy_factories",
     "synthetic_log",
+    "synthetic_workload_spec",
+    "topology_spec",
     "trace_log",
+    "trace_workload_spec",
     "tree_topology_factory",
 ]

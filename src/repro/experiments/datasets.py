@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import ExperimentProfile
+from ..runtime.executor import RuntimeExecutor
 from ..socialgraph.generators import graph_statistics
-from .common import DATASETS, graph_factory
+from .common import DATASETS, graph_spec
 
 #: Numbers reported in the paper's Table 1.
 PAPER_TABLE1 = {
@@ -35,11 +36,17 @@ class DatasetRow:
     avg_out_degree: float
 
 
-def run_table1(profile: ExperimentProfile) -> list[DatasetRow]:
-    """Generate every dataset at the profile's scale and summarise it."""
+def run_table1(
+    profile: ExperimentProfile, executor: RuntimeExecutor | None = None
+) -> list[DatasetRow]:
+    """Generate every dataset at the profile's scale and summarise it.
+
+    No simulation runs; ``executor`` is accepted for registry uniformity.
+    """
+    del executor
     rows: list[DatasetRow] = []
     for dataset in DATASETS:
-        graph = graph_factory(profile, dataset)()
+        graph = graph_spec(profile, dataset).build()
         stats = graph_statistics(graph)
         rows.append(
             DatasetRow(

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import ExperimentProfile
-from .common import graph_factory, trace_log
+from ..runtime.executor import RuntimeExecutor
+from .common import graph_spec, trace_workload_spec
 
 
 @dataclass(frozen=True)
@@ -24,10 +25,19 @@ class DailyActivity:
     writes: int
 
 
-def run_figure2(profile: ExperimentProfile, dataset: str = "facebook") -> list[DailyActivity]:
-    """Generate the trace and return its per-day read/write counts."""
-    graph = graph_factory(profile, dataset)()
-    log = trace_log(profile, graph)
+def run_figure2(
+    profile: ExperimentProfile,
+    dataset: str = "facebook",
+    executor: RuntimeExecutor | None = None,
+) -> list[DailyActivity]:
+    """Generate the trace and return its per-day read/write counts.
+
+    A pure workload characterisation: no simulation runs, so ``executor``
+    (accepted for registry uniformity) is unused.
+    """
+    del executor
+    graph = graph_spec(profile, dataset).build()
+    log, _ = trace_workload_spec(profile).build(graph)
     per_day = log.requests_per_day()
     return [
         DailyActivity(day=day, reads=counts["reads"], writes=counts["writes"])

@@ -18,16 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import ExperimentProfile
+from ..runtime.executor import RuntimeExecutor
+from ..runtime.grid import RunGrid
 from .common import (
     convergence_cutoff,
-    flat_topology_factory,
-    graph_factory,
+    default_executor,
+    graph_spec,
     simulation_config,
-    strategy_factories,
-    synthetic_log,
-    tree_topology_factory,
+    synthetic_workload_spec,
+    topology_spec,
 )
-from ..simulator.runner import run_comparison
 
 #: Strategy labels plotted by Figure 3 (plus the normalising Random run).
 FIGURE3_STRATEGIES = (
@@ -68,31 +68,34 @@ def run_memory_sweep(
     flat: bool = False,
     memory_points: tuple[float, ...] | None = None,
     strategies: tuple[str, ...] | None = None,
+    executor: RuntimeExecutor | None = None,
 ) -> MemorySweepResult:
-    """Run the Figure 3 sweep for one dataset on one topology."""
+    """Run the Figure 3 sweep for one dataset on one topology.
+
+    The sweep is declared as one strategy x memory grid and fanned out in a
+    single executor call, so ``--jobs N`` parallelises across *both* axes.
+    """
     if strategies is None:
         strategies = FIGURE3_FLAT_STRATEGIES if flat else FIGURE3_STRATEGIES
     if memory_points is None:
         memory_points = profile.memory_sweep
 
-    topology_factory = (
-        flat_topology_factory(profile) if flat else tree_topology_factory(profile)
+    cutoff = convergence_cutoff(profile)
+    grid = RunGrid.product(
+        topology_spec(profile, flat=flat),
+        graph_spec(profile, dataset),
+        synthetic_workload_spec(profile),
+        [
+            simulation_config(profile, memory, measure_from=cutoff)
+            for memory in memory_points
+        ],
+        strategies,
     )
-    graphs = graph_factory(profile, dataset)
-    base_graph = graphs()
-    log = synthetic_log(profile, base_graph)
+    outcome = grid.run(default_executor(executor))
 
     result = MemorySweepResult(dataset=dataset, topology="flat" if flat else "tree")
-    cutoff = convergence_cutoff(profile)
     for memory in memory_points:
-        config = simulation_config(profile, memory, measure_from=cutoff)
-        runs = run_comparison(
-            topology_factory,
-            graphs,
-            strategy_factories(profile, include=strategies),
-            log,
-            config,
-        )
+        runs = outcome.by_strategy(extra_memory_pct=memory)
         reference = runs["random"].top_switch_traffic
         result.points[memory] = {
             label: (run.top_switch_traffic / reference if reference else 0.0)

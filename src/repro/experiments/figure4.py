@@ -13,14 +13,15 @@ from dataclasses import dataclass, field
 
 from ..config import ExperimentProfile
 from ..constants import DAY
+from ..runtime.executor import RuntimeExecutor
+from ..runtime.grid import RunGrid
 from ..simulator.results import SimulationResult
-from ..simulator.runner import run_comparison
 from .common import (
-    graph_factory,
+    default_executor,
+    graph_spec,
     simulation_config,
-    strategy_factories,
-    trace_log,
-    tree_topology_factory,
+    topology_spec,
+    trace_workload_spec,
 )
 
 #: Strategies plotted in Figure 4.
@@ -73,15 +74,17 @@ def run_figure4(
     dataset: str = "facebook",
     extra_memory_pct: float = 50.0,
     strategies: tuple[str, ...] = FIGURE4_STRATEGIES,
+    executor: RuntimeExecutor | None = None,
 ) -> TrafficOverTime:
     """Replay the real-trace experiment behind Figure 4."""
-    topology_factory = tree_topology_factory(profile)
-    graphs = graph_factory(profile, dataset)
-    log = trace_log(profile, graphs())
-    config = simulation_config(profile, extra_memory_pct)
-    runs = run_comparison(
-        topology_factory, graphs, strategy_factories(profile, include=strategies), log, config
+    grid = RunGrid.product(
+        topology_spec(profile),
+        graph_spec(profile, dataset),
+        trace_workload_spec(profile),
+        simulation_config(profile, extra_memory_pct),
+        strategies,
     )
+    runs = grid.run(default_executor(executor)).by_strategy()
     result = TrafficOverTime(dataset=dataset, extra_memory_pct=extra_memory_pct)
     for label, run in runs.items():
         result.series[label] = _per_day_series(run)

@@ -13,16 +13,13 @@ the extra replicas are evicted shortly after the followers leave.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from ..config import ExperimentProfile
 from ..constants import DAY
-from ..core.engine import DynaSoRe
-from ..simulator.engine import ClusterSimulator
-from .common import dynasore_config, graph_factory, simulation_config, synthetic_log, tree_topology_factory
-from ..workload.flash import inject_flash_event, plan_flash_event
-from ..workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+from ..runtime.executor import RuntimeExecutor, execute_spec
+from ..runtime.spec import FlashSpec, RunSpec, WorkloadSpec
+from .common import default_executor, graph_spec, simulation_config, topology_spec
 
 
 @dataclass
@@ -45,6 +42,37 @@ class FlashEventOutcome:
         return sum(values) / len(values) if values else 0.0
 
 
+def flash_run_spec(
+    profile: ExperimentProfile,
+    dataset: str,
+    extra_memory_pct: float,
+    followers: int,
+    start_day: float,
+    end_day: float,
+    duration_days: float,
+    seed: int,
+) -> RunSpec:
+    """Declarative spec of one flash-event repetition.
+
+    The flash target is chosen by the workload builder (deterministically
+    from ``seed``) and tracked automatically; the strategy is seeded per
+    repetition so the repetitions are genuinely independent samples.
+    """
+    return RunSpec(
+        topology=topology_spec(profile),
+        graph=graph_spec(profile, dataset),
+        workload=WorkloadSpec(
+            kind="synthetic",
+            days=duration_days,
+            seed=seed,
+            flash=FlashSpec(followers=followers, start_day=start_day, end_day=end_day),
+        ),
+        strategy="dynasore_hmetis",
+        config=simulation_config(profile, extra_memory_pct),
+        strategy_seed=seed,
+    )
+
+
 def run_flash_event_once(
     profile: ExperimentProfile,
     dataset: str,
@@ -56,28 +84,24 @@ def run_flash_event_once(
     seed: int,
 ) -> tuple[dict[float, float], dict[float, float]]:
     """One repetition: returns (replica count by day, reads/replica by day)."""
-    rng = random.Random(seed)
-    graph = graph_factory(profile, dataset)()
-    generator = SyntheticWorkloadGenerator(
-        graph, SyntheticWorkloadConfig(days=duration_days, seed=seed)
+    result = execute_spec(
+        flash_run_spec(
+            profile,
+            dataset,
+            extra_memory_pct,
+            followers,
+            start_day,
+            end_day,
+            duration_days,
+            seed,
+        )
     )
-    base_log = generator.generate()
-    spec = plan_flash_event(
-        graph, rng, followers=followers, start_day=start_day, end_day=end_day
-    )
-    log = inject_flash_event(base_log, spec, seed=seed)
+    return _flash_timelines(result)
 
-    topology = tree_topology_factory(profile)()
-    simulator = ClusterSimulator(
-        topology,
-        graph,
-        DynaSoRe(initializer="hmetis", config=dynasore_config(), seed=seed),
-        simulation_config(profile, extra_memory_pct),
-    )
-    simulator.track_view(spec.target_user)
-    result = simulator.run(log)
 
-    timeline = result.tracked_views[spec.target_user]
+def _flash_timelines(result) -> tuple[dict[float, float], dict[float, float]]:
+    """Extract the tracked flash target's timelines from a run result."""
+    timeline = next(iter(result.tracked_views.values()))
     replicas = {time / DAY: float(count) for time, count in timeline.replica_counts}
     reads = {time / DAY: value for time, value in timeline.reads_per_replica}
     return replicas, reads
@@ -92,12 +116,14 @@ def run_figure5(
     end_day: float = 7.0,
     duration_days: float = 10.0,
     repetitions: int | None = None,
+    executor: RuntimeExecutor | None = None,
 ) -> FlashEventOutcome:
     """Run the flash-event experiment and average across repetitions.
 
-    The day samples of each repetition are rounded to a common grid (half a
-    day) before averaging, so repetitions with slightly different sample
-    times aggregate cleanly.
+    The repetitions are declared as a grid of independently seeded specs
+    and fanned out in one executor call.  The day samples of each
+    repetition are rounded to a common grid (half a day) before averaging,
+    so repetitions with slightly different sample times aggregate cleanly.
     """
     repetitions = repetitions if repetitions is not None else profile.flash_repetitions
     duration_days = min(duration_days, max(profile.synthetic_days, end_day + 1.0))
@@ -106,11 +132,8 @@ def run_figure5(
     if end_day <= start_day:
         end_day = start_day + max(0.5, duration_days / 4.0)
 
-    grid = 0.5
-    replica_acc: dict[float, list[float]] = {}
-    reads_acc: dict[float, list[float]] = {}
-    for repetition in range(repetitions):
-        replicas, reads = run_flash_event_once(
+    specs = [
+        flash_run_spec(
             profile,
             dataset,
             extra_memory_pct,
@@ -120,6 +143,15 @@ def run_figure5(
             duration_days,
             seed=profile.seed + repetition,
         )
+        for repetition in range(repetitions)
+    ]
+    results = default_executor(executor).run(specs)
+
+    grid = 0.5
+    replica_acc: dict[float, list[float]] = {}
+    reads_acc: dict[float, list[float]] = {}
+    for result in results:
+        replicas, reads = _flash_timelines(result)
         for day, value in replicas.items():
             bucket = round(day / grid) * grid
             replica_acc.setdefault(bucket, []).append(value)
@@ -137,4 +169,4 @@ def run_figure5(
     return outcome
 
 
-__all__ = ["FlashEventOutcome", "run_figure5", "run_flash_event_once"]
+__all__ = ["FlashEventOutcome", "flash_run_spec", "run_figure5", "run_flash_event_once"]

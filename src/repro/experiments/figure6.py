@@ -20,15 +20,16 @@ from dataclasses import dataclass, field
 
 from ..config import ExperimentProfile
 from ..constants import DAY
+from ..runtime.executor import RuntimeExecutor
+from ..runtime.grid import RunGrid
 from ..simulator.results import SimulationResult
-from ..simulator.runner import run_comparison
 from .common import (
-    graph_factory,
+    default_executor,
+    graph_spec,
     simulation_config,
-    strategy_factories,
-    synthetic_log,
-    trace_log,
-    tree_topology_factory,
+    synthetic_workload_spec,
+    topology_spec,
+    trace_workload_spec,
 )
 
 #: Strategies whose convergence is studied (plus the normalising baseline).
@@ -88,18 +89,22 @@ def run_convergence(
     dataset: str = "facebook",
     extra_memory_pct: float = 150.0,
     strategies: tuple[str, ...] = FIGURE6_STRATEGIES,
+    executor: RuntimeExecutor | None = None,
 ) -> ConvergenceResult:
     """Run the convergence experiment with ``workload`` in {synthetic, real}."""
-    topology_factory = tree_topology_factory(profile)
-    graphs = graph_factory(profile, dataset)
-    base_graph = graphs()
-    log = synthetic_log(profile, base_graph) if workload == "synthetic" else trace_log(
-        profile, base_graph
+    workload_spec = (
+        synthetic_workload_spec(profile)
+        if workload == "synthetic"
+        else trace_workload_spec(profile)
     )
-    config = simulation_config(profile, extra_memory_pct)
-    runs = run_comparison(
-        topology_factory, graphs, strategy_factories(profile, include=strategies), log, config
+    grid = RunGrid.product(
+        topology_spec(profile),
+        graph_spec(profile, dataset),
+        workload_spec,
+        simulation_config(profile, extra_memory_pct),
+        strategies,
     )
+    runs = grid.run(default_executor(executor)).by_strategy()
 
     baseline = runs["random"]
     buckets = max(1, len(baseline.top_switch_series(split=False)))

@@ -24,15 +24,17 @@ from dataclasses import dataclass, field
 
 from ..config import ExperimentProfile
 from ..constants import DAY
-from ..scenarios.faults import CrashRecoverScenario
+from ..runtime.executor import RuntimeExecutor
+from ..runtime.grid import RunGrid
+from ..runtime.spec import ScenarioSpec
 from ..simulator.results import FaultRecord, SimulationResult
-from ..simulator.runner import normalise_results, run_comparison
+from ..simulator.runner import normalise_results
 from .common import (
-    graph_factory,
+    default_executor,
+    graph_spec,
     simulation_config,
-    strategy_factories,
-    synthetic_log,
-    tree_topology_factory,
+    synthetic_workload_spec,
+    topology_spec,
 )
 
 #: Strategies compared under faults (the paper's main contenders).
@@ -106,42 +108,46 @@ def run_figure7(
     extra_memory_pct: float = 50.0,
     crashes: int = 2,
     strategies: tuple[str, ...] | None = None,
+    executor: RuntimeExecutor | None = None,
 ) -> CrashRecoveryComparison:
     """Run the crash-and-recover comparison at the profile's scale.
 
     ``crashes`` servers fail 35% into the trace and rejoin at 70%; the
-    crashed positions are drawn deterministically from the profile seed, so
-    every strategy faces the identical fault stream.
+    crashed positions are drawn deterministically from the profile seed
+    (which every spec of the grid shares), so every strategy faces the
+    identical fault stream.
     """
     if strategies is None:
         strategies = FIGURE7_STRATEGIES
-    graphs = graph_factory(profile, dataset)
-    base_graph = graphs()
-    log = synthetic_log(profile, base_graph)
     duration = profile.synthetic_days * DAY
     crash_time = duration * 0.35
     recover_time = duration * 0.70
-    scenario = CrashRecoverScenario(
-        crash_time=crash_time, recover_time=recover_time, count=crashes
+    scenario = ScenarioSpec.of(
+        "crash_recover",
+        crash_time=crash_time,
+        recover_time=recover_time,
+        count=crashes,
     )
 
-    config = simulation_config(profile, extra_memory_pct)
-    runs = run_comparison(
-        tree_topology_factory(profile),
-        graphs,
-        strategy_factories(profile, include=strategies),
-        log,
-        config,
-        scenario=scenario,
+    grid = RunGrid.product(
+        topology_spec(profile),
+        graph_spec(profile, dataset),
+        synthetic_workload_spec(profile),
+        simulation_config(profile, extra_memory_pct),
+        strategies,
+        scenarios=[scenario],
     )
+    runs = grid.run(default_executor(executor)).by_strategy()
     normalised = normalise_results(runs)
     # Memory budget of the runs (rebuilt here; every run shares it because
     # graph size and extra memory are identical across strategies).
     from ..store.memory import MemoryBudget
 
-    topology = tree_topology_factory(profile)()
+    topology = topology_spec(profile).build()
     capacity = MemoryBudget(
-        views=base_graph.num_users,
+        # The generator creates exactly the requested number of users, so
+        # the spec's count matches every run's graph without rebuilding it.
+        views=graph_spec(profile, dataset).users,
         extra_memory_pct=extra_memory_pct,
         servers=len(topology.servers),
     ).total_capacity

@@ -11,6 +11,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..config import ExperimentProfile
+from ..runtime.executor import RuntimeExecutor
 from . import report
 from .datasets import run_table1
 from .figure2 import run_figure2
@@ -28,16 +29,24 @@ class Experiment:
 
     identifier: str
     description: str
-    runner: Callable[[ExperimentProfile], object]
+    runner: Callable[..., object]
     renderer: Callable[[object], str]
 
-    def run(self, profile: ExperimentProfile) -> object:
-        """Run the experiment at the given profile's scale."""
-        return self.runner(profile)
+    def run(
+        self, profile: ExperimentProfile, executor: RuntimeExecutor | None = None
+    ) -> object:
+        """Run the experiment at the given profile's scale.
 
-    def run_and_render(self, profile: ExperimentProfile) -> str:
+        ``executor`` (workers, result cache, progress reporting) is threaded
+        into every runner; ``None`` means serial in-process execution.
+        """
+        return self.runner(profile, executor=executor)
+
+    def run_and_render(
+        self, profile: ExperimentProfile, executor: RuntimeExecutor | None = None
+    ) -> str:
         """Run the experiment and return the paper-style text report."""
-        return self.renderer(self.run(profile))
+        return self.renderer(self.run(profile, executor=executor))
 
 
 EXPERIMENTS: dict[str, Experiment] = {

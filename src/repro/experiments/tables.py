@@ -15,15 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import ExperimentProfile
-from ..simulator.runner import run_comparison
+from ..runtime.executor import RuntimeExecutor
+from ..runtime.grid import RunGrid
 from .common import (
     DATASETS,
     convergence_cutoff,
-    graph_factory,
+    default_executor,
+    graph_spec,
     simulation_config,
-    strategy_factories,
-    synthetic_log,
-    tree_topology_factory,
+    synthetic_workload_spec,
+    topology_spec,
 )
 
 #: Switch levels reported by the tables.
@@ -50,23 +51,27 @@ def run_switch_traffic_table(
     profile: ExperimentProfile,
     extra_memory_pct: float,
     datasets: tuple[str, ...] = DATASETS,
+    executor: RuntimeExecutor | None = None,
 ) -> SwitchTrafficTable:
-    """Run the simulations behind Table 2 (30%) or Table 3 (150%)."""
+    """Run the simulations behind Table 2 (30%) or Table 3 (150%).
+
+    The whole table is one dataset x strategy grid fanned out in a single
+    executor call.
+    """
     table = SwitchTrafficTable(extra_memory_pct=extra_memory_pct)
-    topology_factory = tree_topology_factory(profile)
+    config = simulation_config(
+        profile, extra_memory_pct, measure_from=convergence_cutoff(profile)
+    )
+    grid = RunGrid.product(
+        topology_spec(profile),
+        [graph_spec(profile, dataset) for dataset in datasets],
+        synthetic_workload_spec(profile),
+        config,
+        TABLE_STRATEGIES,
+    )
+    outcome = grid.run(default_executor(executor))
     for dataset in datasets:
-        graphs = graph_factory(profile, dataset)
-        log = synthetic_log(profile, graphs())
-        config = simulation_config(
-            profile, extra_memory_pct, measure_from=convergence_cutoff(profile)
-        )
-        runs = run_comparison(
-            topology_factory,
-            graphs,
-            strategy_factories(profile, include=TABLE_STRATEGIES),
-            log,
-            config,
-        )
+        runs = outcome.by_strategy(dataset=dataset)
         baseline = runs["random"]
         cells: dict[tuple[str, str], float] = {}
         for label, run in runs.items():
@@ -79,14 +84,22 @@ def run_switch_traffic_table(
     return table
 
 
-def run_table2(profile: ExperimentProfile, datasets: tuple[str, ...] = DATASETS) -> SwitchTrafficTable:
+def run_table2(
+    profile: ExperimentProfile,
+    datasets: tuple[str, ...] = DATASETS,
+    executor: RuntimeExecutor | None = None,
+) -> SwitchTrafficTable:
     """Table 2: per-level switch traffic with 30% extra memory."""
-    return run_switch_traffic_table(profile, 30.0, datasets)
+    return run_switch_traffic_table(profile, 30.0, datasets, executor=executor)
 
 
-def run_table3(profile: ExperimentProfile, datasets: tuple[str, ...] = DATASETS) -> SwitchTrafficTable:
+def run_table3(
+    profile: ExperimentProfile,
+    datasets: tuple[str, ...] = DATASETS,
+    executor: RuntimeExecutor | None = None,
+) -> SwitchTrafficTable:
     """Table 3: per-level switch traffic with 150% extra memory."""
-    return run_switch_traffic_table(profile, 150.0, datasets)
+    return run_switch_traffic_table(profile, 150.0, datasets, executor=executor)
 
 
 __all__ = [

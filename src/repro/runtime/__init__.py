@@ -1,0 +1,44 @@
+"""Parallel experiment runtime.
+
+Declarative :class:`RunSpec` descriptions of simulation runs, grid
+expansion (:class:`RunGrid`), and a :class:`RuntimeExecutor` with serial
+and process-pool backends plus an on-disk result cache.  See
+``README.md`` ("Experiment runtime") for the user-facing tour.
+"""
+
+from .executor import (
+    DEFAULT_CACHE_DIR,
+    Progress,
+    ResultCache,
+    RuntimeExecutor,
+    execute_spec,
+)
+from .grid import GridResult, RunGrid
+from .spec import (
+    FlashSpec,
+    GraphSpec,
+    RunSpec,
+    STRATEGY_KEYS,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_strategy,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "FlashSpec",
+    "GraphSpec",
+    "GridResult",
+    "Progress",
+    "ResultCache",
+    "RunGrid",
+    "RunSpec",
+    "RuntimeExecutor",
+    "STRATEGY_KEYS",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_strategy",
+    "execute_spec",
+]

@@ -1,0 +1,280 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` is a frozen, hashable description of one simulation run:
+which topology to build, which social graph to generate, which request log
+to replay, which placement strategy to deploy and under which
+:class:`~repro.config.SimulationConfig` (plus an optional fault/load
+scenario).  Because a spec contains only plain data it can be
+
+* hashed into a stable cache key (the on-disk result cache),
+* pickled across process boundaries (the parallel executor),
+* expanded into grids (strategy x memory x dataset x scenario) by
+  :mod:`repro.runtime.grid`.
+
+The middleware literature calls this a *declarative request description
+layer*: experiments say **what** to run, the
+:class:`~repro.runtime.executor.RuntimeExecutor` decides **how**.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from ..baselines import (
+    HierarchicalMetisPlacement,
+    MetisPlacement,
+    RandomPlacement,
+    SparPlacement,
+)
+from ..baselines.base import PlacementStrategy
+from ..config import ClusterSpec, DynaSoReConfig, FlatClusterSpec, SimulationConfig
+from ..exceptions import ConfigurationError
+from ..socialgraph.generators import dataset_preset, generate_social_graph
+from ..socialgraph.graph import SocialGraph
+from ..topology.base import ClusterTopology
+from ..topology.flat import FlatTopology
+from ..topology.tree import TreeTopology
+from ..workload.flash import inject_flash_event, plan_flash_event
+from ..workload.requests import RequestLog
+from ..workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+from ..workload.trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
+
+#: Bump when the semantics of spec execution change, so stale on-disk cache
+#: entries from older code are never served.
+SPEC_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Component specs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative cluster topology: a tree of switches or a flat cluster."""
+
+    kind: str = "tree"
+    cluster: ClusterSpec | None = None
+    machines: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tree", "flat"):
+            raise ConfigurationError(f"unknown topology kind {self.kind!r}")
+
+    def build(self) -> ClusterTopology:
+        """Materialise the topology."""
+        if self.kind == "tree":
+            return TreeTopology(self.cluster or ClusterSpec())
+        machines = self.machines if self.machines is not None else 250
+        return FlatTopology(FlatClusterSpec(machines=machines))
+
+    @staticmethod
+    def tree(cluster: ClusterSpec) -> "TopologySpec":
+        return TopologySpec(kind="tree", cluster=cluster)
+
+    @staticmethod
+    def flat(machines: int) -> "TopologySpec":
+        return TopologySpec(kind="flat", machines=machines)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Declarative social graph: a scaled analogue of one paper dataset."""
+
+    dataset: str
+    users: int
+    seed: int
+
+    def build(self) -> SocialGraph:
+        """Generate the graph (deterministic in the seed)."""
+        return generate_social_graph(
+            dataset_preset(self.dataset, users=self.users), seed=self.seed
+        )
+
+
+@dataclass(frozen=True)
+class FlashSpec:
+    """Flash event injected into a workload (paper section 4.6)."""
+
+    followers: int
+    start_day: float
+    end_day: float
+    reads_per_follower_per_day: float = 4.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative request log: synthetic or trace-like, optionally with a
+    flash event merged in."""
+
+    kind: str
+    days: float
+    seed: int
+    flash: FlashSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("synthetic", "trace"):
+            raise ConfigurationError(f"unknown workload kind {self.kind!r}")
+
+    def build(self, graph: SocialGraph) -> tuple[RequestLog, tuple[int, ...]]:
+        """Generate the log; returns ``(log, views to track)``.
+
+        The tracked views are non-empty only for flash workloads: the flash
+        target is chosen here (deterministically from the seed), so only the
+        builder knows which view the experiment must sample.
+        """
+        if self.kind == "synthetic":
+            log = SyntheticWorkloadGenerator(
+                graph, SyntheticWorkloadConfig(days=self.days, seed=self.seed)
+            ).generate()
+        else:
+            log = NewsActivityTraceGenerator(
+                graph, NewsActivityTraceConfig(days=self.days, seed=self.seed)
+            ).generate()
+        if self.flash is None:
+            return log, ()
+        rng = random.Random(self.seed)
+        event = plan_flash_event(
+            graph,
+            rng,
+            followers=self.flash.followers,
+            start_day=self.flash.start_day,
+            end_day=self.flash.end_day,
+        )
+        log = inject_flash_event(
+            log,
+            event,
+            reads_per_follower_per_day=self.flash.reads_per_follower_per_day,
+            seed=self.seed,
+        )
+        return log, (event.target_user,)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative fault/load scenario (name + constructor parameters)."""
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def of(kind: str, **params) -> "ScenarioSpec":
+        """Build a spec from keyword parameters (sorted for stable hashing)."""
+        return ScenarioSpec(kind=kind, params=tuple(sorted(params.items())))
+
+    def build(self):
+        """Materialise the scenario object."""
+        from ..scenarios.faults import (
+            CrashRecoverScenario,
+            NodeChurnScenario,
+            RackOutageScenario,
+        )
+        from ..scenarios.load import DiurnalLoadScenario, RegionalFlashCrowdScenario
+
+        builders = {
+            "crash_recover": CrashRecoverScenario,
+            "rack_outage": RackOutageScenario,
+            "node_churn": NodeChurnScenario,
+            "diurnal_load": DiurnalLoadScenario,
+            "regional_flash_crowd": RegionalFlashCrowdScenario,
+        }
+        builder = builders.get(self.kind)
+        if builder is None:
+            raise ConfigurationError(
+                f"unknown scenario kind {self.kind!r}; known: {sorted(builders)}"
+            )
+        return builder(**dict(self.params))
+
+
+# ---------------------------------------------------------------------------
+# Strategy registry
+# ---------------------------------------------------------------------------
+#: Labels of every placement strategy evaluated by the paper, in report order.
+STRATEGY_KEYS = (
+    "random",
+    "metis",
+    "hmetis",
+    "spar",
+    "dynasore_random",
+    "dynasore_metis",
+    "dynasore_hmetis",
+)
+
+
+def build_strategy(
+    key: str, seed: int, dynasore_config: DynaSoReConfig | None = None
+) -> PlacementStrategy:
+    """Fresh, unbound strategy instance for a registry key."""
+    from ..core.engine import DynaSoRe
+
+    if key == "random":
+        return RandomPlacement(seed=seed)
+    if key == "metis":
+        return MetisPlacement(seed=seed)
+    if key == "hmetis":
+        return HierarchicalMetisPlacement(seed=seed)
+    if key == "spar":
+        return SparPlacement(seed=seed)
+    if key.startswith("dynasore_"):
+        initializer = key[len("dynasore_") :]
+        return DynaSoRe(
+            initializer=initializer,
+            config=dynasore_config or DynaSoReConfig(),
+            seed=seed,
+        )
+    raise ConfigurationError(
+        f"unknown strategy key {key!r}; known: {', '.join(STRATEGY_KEYS)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The run spec
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete, declarative description of one simulation run."""
+
+    topology: TopologySpec
+    graph: GraphSpec
+    workload: WorkloadSpec
+    strategy: str
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    scenario: ScenarioSpec | None = None
+    #: Strategy seed; ``None`` means "use ``config.seed``" (the common case).
+    strategy_seed: int | None = None
+    #: DynaSoRe tunables (ignored by the baselines).
+    dynasore_config: DynaSoReConfig | None = None
+    #: Extra views whose replica counts are sampled during the run, on top
+    #: of any view the workload itself asks to track (flash targets).
+    tracked_views: tuple[int, ...] = ()
+
+    def effective_strategy_seed(self) -> int:
+        """Seed used to build the strategy."""
+        return self.config.seed if self.strategy_seed is None else self.strategy_seed
+
+    def cache_key(self) -> str:
+        """Stable content hash of the spec (the result-cache key).
+
+        Built from the reprs of frozen dataclasses of plain values, which
+        are deterministic across processes and sessions (unlike ``hash()``,
+        which is randomised for strings).
+        """
+        payload = (
+            f"v{SPEC_VERSION}|{self.topology!r}|{self.graph!r}|{self.workload!r}|"
+            f"{self.strategy}|{self.config!r}|{self.scenario!r}|"
+            f"{self.strategy_seed!r}|{self.dynasore_config!r}|{self.tracked_views!r}"
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "FlashSpec",
+    "GraphSpec",
+    "RunSpec",
+    "STRATEGY_KEYS",
+    "ScenarioSpec",
+    "SPEC_VERSION",
+    "TopologySpec",
+    "WorkloadSpec",
+    "build_strategy",
+]

@@ -87,7 +87,21 @@ class ClusterSimulator:
         self.tracking_period: float = 10 * MINUTE
         #: Read counts of tracked views since the previous sample.
         self._tracked_reads: dict[int, int] = {}
+        #: Follower sets of tracked views, maintained incrementally on edge
+        #: events so counting a read is a set-membership check instead of an
+        #: O(tracked x following) scan of the reader's adjacency.
+        self._tracked_followers: dict[int, set[int]] = {}
         self._next_sample: float = self.tracking_period
+        #: Request handlers keyed on the concrete request type (hot path:
+        #: one dict lookup per request instead of an isinstance chain).
+        self._dispatch: dict[type, Callable[[Request], None]] = {
+            ReadRequest: self._apply_read,
+            WriteRequest: self._apply_write,
+            EdgeAdded: self._apply_edge_added,
+            EdgeRemoved: self._apply_edge_removed,
+        }
+        self._reads_executed = 0
+        self._writes_executed = 0
 
     # ------------------------------------------------------------------ setup
     def prepare(self) -> None:
@@ -104,6 +118,9 @@ class ClusterSimulator:
         """Sample the replica count of ``user``'s view during the run."""
         self._tracked_views[user] = ReplicaTimeline(user=user)
         self._tracked_reads[user] = 0
+        self._tracked_followers[user] = (
+            set(self.graph.followers(user)) if self.graph.has_user(user) else set()
+        )
 
     def reset_traffic(self) -> None:
         """Clear the traffic counters (e.g. after a warm-up phase)."""
@@ -197,38 +214,25 @@ class ClusterSimulator:
         self.prepare()
         log = self._materialise_scenario(log)
         clock = SimulationClock(tick_period=self.config.tick_period)
-        reads = writes = 0
+        self._reads_executed = 0
+        self._writes_executed = 0
+        dispatch = self._dispatch
+        post_hooks = self._post_request_hooks
 
         for request in log:
-            self._apply_due_faults(clock, request.timestamp)
-            self._advance_ticks(clock, request.timestamp)
-            self._sample_tracked(request.timestamp)
+            timestamp = request.timestamp
+            self._apply_due_faults(clock, timestamp)
+            self._advance_ticks(clock, timestamp)
+            self._sample_tracked(timestamp)
 
-            if isinstance(request, ReadRequest):
-                self._count_tracked_read(request.user)
-                self.strategy.execute_read(request.user, request.timestamp)
-                reads += 1
-            elif isinstance(request, WriteRequest):
-                self.strategy.execute_write(request.user, request.timestamp)
-                writes += 1
-                if self.persistent_store is not None:
-                    # Durability path: the write reaches the WAL-backed
-                    # store before (in simulated time) the cache serves it.
-                    self.persistent_store.process_write(
-                        request.user, request.timestamp
-                    )
-            elif isinstance(request, EdgeAdded):
-                self.graph.add_edge(request.follower, request.followee)
-                self.strategy.on_edge_added(request.follower, request.followee, request.timestamp)
-            elif isinstance(request, EdgeRemoved):
-                self.graph.remove_edge(request.follower, request.followee)
-                self.strategy.on_edge_removed(
-                    request.follower, request.followee, request.timestamp
-                )
-            else:  # pragma: no cover - defensive
+            handler = dispatch.get(type(request))
+            if handler is None:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown request type {type(request).__name__}")
-            for hook in self._post_request_hooks:
+            handler(request)
+            for hook in post_hooks:
                 hook(request)
+        reads = self._reads_executed
+        writes = self._writes_executed
 
         # Faults scheduled past the end of the log still happen (e.g. a
         # recovery that closes a crash window after the last request).
@@ -262,6 +266,37 @@ class ClusterSimulator:
             fault_records=list(self.fault_records),
             unavailable_views=self._count_unavailable_views(),
         )
+
+    # ----------------------------------------------------- request handlers
+    def _apply_read(self, request: ReadRequest) -> None:
+        if self._tracked_followers:
+            self._count_tracked_read(request.user)
+        self.strategy.execute_read(request.user, request.timestamp)
+        self._reads_executed += 1
+
+    def _apply_write(self, request: WriteRequest) -> None:
+        self.strategy.execute_write(request.user, request.timestamp)
+        self._writes_executed += 1
+        if self.persistent_store is not None:
+            # Durability path: the write reaches the WAL-backed store
+            # before (in simulated time) the cache serves it.
+            self.persistent_store.process_write(request.user, request.timestamp)
+
+    def _apply_edge_added(self, request: EdgeAdded) -> None:
+        self.graph.add_edge(request.follower, request.followee)
+        self.strategy.on_edge_added(request.follower, request.followee, request.timestamp)
+        followers = self._tracked_followers.get(request.followee)
+        if followers is not None:
+            followers.add(request.follower)
+
+    def _apply_edge_removed(self, request: EdgeRemoved) -> None:
+        self.graph.remove_edge(request.follower, request.followee)
+        self.strategy.on_edge_removed(
+            request.follower, request.followee, request.timestamp
+        )
+        followers = self._tracked_followers.get(request.followee)
+        if followers is not None:
+            followers.discard(request.follower)
 
     # -------------------------------------------------------------- scenario
     def _materialise_scenario(self, log: RequestLog) -> RequestLog:
@@ -324,14 +359,14 @@ class ClusterSimulator:
 
     # ------------------------------------------------------------- tracking
     def _count_tracked_read(self, reader: int) -> None:
-        """Count reads that touch tracked views (reader follows the target)."""
-        if not self._tracked_views:
-            return
-        if not self.graph.has_user(reader):
-            return
-        following = self.graph.following(reader)
-        for user in self._tracked_views:
-            if user in following:
+        """Count reads that touch tracked views (reader follows the target).
+
+        Uses the incrementally maintained follower sets, so the per-read
+        cost is one membership check per tracked view instead of a scan of
+        the reader's full following list.
+        """
+        for user, followers in self._tracked_followers.items():
+            if reader in followers:
                 self._tracked_reads[user] += 1
 
     def _sample_tracked(self, now: float, force: bool = False) -> None:

@@ -1,11 +1,13 @@
 """Convenience wrappers to run one or several strategies on a scenario.
 
-The experiment harness repeatedly needs the same operation: given a social
-graph, a request log, a topology and a memory budget, run a set of strategies
-and normalise their traffic against the Random baseline.  These helpers keep
-that orchestration in one place.  Both runners accept an optional
-:class:`~repro.scenarios.base.Scenario`, so a fault/churn scenario can be
-replayed identically against every strategy being compared.
+These are thin forwarding layers over the experiment runtime
+(:mod:`repro.runtime`): :func:`run_simulation` materialises factory-built
+components and hands them to the runtime's shared execution core, and
+:func:`run_comparison` replays a scenario identically against several
+strategies.  Declarative code should prefer
+:class:`~repro.runtime.spec.RunSpec` +
+:class:`~repro.runtime.executor.RuntimeExecutor`, which add process-level
+parallelism and result caching on top of the same core.
 """
 
 from __future__ import annotations
@@ -17,10 +19,10 @@ from ..baselines.base import PlacementStrategy
 from ..config import SimulationConfig
 from ..exceptions import SimulationError
 from ..persistence.backend import PersistentStore
+from ..runtime.executor import run_materialised
 from ..socialgraph.graph import SocialGraph
 from ..topology.base import ClusterTopology
 from ..workload.requests import RequestLog
-from .engine import ClusterSimulator
 from .results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,19 +48,16 @@ def run_simulation(
     graph (edge events) and attach state to the topology-derived structures;
     rebuilding guarantees runs are independent and comparable.
     """
-    topology = topology_factory()
-    graph = graph_factory()
-    simulator = ClusterSimulator(
-        topology,
-        graph,
+    return run_materialised(
+        topology_factory(),
+        graph_factory(),
         strategy_factory(),
+        log,
         config,
+        tracked_views=tracked_views,
         scenario=scenario,
         persistent_store=persistent_store,
     )
-    for user in tracked_views:
-        simulator.track_view(user)
-    return simulator.run(log)
 
 
 def run_comparison(

@@ -16,7 +16,7 @@ from ..exceptions import StorageError
 class RotatingCounter:
     """A sliding-window counter made of ``slots`` rotating buckets."""
 
-    __slots__ = ("slots", "period", "_buckets", "_current_period")
+    __slots__ = ("slots", "period", "_buckets", "_current_period", "_total")
 
     def __init__(
         self,
@@ -32,12 +32,18 @@ class RotatingCounter:
         self.period = period
         self._buckets = [0.0] * slots
         self._current_period = int(start_time // period)
+        # Running sum of the window, maintained incrementally so ``total`` is
+        # O(1) — it sits on the utility-estimation hot path, where it used to
+        # dominate via repeated O(slots) sums.
+        self._total = 0.0
 
     # ------------------------------------------------------------- recording
     def record(self, timestamp: float, amount: float = 1.0) -> None:
         """Record ``amount`` accesses at ``timestamp``."""
-        self.advance(timestamp)
+        if int(timestamp // self.period) > self._current_period:
+            self.advance(timestamp)
         self._buckets[self._current_period % self.slots] += amount
+        self._total += amount
 
     def advance(self, timestamp: float) -> None:
         """Rotate buckets so the counter is current with ``timestamp``.
@@ -52,15 +58,19 @@ class RotatingCounter:
         elapsed = period - self._current_period
         if elapsed >= self.slots:
             self._buckets = [0.0] * self.slots
+            self._total = 0.0
         else:
+            buckets = self._buckets
             for step in range(1, elapsed + 1):
-                self._buckets[(self._current_period + step) % self.slots] = 0.0
+                index = (self._current_period + step) % self.slots
+                self._total -= buckets[index]
+                buckets[index] = 0.0
         self._current_period = period
 
     # --------------------------------------------------------------- queries
     def total(self) -> float:
         """Sum of the sliding window."""
-        return sum(self._buckets)
+        return self._total
 
     def rate_per_period(self) -> float:
         """Average accesses per period over the window."""
@@ -79,6 +89,7 @@ class RotatingCounter:
         clone = RotatingCounter(self.slots, self.period)
         clone._buckets = list(self._buckets)
         clone._current_period = self._current_period
+        clone._total = self._total
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

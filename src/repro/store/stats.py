@@ -21,7 +21,14 @@ from .counters import RotatingCounter
 class AccessStatistics:
     """Origin-resolved read counters plus a write counter for one replica."""
 
-    __slots__ = ("slots", "period", "_reads", "_writes", "_reads_since_evaluation")
+    __slots__ = (
+        "slots",
+        "period",
+        "_reads",
+        "_writes",
+        "_reads_since_evaluation",
+        "_origins_cache",
+    )
 
     def __init__(
         self,
@@ -33,6 +40,11 @@ class AccessStatistics:
         self._reads: dict[int, RotatingCounter] = {}
         self._writes = RotatingCounter(slots, period)
         self._reads_since_evaluation = 0
+        # Cached result of ``reads_by_origin``; invalidated by reads,
+        # rotations and clears.  Algorithms 1–3 query the same statistics
+        # several times per evaluated request, so the cache removes the
+        # repeated dict builds from the hot path.
+        self._origins_cache: dict[int, float] | None = None
 
     # ------------------------------------------------------------- recording
     def record_read(self, origin: int, timestamp: float, amount: float = 1.0) -> None:
@@ -43,6 +55,7 @@ class AccessStatistics:
             self._reads[origin] = counter
         counter.record(timestamp, amount)
         self._reads_since_evaluation += 1
+        self._origins_cache = None
 
     def record_write(self, timestamp: float, amount: float = 1.0) -> None:
         """Record a write (always issued by the view's write proxy)."""
@@ -53,15 +66,23 @@ class AccessStatistics:
         for counter in self._reads.values():
             counter.advance(timestamp)
         self._writes.advance(timestamp)
+        self._origins_cache = None
 
     # --------------------------------------------------------------- queries
     def reads_by_origin(self) -> dict[int, float]:
-        """Read counts over the sliding window, keyed by origin label."""
-        return {
-            origin: counter.total()
-            for origin, counter in self._reads.items()
-            if counter.total() > 0
-        }
+        """Read counts over the sliding window, keyed by origin label.
+
+        The returned dict is a shared cache — treat it as read-only.
+        """
+        cached = self._origins_cache
+        if cached is None:
+            cached = {}
+            for origin, counter in self._reads.items():
+                total = counter.total()
+                if total > 0:
+                    cached[origin] = total
+            self._origins_cache = cached
+        return cached
 
     def total_reads(self) -> float:
         """Total reads over the window, all origins combined."""
@@ -97,6 +118,7 @@ class AccessStatistics:
         self._reads.clear()
         self._writes = RotatingCounter(self.slots, self.period)
         self._reads_since_evaluation = 0
+        self._origins_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -40,6 +40,85 @@ class ClusterTopology(ABC):
         """Network distance: number of switches on the path (paper §2.2)."""
         return len(self.path_between(leaf_a, leaf_b))
 
+    # --------------------------------------------------- precomputed tables
+    # Topologies are immutable once built, so per-leaf rows of paths,
+    # distances and origin costs can be resolved once and then served as
+    # plain list lookups.  The rows are built lazily (only the leaves a
+    # simulation actually touches pay the construction cost) and cached for
+    # the lifetime of the topology.  They are what the traffic accountant
+    # and the utility computation index in their hot loops.
+
+    def _ensure_table_caches(self) -> None:
+        if not hasattr(self, "_path_rows"):
+            count = len(self.devices)
+            self._path_rows: list[list[tuple[int, ...] | None] | None] = [None] * count
+            self._distance_rows: list[list[int | None] | None] = [None] * count
+            self._cost_rows: list[list[int | None] | None] = [None] * count
+            self._origin_label_cache: tuple[int, ...] | None = None
+
+    def _build_path_row(self, leaf: int) -> list[tuple[int, ...] | None]:
+        """Switch paths from ``leaf`` to every other leaf (None elsewhere)."""
+        row: list[tuple[int, ...] | None] = [None] * len(self.devices)
+        for device in self.devices:
+            if device.kind.is_leaf:
+                row[device.index] = self.path_between(leaf, device.index)
+        return row
+
+    def path_row(self, leaf: int) -> list[tuple[int, ...] | None]:
+        """Cached row of switch paths from ``leaf`` to every leaf device.
+
+        Entries for non-leaf destinations are ``None``; raises when ``leaf``
+        itself is not a leaf machine.
+        """
+        self._ensure_table_caches()
+        if not 0 <= leaf < len(self.devices) or not self.devices[leaf].kind.is_leaf:
+            from ..exceptions import TopologyError
+
+            raise TopologyError(f"device {leaf} is not a leaf machine")
+        row = self._path_rows[leaf]
+        if row is None:
+            row = self._build_path_row(leaf)
+            self._path_rows[leaf] = row
+        return row
+
+    def distance_row(self, leaf: int) -> list[int | None]:
+        """Cached row of network distances from ``leaf`` to every leaf."""
+        try:
+            row = self._distance_rows[leaf]
+        except AttributeError:
+            self._ensure_table_caches()
+            row = self._distance_rows[leaf]
+        if row is None:
+            paths = self.path_row(leaf)
+            row = [len(path) if path is not None else None for path in paths]
+            self._distance_rows[leaf] = row
+        return row
+
+    def origin_labels(self) -> tuple[int, ...]:
+        """Every origin label any storage server may record."""
+        self._ensure_table_caches()
+        if self._origin_label_cache is None:
+            labels: set[int] = set()
+            for server in self.servers:
+                labels.update(self.origin_regions(server.index))
+            self._origin_label_cache = tuple(sorted(labels))
+        return self._origin_label_cache
+
+    def cost_row(self, leaf: int) -> list[int | None]:
+        """Cached ``origin -> switches traversed`` costs of serving from
+        ``leaf`` (None for devices that are not valid origin labels)."""
+        try:
+            row = self._cost_rows[leaf]
+        except AttributeError:
+            self._ensure_table_caches()
+            row = self._cost_rows[leaf]
+        if row is None:
+            row = [None] * len(self.devices)
+            for origin in self.origin_labels():
+                row[origin] = self.cost_from_origin(origin, leaf)
+            self._cost_rows[leaf] = row
+        return row
+
     # ------------------------------------------------------ origin coarsening
     @abstractmethod
     def origin_of(self, observer_server: int, source_leaf: int) -> int:

@@ -35,15 +35,27 @@ class FlatTopology(ClusterTopology):
         self.brokers = machines
         self.switches = [self.devices[self._switch_index]]
         self._machine_indices = tuple(machine.index for machine in machines)
+        #: The one-switch path shared by every non-local machine pair.
+        self._switch_path = (self._switch_index,)
+        self._ensure_table_caches()
 
     # ------------------------------------------------------------------ paths
+    def _build_path_row(self, leaf: int) -> list[tuple[int, ...] | None]:
+        """Precomputed paths: () to itself, the single switch to every other."""
+        self._check_leaf(leaf)
+        row: list[tuple[int, ...] | None] = [None] * len(self.devices)
+        for machine in self._machine_indices:
+            row[machine] = self._switch_path
+        row[leaf] = ()
+        return row
+
     def path_between(self, leaf_a: int, leaf_b: int) -> tuple[int, ...]:
         """Empty path for local accesses, the single switch otherwise."""
         self._check_leaf(leaf_a)
         self._check_leaf(leaf_b)
         if leaf_a == leaf_b:
             return ()
-        return (self._switch_index,)
+        return self._switch_path
 
     # ------------------------------------------------------ origin coarsening
     def origin_of(self, observer_server: int, source_leaf: int) -> int:

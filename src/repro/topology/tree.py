@@ -21,8 +21,6 @@ shares the server's intermediate switch) or the source's intermediate switch
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from ..config import ClusterSpec
 from ..exceptions import TopologyError
 from .base import ClusterTopology
@@ -105,19 +103,14 @@ class TreeTopology(ClusterTopology):
         self._servers_under_switch[self._top_index] = tuple(s.index for s in servers)
         self._brokers_under_switch[self._top_index] = tuple(b.index for b in brokers)
 
-        self._path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._rack_pair_paths: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._ensure_table_caches()
 
     # ------------------------------------------------------------------ paths
-    def path_between(self, leaf_a: int, leaf_b: int) -> tuple[int, ...]:
-        """Switches on the tree path between two leaf machines."""
-        if leaf_a == leaf_b:
-            return ()
-        rack_a = self._leaf_rack.get(leaf_a)
-        rack_b = self._leaf_rack.get(leaf_b)
-        if rack_a is None or rack_b is None:
-            raise TopologyError(f"devices {leaf_a} and {leaf_b} must both be leaf machines")
+    def _rack_pair_path(self, rack_a: int, rack_b: int) -> tuple[int, ...]:
+        """Shared path tuple between two racks (identical for all leaf pairs)."""
         key = (rack_a, rack_b)
-        cached = self._path_cache.get(key)
+        cached = self._rack_pair_paths.get(key)
         if cached is not None:
             return cached
         if rack_a == rack_b:
@@ -129,7 +122,36 @@ class TreeTopology(ClusterTopology):
                 path = (rack_a, inter_a, rack_b)
             else:
                 path = (rack_a, inter_a, self._top_index, inter_b, rack_b)
-        self._path_cache[key] = path
+        self._rack_pair_paths[key] = path
+        return path
+
+    def _build_path_row(self, leaf: int) -> list[tuple[int, ...] | None]:
+        """Precomputed switch paths from ``leaf`` to every other leaf.
+
+        Path tuples are shared per rack pair, so the full leaf-by-leaf table
+        costs one tuple per rack pair plus one pointer per leaf pair.
+        """
+        rack_a = self._leaf_rack.get(leaf)
+        if rack_a is None:
+            raise TopologyError(f"device {leaf} is not a leaf machine")
+        row: list[tuple[int, ...] | None] = [None] * len(self.devices)
+        for other, rack_b in self._leaf_rack.items():
+            row[other] = self._rack_pair_path(rack_a, rack_b)
+        row[leaf] = ()
+        return row
+
+    def path_between(self, leaf_a: int, leaf_b: int) -> tuple[int, ...]:
+        """Switches on the tree path between two leaf machines."""
+        rows = self._path_rows
+        if not 0 <= leaf_a < len(rows) or not 0 <= leaf_b < len(rows):
+            raise TopologyError(f"devices {leaf_a} and {leaf_b} must both be leaf machines")
+        row = rows[leaf_a]
+        if row is None:
+            row = self._build_path_row(leaf_a)
+            rows[leaf_a] = row
+        path = row[leaf_b]
+        if path is None:
+            raise TopologyError(f"devices {leaf_a} and {leaf_b} must both be leaf machines")
         return path
 
     # ------------------------------------------------------ origin coarsening

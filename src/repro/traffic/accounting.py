@@ -15,7 +15,7 @@ Tables 2 and 3 of the paper report average per-level traffic.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import SimulationError
 from ..topology.base import ClusterTopology
@@ -60,7 +60,8 @@ class TrafficAccountant:
             raise SimulationError("measure_from cannot be negative")
         self.topology = topology
         self.bucket_width = float(bucket_width)
-        #: Messages earlier than this timestamp are ignored (warm-up phase).
+        #: Traffic earlier than this timestamp is ignored (warm-up phase);
+        #: the messages themselves still count towards ``message_count``.
         self.measure_from = float(measure_from)
         device_count = len(topology.devices)
         self._total = [0.0] * device_count
@@ -73,8 +74,37 @@ class TrafficAccountant:
         self._top_series_app: dict[int, float] = defaultdict(float)
         self._top_series_sys: dict[int, float] = defaultdict(float)
         self._messages = 0
+        # Hot-path state: per-source rows of preresolved switch paths (shared
+        # tuple-of-indices arrays served by the topology) and the top-switch
+        # index, so ``record`` runs on plain list lookups.
+        self._path_rows: list[list[tuple[int, ...] | None] | None] = [None] * device_count
+        self._top_index = topology.top_switch.index
+        # kind -> (default size, is application): the enum properties resolve
+        # frozenset memberships, far too slow for once-per-message lookups.
+        self._kind_info: dict[MessageKind, tuple[int, bool]] = {
+            kind: (kind.default_size, kind.message_class is MessageClass.APPLICATION)
+            for kind in MessageKind
+        }
 
     # ------------------------------------------------------------- recording
+    def _resolve_path(self, source: int, destination: int) -> tuple[int, ...]:
+        """Preresolved switch path between two leaves (validating lazily)."""
+        rows = self._path_rows
+        if not 0 <= source < len(rows) or not 0 <= destination < len(rows):
+            # Out-of-range indices would raise (or negative ones silently
+            # wrap) in the list lookups below; delegate to the topology for
+            # the usual error.
+            return self.topology.path_between(source, destination)
+        row = rows[source]
+        if row is None:
+            row = self.topology.path_row(source)
+            rows[source] = row
+        path = row[destination]
+        if path is None:
+            # Destination is not a leaf machine: raise the topology's error.
+            return self.topology.path_between(source, destination)
+        return path
+
     def record(
         self,
         source: int,
@@ -83,29 +113,30 @@ class TrafficAccountant:
         timestamp: float,
         size: int | None = None,
     ) -> int:
-        """Record one message and return the number of switches it crossed."""
+        """Record one message and return the number of switches it crossed.
+
+        Every offered message counts towards :attr:`message_count` — both
+        machine-local messages (empty path) and messages inside the warm-up
+        window (``timestamp < measure_from``); only the *traffic* of warm-up
+        messages is discarded.
+        """
+        self._messages += 1
         if timestamp < self.measure_from:
             return 0
-        size_value = kind.default_size if size is None else size
-        path = self.topology.path_between(source, destination)
+        path = self._resolve_path(source, destination)
         if not path:
-            self._messages += 1
             return 0
-        is_application = kind.message_class is MessageClass.APPLICATION
-        bucket = int(timestamp // self.bucket_width)
-        top_index = self.topology.top_switch.index
+        default_size, is_application = self._kind_info[kind]
+        size_value = default_size if size is None else size
+        total = self._total
+        split = self._application if is_application else self._system
         for switch in path:
-            self._total[switch] += size_value
-            if is_application:
-                self._application[switch] += size_value
-            else:
-                self._system[switch] += size_value
-            if switch == top_index:
-                if is_application:
-                    self._top_series_app[bucket] += size_value
-                else:
-                    self._top_series_sys[bucket] += size_value
-        self._messages += 1
+            total[switch] += size_value
+            split[switch] += size_value
+        if self._top_index in path:
+            bucket = int(timestamp // self.bucket_width)
+            series = self._top_series_app if is_application else self._top_series_sys
+            series[bucket] += size_value
         return len(path)
 
     def record_roundtrip(
@@ -116,15 +147,71 @@ class TrafficAccountant:
         response_kind: MessageKind,
         timestamp: float,
     ) -> int:
-        """Record a request and its answer; returns switches crossed one-way."""
-        crossed = self.record(source, destination, request_kind, timestamp)
-        self.record(destination, source, response_kind, timestamp)
-        return crossed
+        """Record a request and its answer; returns switches crossed one-way.
+
+        Both directions traverse the same switches, so the path is resolved
+        once and both message sizes are applied in a single pass.
+        """
+        self._messages += 2
+        if timestamp < self.measure_from:
+            return 0
+        # Inlined fast path of ``_resolve_path`` (this is the single hottest
+        # accounting entry point: every read/write fans out one roundtrip
+        # per replica touched).
+        rows = self._path_rows
+        if 0 <= source < len(rows) and 0 <= destination < len(rows):
+            row = rows[source]
+            if row is None:
+                row = self.topology.path_row(source)
+                rows[source] = row
+            path = row[destination]
+            if path is None:
+                path = self._resolve_path(source, destination)
+        else:
+            path = self._resolve_path(source, destination)
+        if not path:
+            return 0
+        kind_info = self._kind_info
+        request_size, request_app = kind_info[request_kind]
+        response_size, response_app = kind_info[response_kind]
+        total = self._total
+        application = self._application
+        system = self._system
+        combined = request_size + response_size
+        if request_app is response_app:
+            split = application if request_app else system
+            for switch in path:
+                total[switch] += combined
+                split[switch] += combined
+        else:
+            request_split = application if request_app else system
+            response_split = application if response_app else system
+            for switch in path:
+                total[switch] += combined
+                request_split[switch] += request_size
+                response_split[switch] += response_size
+        if self._top_index in path:
+            bucket = int(timestamp // self.bucket_width)
+            if request_app:
+                self._top_series_app[bucket] += request_size
+            else:
+                self._top_series_sys[bucket] += request_size
+            if response_app:
+                self._top_series_app[bucket] += response_size
+            else:
+                self._top_series_sys[bucket] += response_size
+        return len(path)
 
     # --------------------------------------------------------------- queries
     @property
     def message_count(self) -> int:
-        """Number of messages recorded (including machine-local ones)."""
+        """Number of messages offered to the accountant.
+
+        The contract (regression-tested): *every* message counts — including
+        machine-local messages whose path is empty and messages that fall in
+        the warm-up window before ``measure_from``.  Only traffic volumes are
+        filtered by ``measure_from``; counters restart on :meth:`reset`.
+        """
         return self._messages
 
     def device_traffic(self, device: int) -> float:

@@ -12,7 +12,6 @@ from repro.exceptions import SimulationError
 from repro.partitioning.quality import edge_cut
 from repro.store.memory import MemoryBudget
 from repro.traffic.accounting import TrafficAccountant
-from repro.traffic.messages import MessageKind
 
 
 def bind_strategy(strategy, topology, graph, extra_memory_pct=30.0, seed=3):

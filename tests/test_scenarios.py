@@ -30,7 +30,7 @@ from repro.scenarios import (
 from repro.scenarios.events import NodeJoin, NodeLeave, ServerCrash, ServerRecovery
 from repro.simulator.engine import ClusterSimulator
 from repro.simulator.runner import normalise_results, run_comparison
-from repro.workload.requests import EdgeAdded, EdgeRemoved, ReadRequest, RequestLog, WriteRequest
+from repro.workload.requests import EdgeAdded, EdgeRemoved, RequestLog, WriteRequest
 
 
 @pytest.fixture

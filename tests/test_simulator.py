@@ -105,6 +105,43 @@ class TestClusterSimulator:
         assert timeline.replica_counts
         assert all(count >= 1 for _, count in timeline.replica_counts)
 
+    def test_tracked_reads_follow_edge_events(self, scenario):
+        """The tracked-read counters honour edge churn around the hot view.
+
+        The follower sets of tracked views are maintained incrementally on
+        edge events (instead of scanning the reader's following list per
+        read), so reads must count exactly while the follow edge exists.
+        """
+        topology, graph, _ = scenario
+        users = list(graph.users)
+        target, reader = users[0], users[1]
+        # Start from a clean slate: the reader does not follow the target.
+        graph.remove_edge(reader, target)
+
+        log = RequestLog()
+        log.append(ReadRequest(10.0, reader))  # not following yet: no count
+        log.append(EdgeAdded(20.0, reader, target))
+        log.append(ReadRequest(30.0, reader))  # following: counts
+        log.append(ReadRequest(40.0, reader))  # following: counts
+        log.append(EdgeRemoved(50.0, reader, target))
+        log.append(ReadRequest(60.0, reader))  # unfollowed again: no count
+
+        simulator = ClusterSimulator(
+            topology, graph, DynaSoRe(initializer="random", seed=1),
+            SimulationConfig(extra_memory_pct=50.0),
+        )
+        simulator.track_view(target)
+        result = simulator.run(log)
+        timeline = result.tracked_views[target]
+        # All reads land in the single forced end-of-run sample.
+        total_reads = sum(
+            reads * count
+            for (_, reads), (_, count) in zip(
+                timeline.reads_per_replica, timeline.replica_counts
+            )
+        )
+        assert total_reads == pytest.approx(2.0)
+
     def test_dynasore_run_produces_system_traffic(self, scenario):
         topology, graph, log = scenario
         simulator = ClusterSimulator(

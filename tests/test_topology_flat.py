@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import FlatClusterSpec
 from repro.exceptions import TopologyError
 from repro.topology.flat import FlatTopology
 

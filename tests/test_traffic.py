@@ -144,3 +144,67 @@ class TestTrafficAccountant:
         accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=0.0)
         accountant.record(a, b, MessageKind.READ_RESPONSE, timestamp=0.0)
         assert accountant.snapshot().messages == 2
+
+    def test_message_count_includes_warmup_and_local_messages(
+        self, tree_topology: TreeTopology
+    ):
+        """Regression: the message-count contract counts *every* message.
+
+        Messages inside the warm-up window (before ``measure_from``) used to
+        be excluded from ``message_count`` while machine-local (empty-path)
+        messages were included.  Both must count; only traffic volumes are
+        filtered by the warm-up window.
+        """
+        accountant = TrafficAccountant(tree_topology, measure_from=1000.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        # Warm-up message: no traffic, but it happened — it counts.
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=10.0)
+        assert accountant.message_count == 1
+        assert accountant.top_switch_traffic() == 0
+        # Machine-local message (empty path) also counts.
+        accountant.record(a, a, MessageKind.READ_REQUEST, timestamp=2000.0)
+        assert accountant.message_count == 2
+        # Measured cross-switch message counts too.
+        accountant.record(a, b, MessageKind.READ_REQUEST, timestamp=2000.0)
+        assert accountant.message_count == 3
+        assert accountant.snapshot().messages == 3
+
+    def test_roundtrip_counts_two_messages_in_warmup(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology, measure_from=1000.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record_roundtrip(
+            a, b, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, timestamp=10.0
+        )
+        assert accountant.message_count == 2
+        assert accountant.top_switch_traffic() == 0
+
+    def test_mixed_class_roundtrip_splits_application_and_system(
+        self, tree_topology: TreeTopology
+    ):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record_roundtrip(
+            a, b, MessageKind.READ_REQUEST, MessageKind.REPLICA_CONTROL, timestamp=0.0
+        )
+        snapshot = accountant.snapshot()
+        assert snapshot.application_by_level["top"] == 10
+        assert snapshot.system_by_level["top"] == 1
+        app, sys_ = accountant.top_switch_series()
+        assert app[0] == 10 and sys_[0] == 1
+
+    def test_record_rejects_non_leaf_devices(self, tree_topology: TreeTopology):
+        from repro.exceptions import TopologyError
+
+        accountant = TrafficAccountant(tree_topology)
+        server = tree_topology.servers[0].index
+        with pytest.raises(TopologyError):
+            accountant.record(
+                tree_topology.top_switch_index, server, MessageKind.READ_REQUEST, 0.0
+            )
+        with pytest.raises(TopologyError):
+            accountant.record(server, 9999, MessageKind.READ_REQUEST, 0.0)
+        with pytest.raises(TopologyError):
+            accountant.record(-1, server, MessageKind.READ_REQUEST, 0.0)
