@@ -49,21 +49,43 @@ from .socialgraph import SocialGraph, facebook_like, livejournal_like, twitter_l
 from .store import MemoryBudget
 from .topology import FlatTopology, TreeTopology
 from .workload import (
+    CelebrityReadStormGenerator,
+    CelebrityStormConfig,
+    EventChunk,
+    EventStream,
     NewsActivityTraceConfig,
     NewsActivityTraceGenerator,
+    ParetoBurstConfig,
+    ParetoBurstWorkloadGenerator,
     RequestLog,
     SyntheticWorkloadConfig,
     SyntheticWorkloadGenerator,
+    as_stream,
+    merge_streams,
+    read_trace,
+    trace_content_hash,
+    write_trace,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CelebrityReadStormGenerator",
+    "CelebrityStormConfig",
     "ClusterSimulator",
     "ClusterSpec",
     "CompositeScenario",
     "CrashRecoverScenario",
     "DiurnalLoadScenario",
+    "EventChunk",
+    "EventStream",
+    "ParetoBurstConfig",
+    "ParetoBurstWorkloadGenerator",
+    "as_stream",
+    "merge_streams",
+    "read_trace",
+    "trace_content_hash",
+    "write_trace",
     "DynaSoRe",
     "DynaSoReConfig",
     "DynaSoReStore",

@@ -29,6 +29,7 @@ from ..topology.base import ClusterTopology
 from ..topology.flat import FlatTopology
 from ..topology.tree import TreeTopology
 from ..workload.requests import RequestLog
+from ..workload.stream import EventStream
 from ..workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
 from ..workload.trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
 
@@ -88,22 +89,32 @@ def graph_factory(
     return lambda: generate_social_graph(spec, seed=profile.seed)
 
 
-def synthetic_log(profile: ExperimentProfile, graph: SocialGraph) -> RequestLog:
-    """Synthetic request log for a graph (paper section 4.2)."""
+def synthetic_stream(profile: ExperimentProfile, graph: SocialGraph) -> EventStream:
+    """Synthetic workload stream for a graph (paper section 4.2)."""
     generator = SyntheticWorkloadGenerator(
         graph,
         SyntheticWorkloadConfig(days=profile.synthetic_days, seed=profile.seed),
     )
-    return generator.generate()
+    return generator.stream()
 
 
-def trace_log(profile: ExperimentProfile, graph: SocialGraph) -> RequestLog:
-    """Yahoo!-News-Activity-like request log (paper section 4.2)."""
+def trace_stream(profile: ExperimentProfile, graph: SocialGraph) -> EventStream:
+    """Yahoo!-News-Activity-like workload stream (paper section 4.2)."""
     generator = NewsActivityTraceGenerator(
         graph,
         NewsActivityTraceConfig(days=profile.trace_days, seed=profile.seed),
     )
-    return generator.generate()
+    return generator.stream()
+
+
+def synthetic_log(profile: ExperimentProfile, graph: SocialGraph) -> RequestLog:
+    """Materialised synthetic request log (legacy object-list adapter)."""
+    return synthetic_stream(profile, graph).materialise()
+
+
+def trace_log(profile: ExperimentProfile, graph: SocialGraph) -> RequestLog:
+    """Materialised trace-like request log (legacy object-list adapter)."""
+    return trace_stream(profile, graph).materialise()
 
 
 def simulation_config(
@@ -168,9 +179,11 @@ __all__ = [
     "simulation_config",
     "strategy_factories",
     "synthetic_log",
+    "synthetic_stream",
     "synthetic_workload_spec",
     "topology_spec",
     "trace_log",
+    "trace_stream",
     "trace_workload_spec",
     "tree_topology_factory",
 ]

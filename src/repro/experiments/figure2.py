@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..config import ExperimentProfile
 from ..runtime.executor import RuntimeExecutor
+from ..workload.stream import events_per_day
 from .common import graph_spec, trace_workload_spec
 
 
@@ -33,12 +34,13 @@ def run_figure2(
     """Generate the trace and return its per-day read/write counts.
 
     A pure workload characterisation: no simulation runs, so ``executor``
-    (accepted for registry uniformity) is unused.
+    (accepted for registry uniformity) is unused.  The trace is consumed as
+    a chunk stream — the per-day histogram never materialises an event.
     """
     del executor
     graph = graph_spec(profile, dataset).build()
-    log, _ = trace_workload_spec(profile).build(graph)
-    per_day = log.requests_per_day()
+    stream, _ = trace_workload_spec(profile).build_stream(graph)
+    per_day = events_per_day(stream)
     return [
         DailyActivity(day=day, reads=counts["reads"], writes=counts["writes"])
         for day, counts in sorted(per_day.items())

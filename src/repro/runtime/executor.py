@@ -41,7 +41,12 @@ def run_materialised(
     persistent_store=None,
 ) -> SimulationResult:
     """Execution core shared by :func:`execute_spec` and the legacy
-    factory-based :func:`repro.simulator.runner.run_simulation` wrapper."""
+    factory-based :func:`repro.simulator.runner.run_simulation` wrapper.
+
+    ``log`` may be a materialised :class:`~repro.workload.requests.RequestLog`
+    or a chunked :class:`~repro.workload.stream.EventStream`; both replay to
+    byte-identical results.
+    """
     from ..simulator.engine import ClusterSimulator
 
     simulator = ClusterSimulator(
@@ -60,13 +65,15 @@ def run_materialised(
 def execute_spec(spec: RunSpec) -> SimulationResult:
     """Run one spec from scratch and return its result.
 
-    Everything is rebuilt from the spec (topology, graph, log, strategy),
+    Everything is rebuilt from the spec (topology, graph, stream, strategy),
     so runs are independent and deterministic in the spec's seeds — the
     property that makes both caching and process-level parallelism safe.
+    The workload is consumed as a lazy chunk stream: a worker never holds
+    more than one chunk of events in memory.
     """
     topology = spec.topology.build()
     graph = spec.graph.build()
-    log, workload_tracked = spec.workload.build(graph)
+    stream, workload_tracked = spec.workload.build_stream(graph)
     strategy = build_strategy(
         spec.strategy, spec.effective_strategy_seed(), spec.dynasore_config
     )
@@ -74,7 +81,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     tracked = list(workload_tracked)
     tracked.extend(user for user in spec.tracked_views if user not in workload_tracked)
     return run_materialised(
-        topology, graph, strategy, log, spec.config, tracked, scenario
+        topology, graph, strategy, stream, spec.config, tracked, scenario
     )
 
 

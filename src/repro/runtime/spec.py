@@ -36,14 +36,22 @@ from ..socialgraph.graph import SocialGraph
 from ..topology.base import ClusterTopology
 from ..topology.flat import FlatTopology
 from ..topology.tree import TreeTopology
-from ..workload.flash import inject_flash_event, plan_flash_event
+from ..workload.flash import inject_flash_stream, plan_flash_event
+from ..workload.models import (
+    CelebrityReadStormGenerator,
+    CelebrityStormConfig,
+    ParetoBurstConfig,
+    ParetoBurstWorkloadGenerator,
+)
 from ..workload.requests import RequestLog
+from ..workload.stream import EventStream
 from ..workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
 from ..workload.trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
 
 #: Bump when the semantics of spec execution change, so stale on-disk cache
-#: entries from older code are never served.
-SPEC_VERSION = 1
+#: entries from older code are never served.  Version 2: workloads are
+#: generated through the chunked stream pipeline.
+SPEC_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -102,37 +110,118 @@ class FlashSpec:
     reads_per_follower_per_day: float = 4.0
 
 
+#: Workload kinds understood by :class:`WorkloadSpec`.
+WORKLOAD_KINDS = ("synthetic", "trace", "pareto_burst", "celebrity_storm", "file")
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Declarative request log: synthetic or trace-like, optionally with a
-    flash event merged in."""
+    """Declarative workload: a generated stream (synthetic, trace-like,
+    Pareto-bursty, celebrity read storms) or a binary trace file, optionally
+    with a flash event merged in.
+
+    Workers rebuild the *stream* from this spec — nothing but the spec
+    crosses process boundaries, and replay consumes chunks lazily, so a
+    paper-scale workload is never materialised per worker.
+    """
 
     kind: str
     days: float
     seed: int
     flash: FlashSpec | None = None
+    #: Model-specific parameters (sorted key/value pairs; see ``of``).
+    params: tuple[tuple[str, object], ...] = ()
+    #: Path of a binary trace file (``kind="file"`` only).
+    path: str | None = None
+    #: SHA-256 of the trace file's bytes (``kind="file"`` only): the
+    #: content address used for result-cache keys and integrity checks.
+    content_hash: str | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("synthetic", "trace"):
+        if self.kind not in WORKLOAD_KINDS:
             raise ConfigurationError(f"unknown workload kind {self.kind!r}")
+        if self.kind == "file" and not self.path:
+            raise ConfigurationError("file workloads require a path")
 
-    def build(self, graph: SocialGraph) -> tuple[RequestLog, tuple[int, ...]]:
-        """Generate the log; returns ``(log, views to track)``.
+    @staticmethod
+    def of(kind: str, days: float, seed: int, flash: FlashSpec | None = None, **params):
+        """Build a spec with model parameters (sorted for stable hashing)."""
+        return WorkloadSpec(
+            kind=kind,
+            days=days,
+            seed=seed,
+            flash=flash,
+            params=tuple(sorted(params.items())),
+        )
+
+    @staticmethod
+    def from_file(path, flash: FlashSpec | None = None, seed: int = 0) -> "WorkloadSpec":
+        """Content-addressed spec for a saved binary trace file.
+
+        ``seed`` only matters together with ``flash``: it drives the flash
+        target choice and the injected read timestamps, so sweeping flash
+        randomness over one saved trace means varying ``seed`` here.
+        """
+        from ..workload.io import trace_content_hash
+
+        return WorkloadSpec(
+            kind="file",
+            days=0.0,
+            seed=seed,
+            flash=flash,
+            path=str(path),
+            content_hash=trace_content_hash(path),
+        )
+
+    def cache_token(self) -> str:
+        """Contribution of this workload to the run's cache key.
+
+        File workloads are addressed by *content*, not by path: moving a
+        trace file never invalidates cached results, and two paths holding
+        identical bytes share entries.  A hand-built file spec without a
+        content hash (``from_file`` always sets one) falls back to the
+        path, so distinct trace files can never collide on one cache key.
+        """
+        if self.kind == "file":
+            address = self.content_hash or f"path={self.path}"
+            if self.flash is None:
+                return f"WorkloadSpec(file:{address}, flash=None)"
+            # The seed still matters with a flash event: it drives the
+            # flash target choice and the injected read timestamps.
+            return (
+                f"WorkloadSpec(file:{address}, flash={self.flash!r}, "
+                f"seed={self.seed})"
+            )
+        return repr(self)
+
+    def build_stream(self, graph: SocialGraph) -> tuple[EventStream, tuple[int, ...]]:
+        """Build the chunked event stream; returns ``(stream, tracked views)``.
 
         The tracked views are non-empty only for flash workloads: the flash
         target is chosen here (deterministically from the seed), so only the
         builder knows which view the experiment must sample.
         """
+        params = dict(self.params)
         if self.kind == "synthetic":
-            log = SyntheticWorkloadGenerator(
-                graph, SyntheticWorkloadConfig(days=self.days, seed=self.seed)
-            ).generate()
+            stream = SyntheticWorkloadGenerator(
+                graph, SyntheticWorkloadConfig(days=self.days, seed=self.seed, **params)
+            ).stream()
+        elif self.kind == "trace":
+            stream = NewsActivityTraceGenerator(
+                graph, NewsActivityTraceConfig(days=self.days, seed=self.seed, **params)
+            ).stream()
+        elif self.kind == "pareto_burst":
+            stream = ParetoBurstWorkloadGenerator(
+                graph, ParetoBurstConfig(days=self.days, seed=self.seed, **params)
+            ).stream()
+        elif self.kind == "celebrity_storm":
+            stream = CelebrityReadStormGenerator(
+                graph, CelebrityStormConfig(days=self.days, seed=self.seed, **params)
+            ).stream()
         else:
-            log = NewsActivityTraceGenerator(
-                graph, NewsActivityTraceConfig(days=self.days, seed=self.seed)
-            ).generate()
+            stream = self._load_trace_file()
         if self.flash is None:
-            return log, ()
+            return stream, ()
         rng = random.Random(self.seed)
         event = plan_flash_event(
             graph,
@@ -141,13 +230,32 @@ class WorkloadSpec:
             start_day=self.flash.start_day,
             end_day=self.flash.end_day,
         )
-        log = inject_flash_event(
-            log,
+        stream = inject_flash_stream(
+            stream,
             event,
             reads_per_follower_per_day=self.flash.reads_per_follower_per_day,
             seed=self.seed,
         )
-        return log, (event.target_user,)
+        return stream, (event.target_user,)
+
+    def _load_trace_file(self) -> EventStream:
+        from ..exceptions import WorkloadError
+        from ..workload.io import read_trace, trace_content_hash
+
+        if self.content_hash is not None:
+            actual = trace_content_hash(self.path)
+            if actual != self.content_hash:
+                raise WorkloadError(
+                    f"trace file {self.path} changed on disk: content hash "
+                    f"{actual[:12]}… does not match the spec's "
+                    f"{self.content_hash[:12]}…"
+                )
+        return read_trace(self.path)
+
+    def build(self, graph: SocialGraph) -> tuple[RequestLog, tuple[int, ...]]:
+        """Materialised adapter over :meth:`build_stream` (compat path)."""
+        stream, tracked = self.build_stream(graph)
+        return stream.materialise(), tracked
 
 
 @dataclass(frozen=True)
@@ -260,7 +368,8 @@ class RunSpec:
         which is randomised for strings).
         """
         payload = (
-            f"v{SPEC_VERSION}|{self.topology!r}|{self.graph!r}|{self.workload!r}|"
+            f"v{SPEC_VERSION}|{self.topology!r}|{self.graph!r}|"
+            f"{self.workload.cache_token()}|"
             f"{self.strategy}|{self.config!r}|{self.scenario!r}|"
             f"{self.strategy_seed!r}|{self.dynasore_config!r}|{self.tracked_views!r}"
         )
@@ -275,6 +384,7 @@ __all__ = [
     "ScenarioSpec",
     "SPEC_VERSION",
     "TopologySpec",
+    "WORKLOAD_KINDS",
     "WorkloadSpec",
     "build_strategy",
 ]

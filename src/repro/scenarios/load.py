@@ -1,7 +1,8 @@
 """Load-dynamics scenarios: diurnal modulation and regional flash crowds.
 
 Unlike the fault scenarios these do not inject infrastructure events — they
-reshape the *request log* before the run starts:
+reshape the *workload* before the run starts, as chunk-level transforms on
+the columnar event stream (a paper-scale workload is never materialised):
 
 * :class:`DiurnalLoadScenario` thins the request stream with a sinusoidal
   day/night profile, so off-peak hours carry less traffic (social workloads
@@ -10,17 +11,25 @@ reshape the *request log* before the run starts:
   events whose new followers are drawn from one contiguous region of the
   user space, concentrating the extra read load in a part of the cluster
   (the paper's Figure 5 studies a single global flash event; the regional
-  multi-target variant is the harder case for replica placement).
+  multi-target variant is the harder case for replica placement).  The
+  small flash fragments are merged into the base stream by the stable
+  k-way chunk merge.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 
 from ..constants import DAY
 from ..exceptions import SimulationError
-from ..workload.flash import FlashEventSpec, flash_event_log
-from ..workload.requests import ReadRequest, RequestLog, WriteRequest
+from ..workload.flash import FlashEventSpec, flash_event_stream
+from ..workload.stream import (
+    EventChunk,
+    EventStream,
+    KIND_WRITE,
+    merge_streams,
+)
 from .base import Scenario, ScenarioContext
 
 
@@ -54,17 +63,25 @@ class DiurnalLoadScenario(Scenario):
         wave = 0.5 * (1.0 - math.cos(2.0 * math.pi * (timestamp + self.phase) / self.period))
         return self.trough_fraction + (1.0 - self.trough_fraction) * wave
 
-    def transform_log(self, log: RequestLog, context: ScenarioContext) -> RequestLog:
-        rng = context.rng(self.name)
-        thinned = RequestLog()
-        kept = []
-        for request in log:
-            if isinstance(request, (ReadRequest, WriteRequest)):
-                if rng.random() >= self.keep_probability(request.timestamp):
-                    continue
-            kept.append(request)
-        thinned.requests = kept
-        return thinned
+    def transform_stream(self, stream: EventStream, context: ScenarioContext) -> EventStream:
+        def _chunks() -> Iterator[EventChunk]:
+            # The RNG is created per pass, so re-iterating the transformed
+            # stream thins identically; it is consumed once per read/write
+            # in stream order, never per chunk.
+            rng = context.rng(self.name)
+            draw = rng.random
+            keep = self.keep_probability
+            for chunk in stream.chunks():
+                kept = EventChunk()
+                append = kept.append
+                for kind, timestamp, user, aux in chunk.rows():
+                    if kind <= KIND_WRITE and draw() >= keep(timestamp):
+                        continue
+                    append(kind, timestamp, user, aux)
+                if len(kept):
+                    yield kept
+
+        return EventStream(_chunks)
 
 
 class RegionalFlashCrowdScenario(Scenario):
@@ -129,12 +146,19 @@ class RegionalFlashCrowdScenario(Scenario):
             )
         return specs
 
-    def transform_log(self, log: RequestLog, context: ScenarioContext) -> RequestLog:
-        rng = context.rng(f"{self.name}:reads")
-        for spec in self.plan(context):
-            fragment = flash_event_log(spec, self.reads_per_follower_per_day, rng)
-            log = log.merged_with(fragment)
-        return log
+    def transform_stream(self, stream: EventStream, context: ScenarioContext) -> EventStream:
+        def _chunks() -> Iterator[EventChunk]:
+            # Fragments are planned and built per pass with freshly seeded
+            # RNGs (specs are tiny next to the base workload), then merged
+            # lazily into the base stream.
+            rng = context.rng(f"{self.name}:reads")
+            fragments = [
+                flash_event_stream(spec, self.reads_per_follower_per_day, rng)
+                for spec in self.plan(context)
+            ]
+            return merge_streams(stream, *fragments).chunks()
+
+        return EventStream(_chunks)
 
 
 __all__ = ["DiurnalLoadScenario", "RegionalFlashCrowdScenario"]

@@ -1,21 +1,33 @@
 """Trace-driven cluster simulator (paper section 4.3).
 
-The simulator replays a request log against a placement strategy deployed on
+The simulator replays a workload against a placement strategy deployed on
 a cluster topology.  It owns the traffic accountant (so every strategy is
 measured identically), applies social-graph mutations, fires the periodic
 maintenance ticks, and optionally samples the replica count of tracked views
 (the flash-event experiment).
 
+Workloads arrive in one of two shapes and replay byte-identically:
+
+* an :class:`~repro.workload.stream.EventStream` — the columnar data path.
+  The replay loop iterates the typed-array columns of each chunk directly,
+  constructing **no per-event objects**; this is how paper-scale runs
+  (tens of millions of events) stay within a constant workload memory
+  budget;
+* a :class:`~repro.workload.requests.RequestLog` — the legacy object list,
+  kept as a thin compatibility adapter for hand-built logs and older
+  callers, replayed by the original type-dispatched object loop.
+
 On top of the benign replay the simulator hosts the *scenario* layer
-(:mod:`repro.scenarios`): an attached scenario may reshape the request log
-(diurnal load, flash crowds) and inject infrastructure faults — server
-crashes, graceful drains, rejoins — which the simulator applies at their
-simulated timestamps, interleaved with maintenance ticks.  The simulator
-keeps the authoritative server up/down mask, drives the strategy's
-evacuation hooks, and wires crashes into the persistence layer: writes are
-mirrored into a :class:`~repro.persistence.backend.PersistentStore` as they
-execute, and views whose only replica died are re-fetched from that store
-in simulated time (WAL-driven recovery, paper sections 2.2 and 3.3).
+(:mod:`repro.scenarios`): an attached scenario may reshape the workload
+(diurnal load, flash crowds — chunk-level stream transforms) and inject
+infrastructure faults — server crashes, graceful drains, rejoins — which
+the simulator applies at their simulated timestamps, interleaved with
+maintenance ticks.  The simulator keeps the authoritative server up/down
+mask, drives the strategy's evacuation hooks, and wires crashes into the
+persistence layer: writes are mirrored into a
+:class:`~repro.persistence.backend.PersistentStore` as they execute, and
+views whose only replica died are re-fetched from that store in simulated
+time (WAL-driven recovery, paper sections 2.2 and 3.3).
 
 Instrumentation hooks (``add_pre_tick_hook`` / ``add_post_request_hook``)
 let tests and experiments observe a run without subclassing.
@@ -23,6 +35,7 @@ let tests and experiments observe a run without subclassing.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
@@ -36,6 +49,14 @@ from ..store.memory import MemoryBudget
 from ..topology.base import ClusterTopology
 from ..traffic.accounting import TrafficAccountant
 from ..workload.requests import EdgeAdded, EdgeRemoved, ReadRequest, Request, RequestLog, WriteRequest
+from ..workload.stream import (
+    EventStream,
+    KIND_EDGE_ADD,
+    KIND_EDGE_REMOVE,
+    KIND_READ,
+    KIND_WRITE,
+    row_to_request,
+)
 from .clock import SimulationClock
 from .results import FaultRecord, ReplicaTimeline, SimulationResult
 
@@ -45,7 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class ClusterSimulator:
-    """Replays a request log against one placement strategy."""
+    """Replays a workload (stream or request log) against one strategy."""
 
     def __init__(
         self,
@@ -92,8 +113,9 @@ class ClusterSimulator:
         #: O(tracked x following) scan of the reader's adjacency.
         self._tracked_followers: dict[int, set[int]] = {}
         self._next_sample: float = self.tracking_period
-        #: Request handlers keyed on the concrete request type (hot path:
-        #: one dict lookup per request instead of an isinstance chain).
+        #: Request handlers keyed on the concrete request type (object-loop
+        #: hot path: one dict lookup per request instead of an isinstance
+        #: chain).
         self._dispatch: dict[type, Callable[[Request], None]] = {
             ReadRequest: self._apply_read,
             WriteRequest: self._apply_write,
@@ -132,7 +154,12 @@ class ClusterSimulator:
         self._pre_tick_hooks.append(hook)
 
     def add_post_request_hook(self, hook: Callable[[Request], None]) -> None:
-        """Run ``hook(request)`` after every executed request."""
+        """Run ``hook(request)`` after every executed request.
+
+        On the columnar path the request object is constructed on demand
+        (only when at least one hook is registered), so instrumented runs
+        see the same objects the legacy path replays.
+        """
         self._post_request_hooks.append(hook)
 
     # ----------------------------------------------------------------- faults
@@ -201,24 +228,38 @@ class ClusterSimulator:
         return self.persistent_store
 
     # -------------------------------------------------------------------- run
-    def run(self, log: RequestLog) -> SimulationResult:
-        """Replay a request log and return the measured result.
+    def run(self, workload: "EventStream | RequestLog") -> SimulationResult:
+        """Replay a workload and return the measured result.
 
-        The log must be sorted by timestamp.  Graph mutations are applied to
-        the simulator's graph before the strategy is notified, and the
-        strategy's periodic maintenance runs every ``tick_period`` of
-        simulated time.  An attached scenario first transforms the log, then
-        its fault events are applied at their timestamps, interleaved with
-        the requests and maintenance ticks.
+        The workload must be sorted by timestamp.  Graph mutations are
+        applied to the simulator's graph before the strategy is notified,
+        and the strategy's periodic maintenance runs every ``tick_period``
+        of simulated time.  An attached scenario first transforms the
+        workload, then its fault events are applied at their timestamps,
+        interleaved with the events and maintenance ticks.
+
+        Both workload shapes drive the identical sequence of strategy,
+        store and hook calls, so streaming and materialised replay of the
+        same events produce byte-identical results.
         """
         self.prepare()
-        log = self._materialise_scenario(log)
-        clock = SimulationClock(tick_period=self.config.tick_period)
         self._reads_executed = 0
         self._writes_executed = 0
+        clock = SimulationClock(tick_period=self.config.tick_period)
+        if isinstance(workload, EventStream):
+            stream = self._stage_scenario_stream(workload)
+            executed, first_time, last_time = self._replay_stream(stream, clock)
+        else:
+            log = self._stage_scenario_log(workload)
+            executed, first_time, last_time = self._replay_log(log, clock)
+        return self._finish(clock, executed, first_time, last_time)
+
+    def _replay_log(
+        self, log: RequestLog, clock: SimulationClock
+    ) -> tuple[int, float, float]:
+        """The legacy object loop: replay request objects via type dispatch."""
         dispatch = self._dispatch
         post_hooks = self._post_request_hooks
-
         for request in log:
             timestamp = request.timestamp
             self._apply_due_faults(clock, timestamp)
@@ -231,12 +272,109 @@ class ClusterSimulator:
             handler(request)
             for hook in post_hooks:
                 hook(request)
-        reads = self._reads_executed
-        writes = self._writes_executed
+        if len(log):
+            return len(log), log[0].timestamp, log[len(log) - 1].timestamp
+        return 0, 0.0, 0.0
 
-        # Faults scheduled past the end of the log still happen (e.g. a
+    def _replay_stream(
+        self, stream: EventStream, clock: SimulationClock
+    ) -> tuple[int, float, float]:
+        """The columnar loop: replay chunk columns with no per-event objects.
+
+        Maintenance ticks, due faults and tracked-view sampling are guarded
+        by inlined timestamp comparisons — the guarded calls are exact
+        no-ops when the guard is false, so the interleaving matches the
+        object loop event for event.
+        """
+        strategy = self.strategy
+        execute_read = strategy.execute_read
+        execute_write = strategy.execute_write
+        post_hooks = self._post_request_hooks
+        tracking = bool(self._tracked_views)
+        fault_events = self._fault_events
+        next_fault_time = (
+            fault_events[self._next_fault].timestamp
+            if self._next_fault < len(fault_events)
+            else math.inf
+        )
+        next_tick = clock.pending_tick()
+        next_sample = self._next_sample if tracking else math.inf
+        # The store reference can change mid-run only when a crash fault
+        # creates one, so the local is refreshed after each fault burst.
+        store = self.persistent_store
+
+        executed = 0
+        reads = 0
+        writes = 0
+        first_time = 0.0
+        last_time = 0.0
+        for chunk in stream.chunks():
+            times = chunk.timestamps
+            n = len(times)
+            if n == 0:
+                continue
+            if executed == 0:
+                first_time = times[0]
+            for kind, timestamp, user, other in zip(
+                chunk.kinds, times, chunk.users, chunk.aux
+            ):
+                if timestamp >= next_fault_time:
+                    self._apply_due_faults(clock, timestamp)
+                    next_fault_time = (
+                        fault_events[self._next_fault].timestamp
+                        if self._next_fault < len(fault_events)
+                        else math.inf
+                    )
+                    next_tick = clock.pending_tick()
+                    store = self.persistent_store
+                if timestamp >= next_tick:
+                    self._advance_ticks(clock, timestamp)
+                    next_tick = clock.pending_tick()
+                    store = self.persistent_store
+                if timestamp >= next_sample:
+                    self._sample_tracked(timestamp)
+                    next_sample = self._next_sample
+
+                if kind == KIND_READ:
+                    if tracking:
+                        self._count_tracked_read(user)
+                    execute_read(user, timestamp)
+                    reads += 1
+                elif kind == KIND_WRITE:
+                    execute_write(user, timestamp)
+                    writes += 1
+                    if store is not None:
+                        # Durability path: the write reaches the WAL-backed
+                        # store before (in simulated time) the cache serves it.
+                        store.process_write(user, timestamp)
+                elif kind == KIND_EDGE_ADD:
+                    self._edge_added(timestamp, user, other)
+                elif kind == KIND_EDGE_REMOVE:
+                    self._edge_removed(timestamp, user, other)
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {kind}")
+                if post_hooks:
+                    request = row_to_request(kind, timestamp, user, other)
+                    for hook in post_hooks:
+                        hook(request)
+                    store = self.persistent_store
+            executed += n
+            last_time = times[n - 1]
+        self._reads_executed += reads
+        self._writes_executed += writes
+        return executed, first_time, last_time
+
+    def _finish(
+        self,
+        clock: SimulationClock,
+        executed: int,
+        first_time: float,
+        last_time: float,
+    ) -> SimulationResult:
+        """Apply trailing faults, fire the final tick, assemble the result."""
+        # Faults scheduled past the end of the workload still happen (e.g. a
         # recovery that closes a crash window after the last request).
-        final_time = log[len(log) - 1].timestamp if len(log) else 0.0
+        final_time = last_time
         if self._next_fault < len(self._fault_events):
             last_fault = self._fault_events[-1].timestamp
             self._apply_due_faults(clock, last_fault)
@@ -252,10 +390,10 @@ class ClusterSimulator:
         return SimulationResult(
             strategy_name=self.strategy.name,
             extra_memory_pct=self.config.extra_memory_pct,
-            duration=log.duration,
-            requests_executed=len(log),
-            reads_executed=reads,
-            writes_executed=writes,
+            duration=last_time - first_time if executed else 0.0,
+            requests_executed=executed,
+            reads_executed=self._reads_executed,
+            writes_executed=self._writes_executed,
             snapshot=self.accountant.snapshot(),
             top_series_application=app_series,
             top_series_system=sys_series,
@@ -283,32 +421,52 @@ class ClusterSimulator:
             self.persistent_store.process_write(request.user, request.timestamp)
 
     def _apply_edge_added(self, request: EdgeAdded) -> None:
-        self.graph.add_edge(request.follower, request.followee)
-        self.strategy.on_edge_added(request.follower, request.followee, request.timestamp)
-        followers = self._tracked_followers.get(request.followee)
-        if followers is not None:
-            followers.add(request.follower)
+        self._edge_added(request.timestamp, request.follower, request.followee)
 
     def _apply_edge_removed(self, request: EdgeRemoved) -> None:
-        self.graph.remove_edge(request.follower, request.followee)
-        self.strategy.on_edge_removed(
-            request.follower, request.followee, request.timestamp
-        )
-        followers = self._tracked_followers.get(request.followee)
+        self._edge_removed(request.timestamp, request.follower, request.followee)
+
+    def _edge_added(self, timestamp: float, follower: int, followee: int) -> None:
+        self.graph.add_edge(follower, followee)
+        self.strategy.on_edge_added(follower, followee, timestamp)
+        followers = self._tracked_followers.get(followee)
         if followers is not None:
-            followers.discard(request.follower)
+            followers.add(follower)
+
+    def _edge_removed(self, timestamp: float, follower: int, followee: int) -> None:
+        self.graph.remove_edge(follower, followee)
+        self.strategy.on_edge_removed(follower, followee, timestamp)
+        followers = self._tracked_followers.get(followee)
+        if followers is not None:
+            followers.discard(follower)
 
     # -------------------------------------------------------------- scenario
-    def _materialise_scenario(self, log: RequestLog) -> RequestLog:
+    def _scenario_context(self):
+        from ..scenarios.base import ScenarioContext
+
+        return ScenarioContext(
+            topology=self.topology, graph=self.graph, seed=self.config.seed
+        )
+
+    def _stage_scenario_log(self, log: RequestLog) -> RequestLog:
         """Apply the scenario's log transform and stage its fault events."""
         if self.scenario is None:
             return log
-        from ..scenarios.base import ScenarioContext
-
-        context = ScenarioContext(
-            topology=self.topology, graph=self.graph, seed=self.config.seed
-        )
+        context = self._scenario_context()
         log = self.scenario.transform_log(log, context)
+        self._stage_fault_events(context)
+        return log
+
+    def _stage_scenario_stream(self, stream: EventStream) -> EventStream:
+        """Apply the scenario's chunk-level transform and stage its faults."""
+        if self.scenario is None:
+            return stream
+        context = self._scenario_context()
+        stream = self.scenario.transform_stream(stream, context)
+        self._stage_fault_events(context)
+        return stream
+
+    def _stage_fault_events(self, context) -> None:
         events = sorted(
             self.scenario.fault_events(context), key=lambda event: event.timestamp
         )
@@ -326,7 +484,6 @@ class ClusterSimulator:
             isinstance(event, ServerCrash) for event in events
         ):
             self.persistent_store = PersistentStore()
-        return log
 
     def _apply_due_faults(self, clock: SimulationClock, until: float) -> None:
         """Apply every staged fault event with ``timestamp <= until``.

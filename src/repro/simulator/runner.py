@@ -23,6 +23,7 @@ from ..runtime.executor import run_materialised
 from ..socialgraph.graph import SocialGraph
 from ..topology.base import ClusterTopology
 from ..workload.requests import RequestLog
+from ..workload.stream import EventStream
 from .results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -36,7 +37,7 @@ def run_simulation(
     topology_factory: Callable[[], ClusterTopology],
     graph_factory: Callable[[], SocialGraph],
     strategy_factory: StrategyFactory,
-    log: RequestLog,
+    log: "RequestLog | EventStream",
     config: SimulationConfig,
     tracked_views: tuple[int, ...] = (),
     scenario: "Scenario | None" = None,
@@ -46,7 +47,9 @@ def run_simulation(
 
     Topology and graph are rebuilt per run because strategies mutate the
     graph (edge events) and attach state to the topology-derived structures;
-    rebuilding guarantees runs are independent and comparable.
+    rebuilding guarantees runs are independent and comparable.  ``log`` may
+    be a materialised request log or a chunked event stream (streams are
+    re-iterable, so the same stream can be passed to several runs).
     """
     return run_materialised(
         topology_factory(),
@@ -64,7 +67,7 @@ def run_comparison(
     topology_factory: Callable[[], ClusterTopology],
     graph_factory: Callable[[], SocialGraph],
     strategies: Mapping[str, StrategyFactory],
-    log: RequestLog,
+    log: "RequestLog | EventStream",
     config: SimulationConfig,
     scenario: "Scenario | None" = None,
     store_factory: Callable[[], PersistentStore] | None = None,

@@ -1,23 +1,68 @@
-"""Workload substrate: request logs, synthetic and trace generators."""
+"""Workload substrate: columnar event streams, trace files, generators.
 
-from .flash import FlashEventSpec, flash_event_log, inject_flash_event, plan_flash_event
+The data path is the chunked struct-of-arrays pipeline of
+:mod:`repro.workload.stream`; the object model (:class:`RequestLog` and the
+request dataclasses) remains as a thin adapter for callers that want to
+inspect or hand-build small workloads.
+"""
+
+from .flash import (
+    FlashEventSpec,
+    flash_event_log,
+    flash_event_stream,
+    inject_flash_event,
+    inject_flash_stream,
+    plan_flash_event,
+)
+from .io import read_trace, trace_content_hash, write_trace
+from .models import (
+    CelebrityReadStormGenerator,
+    CelebrityStormConfig,
+    ParetoBurstConfig,
+    ParetoBurstWorkloadGenerator,
+)
 from .requests import EdgeAdded, EdgeRemoved, ReadRequest, Request, RequestLog, WriteRequest
+from .stream import (
+    CHUNK_EVENTS,
+    EventChunk,
+    EventStream,
+    StreamStats,
+    as_stream,
+    events_per_day,
+    merge_streams,
+)
 from .synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
 from .trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
 
 __all__ = [
+    "CHUNK_EVENTS",
+    "CelebrityReadStormGenerator",
+    "CelebrityStormConfig",
     "EdgeAdded",
     "EdgeRemoved",
+    "EventChunk",
+    "EventStream",
     "FlashEventSpec",
     "NewsActivityTraceConfig",
     "NewsActivityTraceGenerator",
+    "ParetoBurstConfig",
+    "ParetoBurstWorkloadGenerator",
     "ReadRequest",
     "Request",
     "RequestLog",
+    "StreamStats",
     "SyntheticWorkloadConfig",
     "SyntheticWorkloadGenerator",
     "WriteRequest",
+    "as_stream",
+    "events_per_day",
     "flash_event_log",
+    "flash_event_stream",
     "inject_flash_event",
+    "inject_flash_stream",
+    "merge_streams",
     "plan_flash_event",
+    "read_trace",
+    "trace_content_hash",
+    "write_trace",
 ]

@@ -2,21 +2,39 @@
 
 The experiment picks a random user, adds 100 random followers at day 2 and
 removes them at day 7, then measures how the number of replicas of the user's
-view and the per-replica read load evolve.  This module injects the edge
-mutations into an existing request log and keeps the bookkeeping needed to
-track the hot view.
+view and the per-replica read load evolve.  This module builds the small
+event fragment produced by the flash crowd itself and merges it into an
+existing workload.
+
+Injection is a *merge of a small mutation stream*: the fragment (edge
+mutations plus the followers' extra reads) is generated eagerly — it is tiny
+compared to the base workload — sorted once, and combined with the base via
+the stable k-way chunk merge.  The legacy object-list path performs the same
+one-shot batch merge over sorted request lists instead of re-sorting the
+union (the old implementation sorted the whole combined log per injection).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from heapq import merge as _heap_merge
 
 from ..constants import DAY
 from ..exceptions import WorkloadError
 from ..socialgraph.graph import SocialGraph
 from ..socialgraph.mutations import random_new_followers
-from .requests import EdgeAdded, EdgeRemoved, ReadRequest, RequestLog
+from .requests import RequestLog
+from .stream import (
+    EventRow,
+    EventStream,
+    KIND_EDGE_ADD,
+    KIND_EDGE_REMOVE,
+    KIND_READ,
+    NO_AUX,
+    as_stream,
+    merge_streams,
+)
 
 
 @dataclass(frozen=True)
@@ -56,30 +74,58 @@ def plan_flash_event(
     )
 
 
-def flash_event_log(
+def flash_event_rows(
     spec: FlashEventSpec,
     reads_per_follower_per_day: float,
     rng: random.Random,
-) -> RequestLog:
-    """Request log fragment produced by the flash event itself.
+) -> list[EventRow]:
+    """Sorted event rows produced by the flash event itself.
 
     The new followers actively read their feed while they follow the target
     user; those extra reads are what drives DynaSoRe to replicate the hot
     view.
     """
-    log = RequestLog()
-    events: list[tuple[float, object]] = []
+    rows: list[EventRow] = []
+    duration_days = (spec.end_time - spec.start_time) / DAY
     for follower in spec.new_followers:
-        events.append((spec.start_time, EdgeAdded(spec.start_time, follower, spec.target_user)))
-        events.append((spec.end_time, EdgeRemoved(spec.end_time, follower, spec.target_user)))
-        duration_days = (spec.end_time - spec.start_time) / DAY
+        rows.append((KIND_EDGE_ADD, spec.start_time, follower, spec.target_user))
+        rows.append((KIND_EDGE_REMOVE, spec.end_time, follower, spec.target_user))
         reads = int(round(reads_per_follower_per_day * duration_days))
         for _ in range(reads):
             timestamp = rng.uniform(spec.start_time, spec.end_time)
-            events.append((timestamp, ReadRequest(timestamp, follower)))
-    events.sort(key=lambda item: item[0])
-    log.requests = [event for _, event in events]
-    return log
+            rows.append((KIND_READ, timestamp, follower, NO_AUX))
+    rows.sort(key=lambda row: row[1])
+    return rows
+
+
+def flash_event_stream(
+    spec: FlashEventSpec,
+    reads_per_follower_per_day: float,
+    rng: random.Random,
+) -> EventStream:
+    """The flash fragment as a (small, eagerly built) chunked stream."""
+    return EventStream.from_rows(flash_event_rows(spec, reads_per_follower_per_day, rng))
+
+
+def flash_event_log(
+    spec: FlashEventSpec,
+    reads_per_follower_per_day: float,
+    rng: random.Random,
+) -> RequestLog:
+    """Request log fragment produced by the flash event (object adapter)."""
+    return flash_event_stream(spec, reads_per_follower_per_day, rng).materialise()
+
+
+def inject_flash_stream(
+    base: "EventStream | RequestLog",
+    spec: FlashEventSpec,
+    reads_per_follower_per_day: float = 4.0,
+    seed: int = 7,
+) -> EventStream:
+    """Merge a flash event into a workload stream (lazy, chunk-level)."""
+    rng = random.Random(seed)
+    extra = flash_event_stream(spec, reads_per_follower_per_day, rng)
+    return merge_streams(as_stream(base), extra)
 
 
 def inject_flash_event(
@@ -88,10 +134,22 @@ def inject_flash_event(
     reads_per_follower_per_day: float = 4.0,
     seed: int = 7,
 ) -> RequestLog:
-    """Merge a flash event into an existing request log."""
+    """Merge a flash event into an existing request log (one-shot merge)."""
     rng = random.Random(seed)
     extra = flash_event_log(spec, reads_per_follower_per_day, rng)
-    return base_log.merged_with(extra)
+    merged = RequestLog()
+    merged.requests = list(
+        _heap_merge(base_log.requests, extra.requests, key=lambda r: r.timestamp)
+    )
+    return merged
 
 
-__all__ = ["FlashEventSpec", "flash_event_log", "inject_flash_event", "plan_flash_event"]
+__all__ = [
+    "FlashEventSpec",
+    "flash_event_log",
+    "flash_event_rows",
+    "flash_event_stream",
+    "inject_flash_event",
+    "inject_flash_stream",
+    "plan_flash_event",
+]

@@ -1,0 +1,201 @@
+"""Binary trace files for chunked event streams.
+
+Generated workloads can be saved once and replayed many times: a trace file
+stores the columnar chunks of an :class:`~repro.workload.stream.EventStream`
+verbatim, so reading is a sequence of bulk ``frombytes`` fills with no
+per-event decoding.  Files are memory-mapped on read and consumed one chunk
+at a time, keeping a paper-scale replay within a small, constant workload
+memory budget.
+
+Format (header integers little-endian; column payloads are raw native-order
+array bytes, recorded by a byte-order flag and checked on read):
+
+* 24-byte header — magic ``REPROEV1``, ``u16`` version, ``u16`` flags
+  (bit 0: writer was little-endian), four ``u8`` column item sizes
+  (kind, timestamp, user, aux), ``u64`` total event count;
+* a sequence of chunk records — ``u32`` event count ``n`` followed by the
+  raw bytes of the four columns (``n`` kinds, ``n`` timestamps, ``n``
+  users, ``n`` aux values).
+
+:func:`trace_content_hash` fingerprints a file so a workload loaded from
+disk can be content-addressed into the experiment runtime's result cache
+(:class:`~repro.runtime.executor.ResultCache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import struct
+import sys
+from array import array
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..exceptions import WorkloadError
+from .requests import RequestLog
+from .stream import EventChunk, EventStream, as_stream
+
+#: File magic; the trailing digit is the format generation.
+TRACE_MAGIC = b"REPROEV1"
+
+#: Current format version (bump on incompatible layout changes).
+TRACE_VERSION = 1
+
+_HEADER = struct.Struct("<8sHH4BQ")
+_CHUNK_HEADER = struct.Struct("<I")
+
+#: Flag bit recording the writer's byte order (set = little-endian).
+#: Column payloads are raw ``array.tobytes()`` in *native* order, so a
+#: trace must be read on a host with the same endianness — the flag turns
+#: a silently byte-swapped workload into a clean error.
+_FLAG_LITTLE_ENDIAN = 1
+
+
+def _host_flags() -> int:
+    return _FLAG_LITTLE_ENDIAN if sys.byteorder == "little" else 0
+
+#: Column item sizes this build writes (array typecodes B, d, I, i).
+_ITEMSIZES = (
+    array("B").itemsize,
+    array("d").itemsize,
+    array("I").itemsize,
+    array("i").itemsize,
+)
+
+
+def write_trace(path: str | os.PathLike, events: "EventStream | RequestLog") -> int:
+    """Write a stream (or a request log) to a binary trace file.
+
+    Chunks are validated for time order as they are written — a trace file
+    is always a well-formed, replayable workload.  Returns the number of
+    events written.
+    """
+    stream = as_stream(events)
+    total = 0
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    last_timestamp: float | None = None
+    with tmp.open("wb") as handle:
+        handle.write(
+            _HEADER.pack(TRACE_MAGIC, TRACE_VERSION, _host_flags(), *_ITEMSIZES, 0)
+        )
+        for chunk in stream.chunks():
+            n = len(chunk)
+            if n == 0:
+                continue
+            chunk.validate()
+            if last_timestamp is not None and chunk.timestamps[0] < last_timestamp:
+                raise WorkloadError("event stream is not sorted across chunks")
+            last_timestamp = chunk.timestamps[n - 1]
+            handle.write(_CHUNK_HEADER.pack(n))
+            handle.write(chunk.kinds.tobytes())
+            handle.write(chunk.timestamps.tobytes())
+            handle.write(chunk.users.tobytes())
+            handle.write(chunk.aux.tobytes())
+            total += n
+        # Seal the header with the final event count.
+        handle.seek(0)
+        handle.write(
+            _HEADER.pack(TRACE_MAGIC, TRACE_VERSION, _host_flags(), *_ITEMSIZES, total)
+        )
+    os.replace(tmp, target)
+    return total
+
+
+def _read_header(view: memoryview, path: Path) -> int:
+    """Validate the header; returns the recorded event count."""
+    if len(view) < _HEADER.size:
+        raise WorkloadError(f"trace file {path} is truncated (no header)")
+    magic, version, flags, *itemsizes, events = _HEADER.unpack_from(view, 0)
+    if magic != TRACE_MAGIC:
+        raise WorkloadError(f"{path} is not a trace file (bad magic {magic!r})")
+    if version != TRACE_VERSION:
+        raise WorkloadError(
+            f"trace file {path} has unsupported version {version} "
+            f"(this build reads version {TRACE_VERSION})"
+        )
+    if flags & _FLAG_LITTLE_ENDIAN != _host_flags():
+        raise WorkloadError(
+            f"trace file {path} was written on a host with different byte "
+            f"order; its columns cannot be decoded on this machine"
+        )
+    if tuple(itemsizes) != _ITEMSIZES:
+        raise WorkloadError(
+            f"trace file {path} was written with incompatible column sizes "
+            f"{tuple(itemsizes)} (this platform uses {_ITEMSIZES})"
+        )
+    return events
+
+
+def read_trace(path: str | os.PathLike) -> EventStream:
+    """Open a trace file as a lazy, re-iterable event stream.
+
+    The header is validated eagerly (so a corrupt file fails at open time,
+    not mid-replay); chunk payloads are memory-mapped and copied into typed
+    arrays one chunk at a time per iteration.
+    """
+    source = Path(path)
+    # Eager validation: read and check the header once up front.
+    with source.open("rb") as handle:
+        _read_header(memoryview(handle.read(_HEADER.size)), source)
+
+    def _chunks() -> Iterator[EventChunk]:
+        with source.open("rb") as handle:
+            with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
+                view = memoryview(mapped)
+                try:
+                    expected = _read_header(view, source)
+                    offset = _HEADER.size
+                    seen = 0
+                    size = len(view)
+                    while offset < size:
+                        if size - offset < _CHUNK_HEADER.size:
+                            raise WorkloadError(
+                                f"trace file {source} is truncated mid chunk header"
+                            )
+                        (n,) = _CHUNK_HEADER.unpack_from(view, offset)
+                        offset += _CHUNK_HEADER.size
+                        payload = n * sum(_ITEMSIZES)
+                        if size - offset < payload:
+                            raise WorkloadError(
+                                f"trace file {source} is truncated mid chunk payload"
+                            )
+                        chunk = EventChunk()
+                        for column, itemsize in zip(
+                            (chunk.kinds, chunk.timestamps, chunk.users, chunk.aux),
+                            _ITEMSIZES,
+                        ):
+                            width = n * itemsize
+                            column.frombytes(view[offset : offset + width])
+                            offset += width
+                        seen += n
+                        yield chunk
+                    if seen != expected:
+                        raise WorkloadError(
+                            f"trace file {source} records {expected} events "
+                            f"but contains {seen}"
+                        )
+                finally:
+                    view.release()
+
+    return EventStream(_chunks)
+
+
+def trace_content_hash(path: str | os.PathLike) -> str:
+    """SHA-256 of a trace file's bytes (the result-cache content address)."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "read_trace",
+    "trace_content_hash",
+    "write_trace",
+]

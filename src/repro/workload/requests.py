@@ -75,10 +75,27 @@ class RequestLog:
             self.append(request)
 
     def merged_with(self, other: "RequestLog") -> "RequestLog":
-        """Return a new log merging two logs by timestamp (stable)."""
-        merged = sorted(
-            list(self.requests) + list(other.requests), key=lambda r: r.timestamp
+        """Return a new log merging two logs by timestamp (stable).
+
+        Logs built through :meth:`append` are always sorted, so this is a
+        one-shot linear merge (ties keep ``self``'s requests first).  A
+        hand-assigned unsorted log is detected by an O(n) check and falls
+        back to the stable sort the old implementation always performed.
+        """
+        import heapq
+
+        merged = list(
+            heapq.merge(self.requests, other.requests, key=lambda r: r.timestamp)
         )
+        if any(
+            later.timestamp < earlier.timestamp
+            for earlier, later in zip(merged, merged[1:])
+        ):
+            # Sort the *concatenation*, not the interleave, so ties land in
+            # exactly the order the old always-sort implementation produced.
+            merged = sorted(
+                list(self.requests) + list(other.requests), key=lambda r: r.timestamp
+            )
         log = RequestLog()
         log.requests = merged
         return log

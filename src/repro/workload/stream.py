@@ -1,0 +1,368 @@
+"""Chunked, columnar event streams (the workload data path).
+
+The paper's real workload is a two-week trace with ~27M events; holding one
+frozen dataclass per event makes a paper-scale run allocate tens of millions
+of heap objects before the simulator replays the first message.  This module
+replaces the materialised object list with a *struct-of-arrays* pipeline:
+
+* :class:`EventChunk` — a fixed batch (~64k events) of four typed arrays
+  (kind ``u8``, timestamp ``f64``, user ``u32``, aux ``i32``), roughly 17
+  bytes per event instead of an object graph;
+* :class:`EventStream` — a re-iterable, lazily produced sequence of chunks.
+  A stream wraps a chunk *factory*, so iterating twice regenerates the same
+  chunks deterministically (generators re-seed their RNGs per iteration);
+* :func:`merge_streams` — a stable k-way timestamp merge, used to combine a
+  base workload with flash events, read storms and scenario fragments
+  without sorting the union in memory.
+
+Event rows are ``(kind, timestamp, user, aux)``.  For reads and writes
+``aux`` is :data:`NO_AUX`; for edge events ``user`` is the follower and
+``aux`` the followee.  The object model (:mod:`repro.workload.requests`)
+stays as a thin adapter: :meth:`EventStream.materialise` builds a classic
+:class:`RequestLog` and :func:`as_stream` wraps one back into chunks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from ..constants import DAY
+from ..exceptions import WorkloadError
+from .requests import EdgeAdded, EdgeRemoved, ReadRequest, Request, RequestLog, WriteRequest
+
+#: Event kind codes (the ``u8`` column).
+KIND_READ = 0
+KIND_WRITE = 1
+KIND_EDGE_ADD = 2
+KIND_EDGE_REMOVE = 3
+
+#: ``aux`` value of events that carry no second user (reads and writes).
+NO_AUX = -1
+
+#: Default number of events per chunk.  64k events keep a chunk around one
+#: megabyte while amortising per-chunk Python overhead over many events.
+CHUNK_EVENTS = 65536
+
+#: An event row: ``(kind, timestamp, user, aux)``.
+EventRow = tuple[int, float, int, int]
+
+
+class EventChunk:
+    """A struct-of-arrays batch of time-ordered events."""
+
+    __slots__ = ("kinds", "timestamps", "users", "aux")
+
+    def __init__(
+        self,
+        kinds: array | None = None,
+        timestamps: array | None = None,
+        users: array | None = None,
+        aux: array | None = None,
+    ) -> None:
+        self.kinds = kinds if kinds is not None else array("B")
+        self.timestamps = timestamps if timestamps is not None else array("d")
+        self.users = users if users is not None else array("I")
+        self.aux = aux if aux is not None else array("i")
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventChunk):
+            return NotImplemented
+        return (
+            self.kinds == other.kinds
+            and self.timestamps == other.timestamps
+            and self.users == other.users
+            and self.aux == other.aux
+        )
+
+    def append(self, kind: int, timestamp: float, user: int, aux: int = NO_AUX) -> None:
+        """Append one event row (callers must keep rows time ordered)."""
+        self.kinds.append(kind)
+        self.timestamps.append(timestamp)
+        self.users.append(user)
+        self.aux.append(aux)
+
+    def rows(self) -> Iterator[EventRow]:
+        """Iterate the chunk as ``(kind, timestamp, user, aux)`` tuples."""
+        return zip(self.kinds, self.timestamps, self.users, self.aux)
+
+    def requests(self) -> Iterator[Request]:
+        """Iterate the chunk as request objects (the adapter path)."""
+        for kind, timestamp, user, aux in self.rows():
+            yield row_to_request(kind, timestamp, user, aux)
+
+    def validate(self) -> None:
+        """Raise when the chunk is internally inconsistent or unordered."""
+        lengths = {len(self.kinds), len(self.timestamps), len(self.users), len(self.aux)}
+        if len(lengths) != 1:
+            raise WorkloadError("event chunk columns have diverging lengths")
+        timestamps = self.timestamps
+        for i in range(1, len(timestamps)):
+            if timestamps[i] < timestamps[i - 1]:
+                raise WorkloadError("event chunk is not sorted by timestamp")
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """One-pass summary of an event stream."""
+
+    events: int
+    reads: int
+    writes: int
+    mutations: int
+    first_timestamp: float
+    last_timestamp: float
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the stream (0 for empty streams)."""
+        if self.events == 0:
+            return 0.0
+        return self.last_timestamp - self.first_timestamp
+
+
+class EventStream:
+    """A re-iterable, chunked stream of time-ordered events.
+
+    Wraps a *factory* returning a fresh chunk iterator, so the stream can be
+    consumed several times (each consumption regenerates the same chunks —
+    factories must derive all randomness from fixed seeds).
+    """
+
+    def __init__(self, source: Callable[[], Iterator[EventChunk]]) -> None:
+        self._source = source
+
+    # ---------------------------------------------------------------- access
+    def chunks(self) -> Iterator[EventChunk]:
+        """Iterate the stream's chunks (a fresh pass each call)."""
+        return self._source()
+
+    def rows(self) -> Iterator[EventRow]:
+        """Iterate events as ``(kind, timestamp, user, aux)`` rows."""
+        for chunk in self.chunks():
+            yield from chunk.rows()
+
+    def __iter__(self) -> Iterator[Request]:
+        """Iterate events as request objects (convenience adapter)."""
+        for chunk in self.chunks():
+            yield from chunk.requests()
+
+    # ------------------------------------------------------------- summaries
+    def stats(self) -> StreamStats:
+        """Count events per kind and record the covered time span."""
+        events = reads = writes = mutations = 0
+        first = 0.0
+        last = 0.0
+        for chunk in self.chunks():
+            n = len(chunk)
+            if n == 0:
+                continue
+            if events == 0:
+                first = chunk.timestamps[0]
+            last = chunk.timestamps[n - 1]
+            events += n
+            for kind in chunk.kinds:
+                if kind == KIND_READ:
+                    reads += 1
+                elif kind == KIND_WRITE:
+                    writes += 1
+                else:
+                    mutations += 1
+        return StreamStats(
+            events=events,
+            reads=reads,
+            writes=writes,
+            mutations=mutations,
+            first_timestamp=first,
+            last_timestamp=last,
+        )
+
+    # -------------------------------------------------------------- adapters
+    def materialise(self) -> RequestLog:
+        """Build the classic object-list :class:`RequestLog` (compat path)."""
+        log = RequestLog()
+        log.requests = [request for request in self]
+        return log
+
+    @staticmethod
+    def from_chunks(chunks: Sequence[EventChunk]) -> "EventStream":
+        """Stream over already-built chunks (re-iterable, no laziness)."""
+        held = tuple(chunks)
+        return EventStream(lambda: iter(held))
+
+    @staticmethod
+    def from_rows(
+        rows: Iterable[EventRow], chunk_size: int = CHUNK_EVENTS
+    ) -> "EventStream":
+        """Eagerly pack rows into chunks (for small, already-sorted sets)."""
+        return EventStream.from_chunks(list(pack_rows(rows, chunk_size)))
+
+    @staticmethod
+    def empty() -> "EventStream":
+        return EventStream.from_chunks(())
+
+
+# ---------------------------------------------------------------------------
+# Row <-> request adapters
+# ---------------------------------------------------------------------------
+def request_to_row(request: Request) -> EventRow:
+    """Encode a request object as an event row."""
+    kind = type(request)
+    if kind is ReadRequest:
+        return (KIND_READ, request.timestamp, request.user, NO_AUX)
+    if kind is WriteRequest:
+        return (KIND_WRITE, request.timestamp, request.user, NO_AUX)
+    if kind is EdgeAdded:
+        return (KIND_EDGE_ADD, request.timestamp, request.follower, request.followee)
+    if kind is EdgeRemoved:
+        return (KIND_EDGE_REMOVE, request.timestamp, request.follower, request.followee)
+    raise WorkloadError(f"unknown request type {kind.__name__}")
+
+
+def row_to_request(kind: int, timestamp: float, user: int, aux: int) -> Request:
+    """Decode an event row into a request object."""
+    if kind == KIND_READ:
+        return ReadRequest(timestamp, user)
+    if kind == KIND_WRITE:
+        return WriteRequest(timestamp, user)
+    if kind == KIND_EDGE_ADD:
+        return EdgeAdded(timestamp, user, aux)
+    if kind == KIND_EDGE_REMOVE:
+        return EdgeRemoved(timestamp, user, aux)
+    raise WorkloadError(f"unknown event kind {kind}")
+
+
+def pack_rows(
+    rows: Iterable[EventRow], chunk_size: int = CHUNK_EVENTS
+) -> Iterator[EventChunk]:
+    """Pack a row iterator into chunks of at most ``chunk_size`` events."""
+    if chunk_size < 1:
+        raise WorkloadError("chunk_size must be at least 1")
+    chunk = EventChunk()
+    append = chunk.append
+    for kind, timestamp, user, aux in rows:
+        append(kind, timestamp, user, aux)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = EventChunk()
+            append = chunk.append
+    if len(chunk):
+        yield chunk
+
+
+def as_stream(events: "RequestLog | EventStream") -> EventStream:
+    """View a request log (or pass an existing stream through) as a stream."""
+    if isinstance(events, EventStream):
+        return events
+    log = events
+
+    def _chunks() -> Iterator[EventChunk]:
+        return pack_rows(request_to_row(request) for request in log.requests)
+
+    return EventStream(_chunks)
+
+
+# ---------------------------------------------------------------------------
+# Merging and chunk-level queries
+# ---------------------------------------------------------------------------
+def merge_streams(
+    *streams: EventStream, chunk_size: int = CHUNK_EVENTS
+) -> EventStream:
+    """Stable k-way merge of time-ordered streams.
+
+    Ties keep the events of earlier arguments first (matching the stable
+    sort the object-list path used), and the merge holds only one chunk per
+    input in flight — merging a 27M-event base with a small mutation stream
+    never materialises either side.
+    """
+    sources = tuple(streams)
+    if not sources:
+        return EventStream.empty()
+    if len(sources) == 1:
+        return sources[0]
+
+    def _chunks() -> Iterator[EventChunk]:
+        iterators = [stream.rows() for stream in sources]
+        merged = heapq.merge(*iterators, key=lambda row: row[1])
+        return pack_rows(merged, chunk_size)
+
+    return EventStream(_chunks)
+
+
+def allocate_proportionally(total: int, weights: list[float]) -> list[int]:
+    """Integer shares of ``total`` proportional to ``weights`` (exact sum).
+
+    Uses largest-remainder rounding, so the shares always add up to
+    ``total`` and track the weights as closely as integers allow.  The
+    stream-native generators allocate per-window event budgets with this
+    (weights = window widths x load factors), which keeps event *rates*
+    even across windows of different lengths.
+    """
+    if not weights or total <= 0:
+        return [0] * len(weights)
+    scale = sum(weights)
+    if scale <= 0:
+        shares = [0] * len(weights)
+        shares[0] = total
+        return shares
+    exact = [total * weight / scale for weight in weights]
+    shares = [int(value) for value in exact]
+    shortfall = total - sum(shares)
+    by_remainder = sorted(
+        range(len(weights)), key=lambda index: exact[index] - shares[index], reverse=True
+    )
+    for index in by_remainder[:shortfall]:
+        shares[index] += 1
+    return shares
+
+
+def events_per_day(stream: EventStream) -> dict[int, dict[str, int]]:
+    """Read/write counts per simulated day, computed chunk-wise.
+
+    Column-level analogue of :meth:`RequestLog.requests_per_day`, used by
+    the Figure 2 experiment without materialising the trace.
+    """
+    days: dict[int, dict[str, int]] = {}
+    for chunk in stream.chunks():
+        kinds = chunk.kinds
+        timestamps = chunk.timestamps
+        for i in range(len(kinds)):
+            kind = kinds[i]
+            if kind == KIND_READ:
+                field = "reads"
+            elif kind == KIND_WRITE:
+                field = "writes"
+            else:
+                continue
+            day = int(timestamps[i] // DAY)
+            bucket = days.get(day)
+            if bucket is None:
+                bucket = days.setdefault(day, {"reads": 0, "writes": 0})
+            bucket[field] += 1
+    return days
+
+
+__all__ = [
+    "CHUNK_EVENTS",
+    "EventChunk",
+    "EventRow",
+    "EventStream",
+    "KIND_EDGE_ADD",
+    "KIND_EDGE_REMOVE",
+    "KIND_READ",
+    "KIND_WRITE",
+    "NO_AUX",
+    "StreamStats",
+    "allocate_proportionally",
+    "as_stream",
+    "events_per_day",
+    "merge_streams",
+    "pack_rows",
+    "request_to_row",
+    "row_to_request",
+]

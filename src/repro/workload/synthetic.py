@@ -9,18 +9,43 @@ The generator follows the paper's assumptions:
 * each user issues on average one write request per day;
 * requests are evenly distributed over time (low variance), which lets
   DynaSoRe estimate read and write rates accurately.
+
+Generation is *stream-native*: events are produced lazily in fixed time
+windows (one generator window is a few simulated hours) and packed into the
+columnar chunks of :mod:`repro.workload.stream`.  Randomness is drawn from
+one dedicated ``random.Random`` per model (writes, reads), each consumed in
+window order — never per chunk — so the emitted events are byte-identical
+regardless of the chunk size used to consume the stream, and identical to
+what :meth:`SyntheticWorkloadGenerator.generate` materialises.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass
+from itertools import accumulate
 
-from ..constants import DAY, SYNTHETIC_READ_WRITE_RATIO
+from ..constants import DAY, HOUR, SYNTHETIC_READ_WRITE_RATIO
 from ..exceptions import WorkloadError
 from ..socialgraph.graph import SocialGraph
-from .requests import ReadRequest, RequestLog, WriteRequest
+from .requests import RequestLog
+from .stream import (
+    CHUNK_EVENTS,
+    EventChunk,
+    EventStream,
+    KIND_READ,
+    KIND_WRITE,
+    NO_AUX,
+    allocate_proportionally,
+    pack_rows,
+)
+
+#: Width of one generation window.  Events are drawn and sorted per window,
+#: so the window — a fixed property of the generator, independent of chunk
+#: size and consumption pattern — is the unit of seed stability.
+GENERATION_WINDOW = 6 * HOUR
 
 
 @dataclass(frozen=True)
@@ -46,7 +71,7 @@ class SyntheticWorkloadConfig:
 
 
 class SyntheticWorkloadGenerator:
-    """Generates evenly-spread, degree-driven request logs."""
+    """Generates evenly-spread, degree-driven request streams."""
 
     def __init__(self, graph: SocialGraph, config: SyntheticWorkloadConfig | None = None) -> None:
         self.graph = graph
@@ -76,53 +101,72 @@ class SyntheticWorkloadGenerator:
             weights[user] = 1.0 + math.log1p(following)
         return weights
 
-    # ---------------------------------------------------------------- logs
-    def generate(self) -> RequestLog:
-        """Generate the request log."""
+    # --------------------------------------------------------------- streams
+    def stream(self, chunk_size: int = CHUNK_EVENTS) -> EventStream:
+        """The workload as a lazy, re-iterable chunked event stream."""
+        return EventStream(lambda: self._chunks(chunk_size))
+
+    def _chunks(self, chunk_size: int) -> Iterator[EventChunk]:
         config = self.config
-        rng = random.Random(config.seed)
         users = self.graph.users
         if not users:
-            return RequestLog()
+            return iter(())
 
         duration = config.days * DAY
         total_writes = int(round(len(users) * config.writes_per_user_per_day * config.days))
         total_reads = int(round(total_writes * config.read_write_ratio))
+        windows = max(1, math.ceil(duration / GENERATION_WINDOW))
+        # Budgets are proportional to window *width*, so a fractional last
+        # window carries proportionally fewer events and the event rate
+        # stays even across the whole span (the generator's contract).
+        widths = [
+            min(duration, (window + 1) * GENERATION_WINDOW) - window * GENERATION_WINDOW
+            for window in range(windows)
+        ]
+        writes_per_window = allocate_proportionally(total_writes, widths)
+        reads_per_window = allocate_proportionally(total_reads, widths)
 
+        user_list = list(users)
         write_weights = self.write_weights()
         read_weights = self.read_weights()
+        cum_write_weights = list(accumulate(write_weights[u] for u in user_list))
+        cum_read_weights = list(accumulate(read_weights[u] for u in user_list))
+        # One RNG per model, consumed strictly in window order: chunking can
+        # never perturb the draws.
+        write_rng = random.Random(f"{config.seed}:synthetic:writes")
+        read_rng = random.Random(f"{config.seed}:synthetic:reads")
 
-        events: list[tuple[float, bool, int]] = []  # (time, is_read, user)
-        events.extend(
-            (rng.uniform(0.0, duration), False, user)
-            for user in _weighted_choices(users, write_weights, total_writes, rng)
-        )
-        events.extend(
-            (rng.uniform(0.0, duration), True, user)
-            for user in _weighted_choices(users, read_weights, total_reads, rng)
-        )
-        events.sort(key=lambda item: item[0])
+        def rows():
+            for window in range(windows):
+                start = window * GENERATION_WINDOW
+                end = min(start + GENERATION_WINDOW, duration)
+                events: list[tuple[float, int, int]] = []
+                writers = write_rng.choices(
+                    user_list, cum_weights=cum_write_weights, k=writes_per_window[window]
+                )
+                events.extend(
+                    (write_rng.uniform(start, end), KIND_WRITE, user) for user in writers
+                )
+                readers = read_rng.choices(
+                    user_list, cum_weights=cum_read_weights, k=reads_per_window[window]
+                )
+                events.extend(
+                    (read_rng.uniform(start, end), KIND_READ, user) for user in readers
+                )
+                events.sort(key=lambda item: item[0])
+                for timestamp, kind, user in events:
+                    yield (kind, timestamp, user, NO_AUX)
 
-        log = RequestLog()
-        for timestamp, is_read, user in events:
-            if is_read:
-                log.append(ReadRequest(timestamp=timestamp, user=user))
-            else:
-                log.append(WriteRequest(timestamp=timestamp, user=user))
-        return log
+        return pack_rows(rows(), chunk_size)
 
-
-def _weighted_choices(
-    users: tuple[int, ...],
-    weights: dict[int, float],
-    count: int,
-    rng: random.Random,
-) -> list[int]:
-    """Draw ``count`` users proportionally to their weights."""
-    if count <= 0 or not users:
-        return []
-    weight_list = [weights[user] for user in users]
-    return rng.choices(list(users), weights=weight_list, k=count)
+    # ---------------------------------------------------------------- logs
+    def generate(self) -> RequestLog:
+        """Materialise the stream into a classic object-list request log."""
+        return self.stream().materialise()
 
 
-__all__ = ["SyntheticWorkloadConfig", "SyntheticWorkloadGenerator"]
+__all__ = [
+    "GENERATION_WINDOW",
+    "SyntheticWorkloadConfig",
+    "SyntheticWorkloadGenerator",
+]

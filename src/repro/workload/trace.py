@@ -14,18 +14,34 @@ This module generates a synthetic trace with the same observable properties:
   varies over time the way Figure 2 shows;
 * heavy-tailed per-user activity mapped onto graph users by degree rank,
   reproducing the paper's rank-join between trace users and graph users.
+
+Generation is stream-native and windowed by simulated *day*: the per-day
+event budget is fixed up front (proportional to the day's load factor), and
+each day's events are drawn from per-model RNGs consumed in day order — so
+the chunk size used to consume the stream can never change the trace.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from ..constants import DAY, HOUR
 from ..exceptions import WorkloadError
 from ..socialgraph.graph import SocialGraph
-from .requests import ReadRequest, RequestLog, WriteRequest
+from .requests import RequestLog
+from .stream import (
+    CHUNK_EVENTS,
+    EventChunk,
+    EventStream,
+    KIND_READ,
+    KIND_WRITE,
+    NO_AUX,
+    allocate_proportionally,
+    pack_rows,
+)
 
 
 @dataclass(frozen=True)
@@ -105,52 +121,86 @@ class NewsActivityTraceGenerator:
             factors.append(noise * weekend)
         return factors
 
-    def _draw_timestamp(self, rng: random.Random, daily: list[float]) -> float:
-        """Draw a timestamp honouring daily factors and the diurnal cycle."""
-        weights = daily[: int(math.ceil(self.config.days))]
-        day = rng.choices(range(len(weights)), weights=weights, k=1)[0]
-        # Rejection-sample the hour against the diurnal curve.
+    def _draw_hour(self, rng: random.Random) -> float:
+        """Draw an hour-of-day honouring the diurnal cycle."""
         amplitude = self.config.diurnal_amplitude
+        # Rejection-sample the hour against the diurnal curve: peak in the
+        # evening (hour 20), trough early morning (hour 4).
         while True:
             hour = rng.uniform(0.0, 24.0)
-            # Peak in the evening (hour 20), trough early morning (hour 4).
             intensity = 1.0 + amplitude * math.sin((hour - 8.0) / 24.0 * 2.0 * math.pi)
             if rng.uniform(0.0, 1.0 + amplitude) <= intensity:
-                break
-        timestamp = day * DAY + hour * HOUR
-        return min(timestamp, self.config.days * DAY - 1e-6)
+                return hour
 
-    # ------------------------------------------------------------------ logs
-    def generate(self) -> RequestLog:
-        """Generate the trace."""
+    # --------------------------------------------------------------- streams
+    def stream(self, chunk_size: int = CHUNK_EVENTS) -> EventStream:
+        """The trace as a lazy, re-iterable chunked event stream."""
+        return EventStream(lambda: self._chunks(chunk_size))
+
+    def _chunks(self, chunk_size: int) -> Iterator[EventChunk]:
         config = self.config
-        rng = random.Random(config.seed)
         users = self.graph.users
         if not users:
-            return RequestLog()
+            return iter(())
 
-        activity = self.activity_profile(rng)
+        profile_rng = random.Random(f"{config.seed}:trace:profile")
+        activity = self.activity_profile(profile_rng)
         active_users = list(activity)
         weights = [activity[user] for user in active_users]
+        daily = self._daily_rates(profile_rng)
 
         total_writes = int(round(len(active_users) * config.writes_per_user))
         total_reads = int(round(total_writes * config.read_write_ratio))
-        daily = self._daily_rates(rng)
+        # Day budgets combine the day's load factor with its width, so a
+        # fractional final day carries proportionally fewer events and the
+        # event rate tracks the daily factors across the whole span.
+        end_of_trace = config.days * DAY
+        day_fractions = [
+            (min(end_of_trace, (day + 1) * DAY) - day * DAY) / DAY
+            for day in range(len(daily))
+        ]
+        day_weights = [
+            factor * fraction for factor, fraction in zip(daily, day_fractions)
+        ]
+        writes_per_day = allocate_proportionally(total_writes, day_weights)
+        reads_per_day = allocate_proportionally(total_reads, day_weights)
 
-        events: list[tuple[float, bool, int]] = []
-        writers = rng.choices(active_users, weights=weights, k=total_writes)
-        readers = rng.choices(active_users, weights=weights, k=total_reads)
-        events.extend((self._draw_timestamp(rng, daily), False, user) for user in writers)
-        events.extend((self._draw_timestamp(rng, daily), True, user) for user in readers)
-        events.sort(key=lambda item: item[0])
+        write_rng = random.Random(f"{config.seed}:trace:writes")
+        read_rng = random.Random(f"{config.seed}:trace:reads")
 
-        log = RequestLog()
-        for timestamp, is_read, user in events:
-            if is_read:
-                log.append(ReadRequest(timestamp=timestamp, user=user))
-            else:
-                log.append(WriteRequest(timestamp=timestamp, user=user))
-        return log
+        def rows():
+            for day in range(len(daily)):
+                events: list[tuple[float, int, int]] = []
+                for kind, rng, count in (
+                    (KIND_WRITE, write_rng, writes_per_day[day]),
+                    (KIND_READ, read_rng, reads_per_day[day]),
+                ):
+                    chosen = rng.choices(active_users, weights=weights, k=count)
+                    for user in chosen:
+                        # Full days always pass first try; a fractional
+                        # final day resamples the diurnal draw until the
+                        # timestamp falls inside the trace (bounded, so a
+                        # sliver-width day can never spin forever).
+                        for _ in range(100):
+                            timestamp = day * DAY + self._draw_hour(rng) * HOUR
+                            if timestamp < end_of_trace:
+                                break
+                        else:
+                            timestamp = math.nextafter(end_of_trace, day * DAY)
+                        events.append((timestamp, kind, user))
+                events.sort(key=lambda item: item[0])
+                for timestamp, kind, user in events:
+                    yield (kind, timestamp, user, NO_AUX)
+
+        return pack_rows(rows(), chunk_size)
+
+    # ------------------------------------------------------------------ logs
+    def generate(self) -> RequestLog:
+        """Materialise the stream into a classic object-list request log."""
+        return self.stream().materialise()
 
 
-__all__ = ["NewsActivityTraceConfig", "NewsActivityTraceGenerator"]
+__all__ = [
+    "NewsActivityTraceConfig",
+    "NewsActivityTraceGenerator",
+]

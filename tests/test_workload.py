@@ -55,6 +55,15 @@ class TestRequestLog:
         assert per_day[0] == {"reads": 1, "writes": 0}
         assert per_day[1] == {"reads": 1, "writes": 1}
 
+    def test_merged_with_sorts_unsorted_hand_built_logs(self):
+        a = RequestLog()
+        a.requests = [ReadRequest(5.0, 1), ReadRequest(1.0, 2)]  # hand-built, unsorted
+        b = RequestLog()
+        b.append(WriteRequest(3.0, 3))
+        merged = a.merged_with(b)
+        merged.validate()
+        assert len(merged) == 3
+
     def test_merged_with_keeps_order(self):
         a = RequestLog()
         a.append(ReadRequest(1.0, 1))

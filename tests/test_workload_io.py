@@ -1,0 +1,222 @@
+"""Tests for the binary trace file format and its runtime integration."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.runtime.executor import execute_spec
+from repro.runtime.spec import GraphSpec, RunSpec, TopologySpec, WorkloadSpec
+from repro.socialgraph.generators import facebook_like
+from repro.workload.io import TRACE_MAGIC, read_trace, trace_content_hash, write_trace
+from repro.workload.requests import RequestLog
+from repro.workload.stream import EventStream, KIND_READ, KIND_WRITE
+from repro.workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+
+@pytest.fixture
+def workload_stream():
+    graph = facebook_like(users=120, seed=5)
+    return SyntheticWorkloadGenerator(
+        graph, SyntheticWorkloadConfig(days=0.5, seed=5)
+    ).stream(chunk_size=500)
+
+
+class TestRoundTrip:
+    def test_write_read_identical_chunks(self, tmp_path, workload_stream):
+        path = tmp_path / "workload.trace"
+        written = write_trace(path, workload_stream)
+        loaded = read_trace(path)
+        original_chunks = list(workload_stream.chunks())
+        loaded_chunks = list(loaded.chunks())
+        assert written == sum(len(chunk) for chunk in original_chunks)
+        assert loaded_chunks == original_chunks
+
+    def test_read_trace_is_reiterable(self, tmp_path, workload_stream):
+        path = tmp_path / "workload.trace"
+        write_trace(path, workload_stream)
+        loaded = read_trace(path)
+        assert list(loaded.rows()) == list(loaded.rows())
+
+    def test_request_log_round_trips_too(self, tmp_path):
+        from repro.workload.requests import ReadRequest, WriteRequest
+
+        log = RequestLog()
+        log.append(ReadRequest(1.0, 3))
+        log.append(WriteRequest(2.5, 4))
+        path = tmp_path / "log.trace"
+        write_trace(path, log)
+        assert read_trace(path).materialise().requests == log.requests
+
+    def test_empty_stream_round_trips(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        assert write_trace(path, EventStream.empty()) == 0
+        assert list(read_trace(path).chunks()) == []
+
+    def test_unsorted_stream_is_rejected(self, tmp_path):
+        backwards = EventStream.from_rows(
+            [(KIND_READ, 5.0, 1, -1)]
+        ).chunks()
+        stream = EventStream.from_chunks(
+            list(backwards)
+            + list(EventStream.from_rows([(KIND_WRITE, 1.0, 2, -1)]).chunks())
+        )
+        with pytest.raises(WorkloadError):
+            write_trace(tmp_path / "bad.trace", stream)
+
+
+class TestCorruption:
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "corrupt.trace"
+        path.write_bytes(b"NOTATRCE" + b"\x00" * 40)
+        with pytest.raises(WorkloadError, match="bad magic"):
+            read_trace(path)
+
+    def test_truncated_header_raises(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_bytes(TRACE_MAGIC[:4])
+        with pytest.raises(WorkloadError):
+            read_trace(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_bytes(b"")
+        with pytest.raises(WorkloadError):
+            read_trace(path)
+
+    def test_unsupported_version_raises(self, tmp_path, workload_stream):
+        path = tmp_path / "versioned.trace"
+        write_trace(path, workload_stream)
+        raw = bytearray(path.read_bytes())
+        raw[8] = 99  # the little-endian version field follows the magic
+        path.write_bytes(bytes(raw))
+        with pytest.raises(WorkloadError, match="version"):
+            read_trace(path)
+
+    def test_foreign_byte_order_raises(self, tmp_path, workload_stream):
+        path = tmp_path / "swapped.trace"
+        write_trace(path, workload_stream)
+        raw = bytearray(path.read_bytes())
+        raw[10] ^= 1  # flip the little-endian flag bit (flags field)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(WorkloadError, match="byte order"):
+            read_trace(path)
+
+    def test_truncated_payload_raises(self, tmp_path, workload_stream):
+        path = tmp_path / "truncated.trace"
+        write_trace(path, workload_stream)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 64])
+        with pytest.raises(WorkloadError, match="truncated"):
+            list(read_trace(path).chunks())
+
+
+class TestContentHash:
+    def test_hash_tracks_content_not_name(self, tmp_path, workload_stream):
+        a = tmp_path / "a.trace"
+        b = tmp_path / "b.trace"
+        write_trace(a, workload_stream)
+        write_trace(b, workload_stream)
+        assert trace_content_hash(a) == trace_content_hash(b)
+
+    def test_workload_spec_from_file(self, tmp_path, workload_stream):
+        path = tmp_path / "w.trace"
+        write_trace(path, workload_stream)
+        spec = WorkloadSpec.from_file(path)
+        assert spec.kind == "file"
+        assert spec.content_hash == trace_content_hash(path)
+        stream, tracked = spec.build_stream(None)
+        assert tracked == ()
+        assert list(stream.rows()) == list(workload_stream.rows())
+
+    def test_cache_key_is_content_addressed(self, tmp_path, workload_stream):
+        a = tmp_path / "a.trace"
+        b = tmp_path / "b" / "renamed.trace"
+        b.parent.mkdir()
+        write_trace(a, workload_stream)
+        write_trace(b, workload_stream)
+
+        def run_spec(path):
+            return RunSpec(
+                topology=TopologySpec.flat(6),
+                graph=GraphSpec(dataset="facebook", users=120, seed=5),
+                workload=WorkloadSpec.from_file(path),
+                strategy="random",
+            )
+
+        assert run_spec(a).cache_key() == run_spec(b).cache_key()
+
+    def test_hashless_file_specs_never_share_a_cache_token(self):
+        a = WorkloadSpec(kind="file", days=0.0, seed=0, path="/tmp/a.trace")
+        b = WorkloadSpec(kind="file", days=0.0, seed=0, path="/tmp/b.trace")
+        assert a.cache_token() != b.cache_token()
+
+    def test_from_file_accepts_a_flash_seed(self, tmp_path, workload_stream):
+        from repro.runtime.spec import FlashSpec
+
+        path = tmp_path / "w.trace"
+        write_trace(path, workload_stream)
+        flash = FlashSpec(followers=5, start_day=0.1, end_day=0.2)
+        a = WorkloadSpec.from_file(path, flash=flash, seed=1)
+        b = WorkloadSpec.from_file(path, flash=flash, seed=2)
+        assert a.seed == 1 and b.seed == 2
+        assert a.cache_token() != b.cache_token()
+
+    def test_flash_seed_changes_file_cache_token(self):
+        """The seed drives flash injection, so it must split cache keys."""
+        from repro.runtime.spec import FlashSpec
+
+        flash = FlashSpec(followers=5, start_day=0.1, end_day=0.2)
+        a = WorkloadSpec(
+            kind="file", days=0.0, seed=1, path="/tmp/a.trace",
+            content_hash="abc", flash=flash,
+        )
+        b = WorkloadSpec(
+            kind="file", days=0.0, seed=2, path="/tmp/a.trace",
+            content_hash="abc", flash=flash,
+        )
+        assert a.cache_token() != b.cache_token()
+        # Without a flash event the seed is inert and must NOT split keys.
+        plain_a = WorkloadSpec(
+            kind="file", days=0.0, seed=1, path="/tmp/a.trace", content_hash="abc"
+        )
+        plain_b = WorkloadSpec(
+            kind="file", days=0.0, seed=2, path="/tmp/a.trace", content_hash="abc"
+        )
+        assert plain_a.cache_token() == plain_b.cache_token()
+
+    def test_changed_file_is_refused(self, tmp_path, workload_stream):
+        path = tmp_path / "w.trace"
+        write_trace(path, workload_stream)
+        spec = WorkloadSpec.from_file(path)
+        write_trace(
+            path,
+            EventStream.from_rows([(KIND_READ, 1.0, 1, -1)]),
+        )
+        with pytest.raises(WorkloadError, match="changed on disk"):
+            spec.build_stream(None)
+
+
+class TestFileWorkloadExecution:
+    def test_saved_trace_replays_identically_to_generated(self, tmp_path):
+        """A spec replaying a saved trace equals the generating spec's run."""
+        generated = RunSpec(
+            topology=TopologySpec.flat(6),
+            graph=GraphSpec(dataset="facebook", users=120, seed=5),
+            workload=WorkloadSpec(kind="synthetic", days=0.5, seed=5),
+            strategy="random",
+        )
+        graph = generated.graph.build()
+        stream, _ = generated.workload.build_stream(graph)
+        path = tmp_path / "saved.trace"
+        write_trace(path, stream)
+        replayed = RunSpec(
+            topology=generated.topology,
+            graph=generated.graph,
+            workload=WorkloadSpec.from_file(path),
+            strategy="random",
+        )
+        assert pickle.dumps(execute_spec(generated)) == pickle.dumps(execute_spec(replayed))
+        assert generated.cache_key() != replayed.cache_key()
