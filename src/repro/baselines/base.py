@@ -18,6 +18,7 @@ from ..exceptions import SimulationError
 from ..persistence.recovery import RecoveryPlan
 from ..socialgraph.graph import SocialGraph
 from ..store.memory import MemoryBudget
+from ..store.tables import pick_least_loaded
 from ..topology.base import ClusterTopology
 from ..traffic.accounting import TrafficAccountant
 from ..traffic.messages import MessageKind
@@ -184,6 +185,10 @@ class StaticPlacementStrategy(PlacementStrategy):
         super().__init__()
         #: user -> storage-server position (0 .. num_servers - 1)
         self._assignment: dict[int, int] = {}
+        #: flat per-position replica counters, maintained incrementally on
+        #: every assignment change (the object days recomputed them from the
+        #: full assignment dict on every lazy placement)
+        self._load: list[int] = []
         #: server positions currently out of service
         self._down_positions: set[int] = set()
 
@@ -200,6 +205,11 @@ class StaticPlacementStrategy(PlacementStrategy):
             raise SimulationError(
                 f"{self.name} assignment misses {len(missing)} users"
             )
+        servers = len(self.topology.servers)
+        self._load = [0] * servers
+        for position in self._assignment.values():
+            if 0 <= position < servers:
+                self._load[position] += 1
 
     def assignment(self) -> dict[int, int]:
         """Copy of the user → server-position assignment."""
@@ -212,21 +222,18 @@ class StaticPlacementStrategy(PlacementStrategy):
         if position is None:
             position = self._least_loaded_position()
             self._assignment[user] = position
+            self._load[position] += 1
         return position
 
     def _least_loaded_position(self) -> int:
-        assert self.topology is not None
-        loads: dict[int, int] = {
-            i: 0
-            for i in range(len(self.topology.servers))
-            if i not in self._down_positions
-        }
-        for position in self._assignment.values():
-            if position in loads:
-                loads[position] += 1
-        if not loads:
+        position = pick_least_loaded(self._load, self._down_positions)
+        if position is None:
             raise SimulationError("no storage server is available")
-        return min(loads, key=lambda p: (loads[p], p))
+        return position
+
+    def server_loads(self) -> tuple[int, ...]:
+        """Per-position replica counts (O(1) counters, not recomputed)."""
+        return tuple(self._load)
 
     # ---------------------------------------------------------------- faults
     def on_server_down(
@@ -245,18 +252,13 @@ class StaticPlacementStrategy(PlacementStrategy):
         self._begin_server_down(position, self._down_positions, servers)
 
         plan = RecoveryPlan(crashed_server=position)
-        loads: dict[int, int] = {
-            i: 0 for i in range(servers) if i not in self._down_positions
-        }
-        for assigned in self._assignment.values():
-            if assigned in loads:
-                loads[assigned] += 1
         source_device = self.server_device(position)
         for user, assigned in self._assignment.items():
             if assigned != position:
                 continue
-            target = min(loads, key=lambda p: (loads[p], p))
-            loads[target] += 1
+            target = self._least_loaded_position()
+            self._load[target] += 1
+            self._load[position] -= 1
             self._assignment[user] = target
             target_device = self.server_device(target)
             if graceful:
@@ -315,6 +317,14 @@ class StaticPlacementStrategy(PlacementStrategy):
 
     def replica_count(self, user: int) -> int:
         return 1 if user in self._assignment else 0
+
+    def has_any_replica(self, user: int) -> bool:
+        """O(1) availability check used by the simulator's final audit."""
+        return user in self._assignment
+
+    def memory_in_use(self) -> int:
+        """One replica per assigned view (O(1), no dict materialisation)."""
+        return len(self._assignment)
 
 
 __all__ = ["PlacementStrategy", "StaticPlacementStrategy"]

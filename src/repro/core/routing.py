@@ -8,12 +8,32 @@ replica on demand, which is functionally identical; what matters for the
 evaluation is the *notification traffic*: when the replica set of a view
 changes, only the brokers whose answer changes are notified by the view's
 write proxy (protocol messages).
+
+The resolution loops are written against plain distance rows (flat lists
+indexed by device) so they compose with the table-backed engine's
+integer-id hot paths: no key functions, no per-call closures.
 """
 
 from __future__ import annotations
 
 from ..exceptions import RoutingError
 from ..topology.base import ClusterTopology
+
+_INFINITY = float("inf")
+
+
+def _closest(distances, replica_devices) -> int:
+    """Device with the lowest (distance, device) key — the routing policy."""
+    best_device = _INFINITY
+    best_distance = _INFINITY
+    for device in replica_devices:
+        distance = distances[device]
+        if distance < best_distance or (
+            distance == best_distance and device < best_device
+        ):
+            best_distance = distance
+            best_device = device
+    return best_device
 
 
 class RoutingService:
@@ -30,8 +50,7 @@ class RoutingService:
             raise RoutingError("view has no replica to route to")
         if len(replica_devices) == 1:
             return next(iter(replica_devices))
-        distances = self.topology.distance_row(broker)
-        return min(replica_devices, key=lambda device: (distances[device], device))
+        return _closest(self.topology.distance_row(broker), replica_devices)
 
     def routing_table_for(self, broker: int, replica_map: dict[int, set[int]]) -> dict[int, int]:
         """Full routing table of one broker (used by tests and the API layer)."""
@@ -51,23 +70,82 @@ class RoutingService:
         ``before`` to ``after``.
 
         The routing policy is deterministic, so the write proxy only notifies
-        these brokers (paper section 3.2, "Routing tables").
+        these brokers (paper section 3.2, "Routing tables").  One distance
+        row is fetched per broker and shared by both resolutions.
         """
         changed = []
+        distance_row = self.topology.distance_row
         for broker in self._broker_indices:
-            old = self.closest_replica(broker, before) if before else None
-            new = self.closest_replica(broker, after) if after else None
+            distances = distance_row(broker)
+            old = _closest(distances, before) if before else None
+            new = _closest(distances, after) if after else None
             if old != new:
+                changed.append(broker)
+        return tuple(changed)
+
+    def affected_brokers_on_add(
+        self, before: set[int] | tuple[int, ...], added: int
+    ) -> tuple[int, ...]:
+        """Brokers whose closest replica changes when ``added`` joins ``before``.
+
+        A broker is affected exactly when the new device beats its current
+        closest replica under the (distance, device) policy — one resolution
+        per broker instead of two.
+        """
+        changed = []
+        distance_row = self.topology.distance_row
+        for broker in self._broker_indices:
+            distances = distance_row(broker)
+            closest = _closest(distances, before)
+            added_distance = distances[added]
+            closest_distance = distances[closest]
+            if added_distance < closest_distance or (
+                added_distance == closest_distance and added < closest
+            ):
+                changed.append(broker)
+        return tuple(changed)
+
+    def affected_brokers_on_remove(
+        self, after: set[int] | tuple[int, ...], removed: int
+    ) -> tuple[int, ...]:
+        """Brokers whose closest replica changes when ``removed`` leaves.
+
+        ``after`` is the surviving (non-empty) replica set.  A broker is
+        affected exactly when the removed device used to beat every
+        survivor.
+        """
+        changed = []
+        distance_row = self.topology.distance_row
+        for broker in self._broker_indices:
+            distances = distance_row(broker)
+            closest = _closest(distances, after)
+            removed_distance = distances[removed]
+            closest_distance = distances[closest]
+            if removed_distance < closest_distance or (
+                removed_distance == closest_distance and removed < closest
+            ):
                 changed.append(broker)
         return tuple(changed)
 
     def next_closest(self, device: int, replica_devices: set[int]) -> int | None:
         """Closest *other* replica as seen from ``device`` (None when sole)."""
-        others = [d for d in replica_devices if d != device]
-        if not others:
+        distances = None
+        best_device = _INFINITY
+        best_distance = _INFINITY
+        for other in replica_devices:
+            if other == device:
+                continue
+            if distances is None:
+                distances = self.topology.distance_row(device)
+            distance = distances[other]
+            if distance < best_distance or (
+                distance == best_distance and other < best_device
+            ):
+                best_distance = distance
+                best_device = other
+        if distances is None:
             return None
-        distances = self.topology.distance_row(device)
-        return min(others, key=lambda d: (distances[d], d))
+        return best_device
 
 
 __all__ = ["RoutingService"]

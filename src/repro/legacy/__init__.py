@@ -1,0 +1,66 @@
+"""Frozen seed copies of the placement strategies (the *object path*).
+
+Before PR 4 every strategy kept its placement state in an object-per-replica
+world: ``ViewReplica`` dataclasses inside per-server dicts, per-user
+``dict``/``set`` location maps and ``AccessStatistics`` objects.  PR 4 moved
+all of that onto the flat struct-of-arrays tables in
+:mod:`repro.store.tables`.  This package preserves the seed implementations
+verbatim so that
+
+* the golden parity suite (``tests/test_tables.py``) can replay identical
+  workloads through both worlds and assert **byte-identical**
+  ``SimulationResult``s, and
+* the strategy benchmarks can measure the table path against the real
+  object-backed baseline (throughput and peak placement-state memory).
+
+Nothing in the production code paths imports this package.  Do not
+optimise, extend or "fix" these modules — their value is that they never
+change.
+"""
+
+from ..baselines.base import PlacementStrategy
+from ..config import DynaSoReConfig
+from ..exceptions import ConfigurationError
+from .baselines import (
+    LegacyHierarchicalMetisPlacement,
+    LegacyMetisPlacement,
+    LegacyRandomPlacement,
+    LegacyStaticPlacementStrategy,
+)
+from .engine import LegacyDynaSoRe
+from .server import LegacyStorageServer
+from .spar import LegacySparPlacement
+
+
+def build_legacy_strategy(
+    key: str, seed: int, dynasore_config: DynaSoReConfig | None = None
+) -> PlacementStrategy:
+    """Legacy (seed object path) twin of :func:`repro.runtime.spec.build_strategy`."""
+    if key == "random":
+        return LegacyRandomPlacement(seed=seed)
+    if key == "metis":
+        return LegacyMetisPlacement(seed=seed)
+    if key == "hmetis":
+        return LegacyHierarchicalMetisPlacement(seed=seed)
+    if key == "spar":
+        return LegacySparPlacement(seed=seed)
+    if key.startswith("dynasore_"):
+        initializer = key[len("dynasore_") :]
+        return LegacyDynaSoRe(
+            initializer=initializer,
+            config=dynasore_config or DynaSoReConfig(),
+            seed=seed,
+        )
+    raise ConfigurationError(f"unknown legacy strategy key {key!r}")
+
+
+__all__ = [
+    "LegacyDynaSoRe",
+    "LegacyHierarchicalMetisPlacement",
+    "LegacyMetisPlacement",
+    "LegacyRandomPlacement",
+    "LegacySparPlacement",
+    "LegacyStaticPlacementStrategy",
+    "LegacyStorageServer",
+    "build_legacy_strategy",
+]

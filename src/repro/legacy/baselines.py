@@ -1,0 +1,215 @@
+"""Frozen seed copies of the static baselines (parity reference).
+
+The dict-recomputing ``StaticPlacementStrategy`` exactly as it existed
+before the flat per-position load tables, plus thin Random/METIS/hMETIS
+subclasses wired to the shared assignment functions.  Used only by the
+golden parity suite and the strategy benchmarks; do not optimise or
+refactor — its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from ..baselines.base import PlacementStrategy
+from ..baselines.hmetis_placement import hmetis_assignment
+from ..baselines.metis_placement import metis_assignment
+from ..baselines.random_placement import random_assignment
+from ..exceptions import SimulationError
+from ..persistence.recovery import RecoveryPlan
+from ..traffic.messages import MessageKind
+
+
+class LegacyStaticPlacementStrategy(PlacementStrategy):
+    """Shared behaviour of the static baselines (Random, METIS, hMETIS).
+
+    A static strategy stores exactly one replica per view, never changes the
+    placement during the run, and deploys both proxies of a user on the
+    broker associated with the server holding her view (paper section 4.1).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: user -> storage-server position (0 .. num_servers - 1)
+        self._assignment: dict[int, int] = {}
+        #: server positions currently out of service
+        self._down_positions: set[int] = set()
+
+    # ----------------------------------------------------------- assignment
+    @abstractmethod
+    def compute_assignment(self) -> dict[int, int]:
+        """Return the user → server-position assignment for the bound graph."""
+
+    def build_initial_placement(self) -> None:
+        self.require_bound()
+        self._assignment = dict(self.compute_assignment())
+        missing = set(self.graph.users) - set(self._assignment)
+        if missing:
+            raise SimulationError(
+                f"{self.name} assignment misses {len(missing)} users"
+            )
+
+    def assignment(self) -> dict[int, int]:
+        """Copy of the user → server-position assignment."""
+        return dict(self._assignment)
+
+    def server_position_of(self, user: int) -> int:
+        """Server position of a user's (single) replica, assigning lazily for
+        users that joined after the initial placement."""
+        position = self._assignment.get(user)
+        if position is None:
+            position = self._least_loaded_position()
+            self._assignment[user] = position
+        return position
+
+    def _least_loaded_position(self) -> int:
+        assert self.topology is not None
+        loads: dict[int, int] = {
+            i: 0
+            for i in range(len(self.topology.servers))
+            if i not in self._down_positions
+        }
+        for position in self._assignment.values():
+            if position in loads:
+                loads[position] += 1
+        if not loads:
+            raise SimulationError("no storage server is available")
+        return min(loads, key=lambda p: (loads[p], p))
+
+    # ---------------------------------------------------------------- faults
+    def on_server_down(
+        self, position: int, now: float, graceful: bool = False
+    ) -> RecoveryPlan:
+        """Re-place every view of the departed server on the survivors.
+
+        Static strategies keep a single replica per view, so a crash always
+        goes through the persistent store (slow path): the new host's rack
+        broker fetches each lost view with a :data:`REPLICA_COPY` message.
+        A graceful drain copies views directly from the leaving server.
+        """
+        self.require_bound()
+        assert self.topology is not None and self.accountant is not None
+        servers = len(self.topology.servers)
+        self._begin_server_down(position, self._down_positions, servers)
+
+        plan = RecoveryPlan(crashed_server=position)
+        loads: dict[int, int] = {
+            i: 0 for i in range(servers) if i not in self._down_positions
+        }
+        for assigned in self._assignment.values():
+            if assigned in loads:
+                loads[assigned] += 1
+        source_device = self.server_device(position)
+        for user, assigned in self._assignment.items():
+            if assigned != position:
+                continue
+            target = min(loads, key=lambda p: (loads[p], p))
+            loads[target] += 1
+            self._assignment[user] = target
+            target_device = self.server_device(target)
+            if graceful:
+                plan.recoverable_from_memory.append(user)
+                source = source_device
+            else:
+                plan.recoverable_from_disk.append(user)
+                source = self.topology.proxy_broker_for_server(target_device)
+            self.accountant.record(
+                source, target_device, MessageKind.REPLICA_COPY, now
+            )
+        return plan
+
+    def on_server_up(self, position: int, now: float) -> None:
+        self._begin_server_up(position, self._down_positions)
+
+    # -------------------------------------------------------------- proxies
+    def proxy_broker(self, user: int) -> int:
+        """Broker hosting both proxies of a user (rack of her view)."""
+        assert self.topology is not None
+        server = self.server_device(self.server_position_of(user))
+        return self.topology.proxy_broker_for_server(server)
+
+    # ------------------------------------------------------------ execution
+    def execute_read(
+        self, user: int, now: float, targets: tuple[int, ...] | None = None
+    ) -> None:
+        self.require_bound()
+        assert self.graph is not None and self.accountant is not None
+        if targets is None:
+            if not self.graph.has_user(user):
+                return
+            targets = tuple(self.graph.following(user))
+        broker = self.proxy_broker(user)
+        for target in targets:
+            server = self.server_device(self.server_position_of(target))
+            self.accountant.record_roundtrip(
+                broker, server, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
+            )
+
+    def execute_write(self, user: int, now: float) -> None:
+        self.require_bound()
+        assert self.accountant is not None
+        broker = self.proxy_broker(user)
+        server = self.server_device(self.server_position_of(user))
+        self.accountant.record_roundtrip(
+            broker, server, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
+        )
+
+    # -------------------------------------------------------- introspection
+    def replica_locations(self) -> dict[int, set[int]]:
+        return {
+            user: {self.server_device(position)}
+            for user, position in self._assignment.items()
+        }
+
+    def replica_count(self, user: int) -> int:
+        return 1 if user in self._assignment else 0
+
+
+class LegacyRandomPlacement(LegacyStaticPlacementStrategy):
+    """Seed random baseline on the seed static execution engine."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 7) -> None:
+        super().__init__()
+        self.seed = seed
+
+    def compute_assignment(self) -> dict[int, int]:
+        assert self.graph is not None and self.topology is not None
+        return random_assignment(self.graph, self.topology, seed=self.seed)
+
+
+class LegacyMetisPlacement(LegacyStaticPlacementStrategy):
+    """Seed METIS baseline on the seed static execution engine."""
+
+    name = "metis"
+
+    def __init__(self, seed: int = 7) -> None:
+        super().__init__()
+        self.seed = seed
+
+    def compute_assignment(self) -> dict[int, int]:
+        assert self.graph is not None and self.topology is not None
+        return metis_assignment(self.graph, self.topology, seed=self.seed)
+
+
+class LegacyHierarchicalMetisPlacement(LegacyStaticPlacementStrategy):
+    """Seed hierarchical-METIS baseline on the seed static execution engine."""
+
+    name = "hmetis"
+
+    def __init__(self, seed: int = 7) -> None:
+        super().__init__()
+        self.seed = seed
+
+    def compute_assignment(self) -> dict[int, int]:
+        assert self.graph is not None and self.topology is not None
+        return hmetis_assignment(self.graph, self.topology, seed=self.seed)
+
+
+__all__ = [
+    "LegacyHierarchicalMetisPlacement",
+    "LegacyMetisPlacement",
+    "LegacyRandomPlacement",
+    "LegacyStaticPlacementStrategy",
+]

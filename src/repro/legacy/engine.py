@@ -1,33 +1,17 @@
-"""The DynaSoRe placement strategy (paper section 3).
+"""Frozen seed copy of the object-backed DynaSoRe engine (parity reference).
 
-This module ties the pieces together into the full protocol:
-
-* per-user read and write proxies hosted on brokers, migrating towards the
-  data they access;
-* storage servers with bounded capacity, per-replica rotating access
-  statistics, admission thresholds and proactive eviction;
-* Algorithm 1 (utility), Algorithm 2 (replica creation) and Algorithm 3
-  (replica migration) driving dynamic replication;
-* closest-replica routing with routing-update notifications;
-* traffic accounting of every application and system message.
-
-Since the array-backed state refactor the engine holds **no replica
-objects**: all placement state of the fleet lives in one shared
-:class:`~repro.store.tables.ReplicaTable` (flat replica-id columns with
-per-user and per-server chain indexes, plus the
-:class:`~repro.store.tables.StatsTable` columns holding the rotating access
-windows).  The hot paths — request execution, closest-replica resolution,
-least-loaded ranking, the maintenance sweep — walk those columns directly
-with integer replica ids; ``self.servers`` keeps a fleet of
-:class:`~repro.store.server.StorageServer` façades attached to the shared
-table for introspection and tests.  Decision algorithms receive a rebound
-scratch view over the evaluated slot, so Algorithms 1–3 stay expressed in
-the paper's object vocabulary while reading table columns.
-
-The engine implements the same :class:`~repro.baselines.base.PlacementStrategy`
-interface as the baselines, so the trace-driven simulator can run them
-interchangeably.
+This is the DynaSoRe placement engine exactly as it existed before the
+struct-of-arrays placement tables (:mod:`repro.store.tables`): per-user
+``dict``/``set`` location maps, one :class:`~repro.store.view.ViewReplica`
+object per replica and per-server dicts of objects.  The golden parity
+suite (``tests/test_tables.py``) replays identical workloads through this
+engine and through the table-backed engine and asserts byte-identical
+``SimulationResult``s; the strategy
+benchmarks use it as the object-backed baseline for throughput and memory
+comparisons.  Do not optimise or refactor this module: its value is that it
+never changes.
 """
+
 
 from __future__ import annotations
 
@@ -43,50 +27,18 @@ from ..config import DynaSoReConfig
 from ..exceptions import ConfigurationError, SimulationError
 from ..persistence.recovery import RecoveryPlan
 from ..socialgraph.graph import SocialGraph
-from ..store.server import StorageServer
-from ..store.tables import (
-    NO_SLOT,
-    ReplicaHandle,
-    ReplicaTable,
-    StatsHandle,
-    pick_least_loaded,
-    rank_by_utilisation,
-)
-from ..store.view import INFINITE_UTILITY
+from .server import LegacyStorageServer
+from ..store.view import INFINITE_UTILITY, ViewReplica
 from ..topology.base import ClusterTopology
 from ..traffic.messages import MessageKind
-from .migration import MigrationAction, evaluate_replica_migration
-from .proxies import ProxyDirectory, optimal_proxy_broker
-from .replication import EvaluationMemo, evaluate_replica_creation
-from .routing import RoutingService
-from .utility import estimate_profit, estimate_profit_values
+from .legacy_migration import MigrationAction, evaluate_replica_migration
+from .legacy_proxies import ProxyDirectory, optimal_proxy_broker
+from .legacy_replication import evaluate_replica_creation, origin_candidates
+from .legacy_routing import RoutingService
+from .legacy_utility import estimate_profit
 
 #: Signature of an initial-placement function: (graph, topology, seed) -> {user: server position}.
 InitialAssignment = Callable[[SocialGraph, ClusterTopology, int], dict[int, int]]
-
-
-class _ScratchReplica(ReplicaHandle):
-    """Reusable ``ViewReplica``-compatible view bound to one slot at a time.
-
-    The engine evaluates Algorithms 2 and 3 thousands of times per second;
-    rebinding one scratch view avoids a handle allocation per evaluation,
-    and the slot-level ``stats`` attribute shadows the base property so the
-    statistics view is not re-created on every access.  Never escapes the
-    engine: decisions carry plain integers, and the scratch is rebound
-    before every use.
-    """
-
-    __slots__ = ("stats",)
-
-    def __init__(self, table: ReplicaTable) -> None:
-        super().__init__(table, 0)
-        self.stats = StatsHandle(table.stats, 0)
-
-    def bind(self, slot: int) -> "_ScratchReplica":
-        self.slot = slot
-        self.stats.slot = slot
-        return self
-
 
 #: Named initial placements accepted by :class:`DynaSoRe`.
 INITIAL_PLACEMENTS: dict[str, InitialAssignment] = {
@@ -157,8 +109,8 @@ def fit_assignment_to_capacity(
     return fitted
 
 
-class DynaSoRe(PlacementStrategy):
-    """Dynamic social store: adaptive replica placement over a switch tree."""
+class LegacyDynaSoRe(PlacementStrategy):
+    """Seed object-backed DynaSoRe (see module docstring)."""
 
     name = "dynasore"
 
@@ -184,34 +136,26 @@ class DynaSoRe(PlacementStrategy):
             self.initializer_name = getattr(initializer, "__name__", "custom")
         self.name = f"dynasore[{self.initializer_name}]"
 
-        #: Shared struct-of-arrays placement state of the whole fleet.
-        self.tables: ReplicaTable | None = None
         self.servers: list[StorageServer] = []
         self.proxies = ProxyDirectory()
         self.routing: RoutingService | None = None
+        #: user -> set of storage-server positions holding a replica
+        self._replica_positions: dict[int, set[int]] = {}
         self._device_of_position: list[int] = []
         self._position_of_device: dict[int, int] = {}
         self._positions_under_switch: dict[int, tuple[int, ...]] = {}
         self._threshold_cache: dict[int, float] = {}
-        # Per-origin least-loaded rankings, reused between occupancy
+        # Replica-placement epoch: bumped on every occupancy change so the
+        # per-origin least-loaded rankings below can be reused between
         # changes (they are queried for every origin of every evaluated
-        # read, far more often than occupancy actually changes).  An
-        # occupancy change at a position invalidates only the origins whose
-        # sub-tree contains that position — a ranking depends on nothing
-        # else — so unrelated origins keep their cached ranking.
-        self._origin_rank_cache: dict[int, tuple[int, ...]] = {}
-        #: position -> origins whose ranking covers it (inverse sub-tree map)
-        self._origins_above: list[tuple[int, ...]] = []
+        # read, far more often than occupancy actually changes).
+        self._occupancy_epoch = 0
+        self._origin_rank_cache: dict[int, tuple[int, tuple[int, ...]]] = {}
         self._last_tick: float = 0.0
         #: storage-server positions currently out of service
         self._down_positions: set[int] = set()
         #: nominal capacity of each position (restored when a server rejoins)
         self._position_capacity: list[int] = []
-        #: reusable stats view for the utility sweep (avoids one allocation
-        #: per replica per tick)
-        self._stats_scratch: StatsHandle | None = None
-        #: reusable replica view for Algorithm 2/3 evaluations
-        self._replica_scratch: _ScratchReplica | None = None
         self.counters = EngineCounters()
 
     # =====================================================================
@@ -224,24 +168,8 @@ class DynaSoRe(PlacementStrategy):
         if len(capacities) != len(self.topology.servers):
             raise SimulationError("memory budget does not match the number of servers")
 
-        table = ReplicaTable(
-            positions=len(capacities),
-            counter_slots=self.config.counter_slots,
-            counter_period=self.config.counter_period,
-        )
-        self.tables = table
-        self._stats_scratch = StatsHandle(table.stats, 0)
-        self._replica_scratch = _ScratchReplica(table)
         self.servers = [
-            StorageServer(
-                server_index=position,
-                capacity=capacity,
-                counter_slots=self.config.counter_slots,
-                counter_period=self.config.counter_period,
-                admission_fill=self.config.admission_fill,
-                eviction_threshold=self.config.eviction_threshold,
-                table=table,
-            )
+            self._fresh_server(position, capacity)
             for position, capacity in enumerate(capacities)
         ]
         self._position_capacity = list(capacities)
@@ -256,12 +184,26 @@ class DynaSoRe(PlacementStrategy):
         assignment = self._initializer(self.graph, self.topology, self.seed)
         assignment = fit_assignment_to_capacity(assignment, capacities)
 
+        self._replica_positions = {}
         for user, position in assignment.items():
             device = self._device_of_position[position]
             broker = self.topology.proxy_broker_for_server(device)
-            table.allocate(user, position, write_proxy_broker=broker)
+            self.servers[position].add_replica(user, write_proxy_broker=broker)
+            self._replica_positions[user] = {position}
             self.proxies.place_both(user, broker)
+        self._occupancy_epoch += 1
         self._origin_rank_cache.clear()
+
+    def _fresh_server(self, position: int, capacity: int) -> LegacyStorageServer:
+        """An empty storage server configured like the rest of the fleet."""
+        return LegacyStorageServer(
+            server_index=position,
+            capacity=capacity,
+            counter_slots=self.config.counter_slots,
+            counter_period=self.config.counter_period,
+            admission_fill=self.config.admission_fill,
+            eviction_threshold=self.config.eviction_threshold,
+        )
 
     def _build_switch_index(self) -> None:
         """Pre-compute the storage-server positions under every switch."""
@@ -281,23 +223,6 @@ class DynaSoRe(PlacementStrategy):
                 self._positions_under_switch[server.index] = (
                     self._position_of_device[server.index],
                 )
-        # Invert the map: the origins whose ranking covers each position.
-        above: list[list[int]] = [[] for _ in self._device_of_position]
-        for origin, positions in self._positions_under_switch.items():
-            for position in positions:
-                above[position].append(origin)
-        self._origins_above = [tuple(origins) for origins in above]
-
-    def _invalidate_ranks(self, position: int) -> None:
-        """Drop the cached rankings of every origin covering ``position``."""
-        cache = self._origin_rank_cache
-        for origin in self._origins_above[position]:
-            cache.pop(origin, None)
-
-    def _require_tables(self) -> ReplicaTable:
-        if self.tables is None:
-            raise SimulationError("the placement has not been deployed yet")
-        return self.tables
 
     # =====================================================================
     # Helpers used by Algorithms 2 and 3
@@ -316,33 +241,36 @@ class DynaSoRe(PlacementStrategy):
         on the spot; memory is freed by the proactive eviction pass of the
         maintenance tick (paper section 3.2, "Eviction of views").
         """
-        ranked = self._origin_rank_cache.get(origin)
-        table = self.tables
-        if ranked is None:
+        epoch = self._occupancy_epoch
+        cached = self._origin_rank_cache.get(origin)
+        if cached is not None and cached[0] == epoch:
+            ranked = cached[1]
+        else:
             positions = self._positions_under_switch.get(origin)
             if positions is None:
                 raise SimulationError(f"unknown origin {origin}")
-            ranked = rank_by_utilisation(positions, table.used, table.capacities)
-            self._origin_rank_cache[origin] = ranked
-        head = table._user_head.get(user, NO_SLOT)
+            servers = self.servers
+            loaded: list[tuple[float, int]] = []
+            for position in positions:
+                server = servers[position]
+                capacity = server.capacity
+                # Peek at the replica dict directly: this loop feeds every
+                # origin of every evaluated read, and the property/method
+                # hops of ``is_full``/``utilisation`` dominate its cost.
+                used = len(server._replicas)
+                if used < capacity:
+                    loaded.append((used / capacity, position))
+            loaded.sort()
+            ranked = tuple(position for _, position in loaded)
+            self._origin_rank_cache[origin] = (epoch, ranked)
+        holders = self._replica_positions.get(user)
         down = self._down_positions
-        if head == NO_SLOT and not down:
-            return ranked[0] if ranked else None
-        # Walk the user's (replication-factor short) chain per candidate
-        # instead of materialising a holder set.
-        user_next = table._user_next
-        server = table._server
-        for position in ranked:
-            if position in down:
-                continue
-            slot = head
-            while slot != NO_SLOT:
-                if server[slot] == position:
-                    break
-                slot = user_next[slot]
-            if slot == NO_SLOT:
-                return position
-        return None
+        if holders or down:
+            for position in ranked:
+                if (holders is None or position not in holders) and position not in down:
+                    return position
+            return None
+        return ranked[0] if ranked else None
 
     def admission_threshold_under(self, origin: int) -> float:
         """Lowest admission threshold among the servers under ``origin``.
@@ -358,8 +286,7 @@ class DynaSoRe(PlacementStrategy):
         if not positions:
             value = INFINITE_UTILITY
         else:
-            thresholds = self.tables.admission_thresholds
-            value = min(thresholds[position] for position in positions)
+            value = min(self.servers[position].admission_threshold for position in positions)
         self._threshold_cache[origin] = value
         return value
 
@@ -381,20 +308,44 @@ class DynaSoRe(PlacementStrategy):
         their proxies on the closest broker (paper section 3.3, "Managing the
         social network").
         """
-        table = self.tables
-        if user in table._user_head:
+        if user in self._replica_positions:
             return
         assert self.topology is not None
-        position = pick_least_loaded(
-            table.used, self._down_positions, capacities=table.capacities
+        position = min(
+            (p for p in range(len(self.servers)) if p not in self._down_positions),
+            key=lambda p: (self.servers[p].utilisation, p),
         )
-        if position is None:
-            raise SimulationError("no storage server is available")
         device = self._device_of_position[position]
         broker = self.topology.proxy_broker_for_server(device)
-        table.allocate(user, position, write_proxy_broker=broker)
+        self.servers[position].add_replica(user, write_proxy_broker=broker, allow_overflow=True)
+        self._replica_positions[user] = {position}
         self.proxies.place_both(user, broker)
-        self._invalidate_ranks(position)
+        self._occupancy_epoch += 1
+
+    def _closest_position(self, broker: int, user: int) -> int:
+        """Position of the replica of ``user`` closest to ``broker``.
+
+        Same policy as :meth:`RoutingService.closest_replica` (distance,
+        ties on device index) but resolved on positions directly, without
+        materialising the device set of the replicas.
+        """
+        positions = self._replica_positions[user]
+        if len(positions) == 1:
+            return next(iter(positions))
+        distances = self.topology.distance_row(broker)
+        device_of_position = self._device_of_position
+        best_position = -1
+        best_distance = best_device = float("inf")
+        for position in positions:
+            device = device_of_position[position]
+            distance = distances[device]
+            if distance < best_distance or (
+                distance == best_distance and device < best_device
+            ):
+                best_distance = distance
+                best_device = device
+                best_position = position
+        return best_position
 
     def execute_read(
         self, user: int, now: float, targets: tuple[int, ...] | None = None
@@ -405,74 +356,43 @@ class DynaSoRe(PlacementStrategy):
             if not self.graph.has_user(user):
                 return
             targets = tuple(self.graph.following(user))
-        table = self.tables
-        if user not in table._user_head:
-            self._ensure_user(user)
+        self._ensure_user(user)
         broker = self.proxies.read_broker(user)
         if broker is None:
-            first_position = table._server[table._user_head[user]]
             broker = self.topology.proxy_broker_for_server(
-                self._device_of_position[first_position]
+                self._device_of_position[next(iter(self._replica_positions[user]))]
             )
             self.proxies.read_proxy[user] = broker
 
         transfers: dict[int, float] = {}
         # Local bindings: this loop runs once per followed user per read and
-        # dominates the simulator's wall clock.  The closest-replica walk is
-        # inlined: most views have a single replica, so the common case is
-        # one chain hop through two flat columns.
+        # dominates the simulator's wall clock.
         ensure_user = self._ensure_user
-        user_head = table._user_head
-        user_next = table._user_next
-        server_column = table._server
+        closest_position = self._closest_position
         device_of_position = self._device_of_position
-        distance_row = self.topology.distance_row
         record_roundtrip = self.accountant.record_roundtrip
         origin_of = self.topology.origin_of
-        stats = table.stats
-        record_read = stats.record_read
-        reads_since_eval = stats._reads_since_eval
+        servers = self.servers
         check_interval = self.config.replication_check_interval
         for target in targets:
-            slot = user_head.get(target, NO_SLOT)
-            if slot == NO_SLOT:
-                ensure_user(target)
-                slot = user_head[target]
-            following = user_next[slot]
-            if following == NO_SLOT:
-                position = server_column[slot]
-            else:
-                # Replicated view: pick the replica closest to the broker
-                # (distance, ties on device index — the routing policy).
-                distances = distance_row(broker)
-                best_distance = best_device = float("inf")
-                position = -1
-                walk = slot
-                while walk != NO_SLOT:
-                    walk_position = server_column[walk]
-                    device = device_of_position[walk_position]
-                    distance = distances[device]
-                    if distance < best_distance or (
-                        distance == best_distance and device < best_device
-                    ):
-                        best_distance = distance
-                        best_device = device
-                        slot_found = walk
-                        position = walk_position
-                    walk = user_next[walk]
-                slot = slot_found
+            ensure_user(target)
+            position = closest_position(broker, target)
             device = device_of_position[position]
             record_roundtrip(
                 broker, device, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
             )
             transfers[device] = transfers.get(device, 0.0) + 1.0
 
+            # Direct replica-dict lookup (the ``replica`` accessor's error
+            # wrapping costs real time at one call per followed user).
+            replica = servers[position]._replicas[target]
             origin = origin_of(device, broker)
-            record_read(slot, origin, now)
+            stats = replica.stats
+            stats.record_read(origin, now)
 
-            if reads_since_eval[slot] >= check_interval:
-                reads_since_eval[slot] = 0
-                self._consider_replication(slot, position, now)
+            if stats.reads_since_last_evaluation() >= check_interval:
+                stats.mark_evaluated()
+                self._consider_replication(replica, position, now)
 
         if self.config.enable_proxy_migration and transfers:
             best = optimal_proxy_broker(self.topology, transfers, broker)
@@ -484,71 +404,52 @@ class DynaSoRe(PlacementStrategy):
     def execute_write(self, user: int, now: float) -> None:
         self.require_bound()
         assert self.accountant is not None and self.topology is not None
-        table = self.tables
-        if user not in table._user_head:
-            self._ensure_user(user)
+        self._ensure_user(user)
         broker = self.proxies.write_broker(user)
         if broker is None:
-            first_position = table._server[table._user_head[user]]
             broker = self.topology.proxy_broker_for_server(
-                self._device_of_position[first_position]
+                self._device_of_position[next(iter(self._replica_positions[user]))]
             )
             self.proxies.write_proxy[user] = broker
 
         transfers: dict[int, float] = {}
-        device_of_position = self._device_of_position
-        record_write = table.stats.record_write
-        slots = list(table.user_slots(user))
-        for slot in slots:
-            device = device_of_position[table._server[slot]]
+        for position in tuple(self._replica_positions[user]):
+            device = self._device_of_position[position]
             self.accountant.record_roundtrip(
                 broker, device, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
             )
             transfers[device] = transfers.get(device, 0.0) + 1.0
-            record_write(slot, now)
+            self.servers[position].replica(user).stats.record_write(now)
 
         if self.config.enable_proxy_migration and transfers:
             best = optimal_proxy_broker(self.topology, transfers, broker)
             if best != broker:
                 # Migrating a write proxy notifies every replica of the view.
-                write_proxy = table._write_proxy
-                for slot in slots:
-                    device = device_of_position[table._server[slot]]
+                for position in self._replica_positions[user]:
+                    device = self._device_of_position[position]
                     self.accountant.record(broker, device, MessageKind.PROXY_MIGRATION, now)
-                    write_proxy[slot] = best
+                    self.servers[position].replica(user).write_proxy_broker = best
                 self.proxies.write_proxy[user] = best
                 self.counters.write_proxy_migrations += 1
 
     # =====================================================================
     # Replication, migration, eviction
     # =====================================================================
-    def _consider_replication(self, slot: int, position: int, now: float) -> None:
+    def _consider_replication(self, replica: ViewReplica, position: int, now: float) -> None:
         """Run Algorithm 2 for a replica; fall back to Algorithm 3 when no
         replica can be created (paper: "When no replicas can be created, the
         server attempts to migrate the view to a more appropriate location")."""
-        replica = self._replica_scratch.bind(slot)
         replica_device = self._device_of_position[position]
         # Both algorithms price the same per-origin candidates; resolve them
-        # once (nothing changes placement between the two evaluations), on
-        # the slot's origin dict directly.  No availability filter is
-        # needed: ``least_loaded_server_under`` never returns a position
-        # from the down set.
-        user = self.tables._user[slot]
-        least_loaded_server_under = self.least_loaded_server_under
-        device_of_position = self._device_of_position
-        candidates: list[tuple[int, int, int]] = []
-        for origin in self.tables.stats.reads_by_origin(slot):
-            candidate_position = least_loaded_server_under(origin, user)
-            if candidate_position is None:
-                continue
-            candidate_device = device_of_position[candidate_position]
-            if candidate_device == replica_device:
-                continue
-            candidates.append((origin, candidate_position, candidate_device))
-        # Algorithm 3 falls back to the replica's own server as reference
-        # when the replica is sole — the same reference Algorithm 2 prices
-        # against — so the memo lets it reuse the estimator and prices.
-        memo = EvaluationMemo()
+        # once (nothing changes placement between the two evaluations).  No
+        # availability filter is needed: ``least_loaded_server_under`` never
+        # returns a position from the down set.
+        candidates = origin_candidates(
+            replica,
+            replica_device,
+            self.least_loaded_server_under,
+            self._device_of_position.__getitem__,
+        )
         decision = evaluate_replica_creation(
             self.topology,
             replica,
@@ -559,7 +460,6 @@ class DynaSoRe(PlacementStrategy):
             self.device_of_position,
             position_available=self.position_available,
             candidates=candidates,
-            memo=memo,
         )
         if decision.should_replicate and decision.target_position is not None:
             self._create_replica(
@@ -568,15 +468,14 @@ class DynaSoRe(PlacementStrategy):
             )
             return
         if self.config.enable_view_migration:
-            self._consider_migration(replica, position, now, candidates=candidates, memo=memo)
+            self._consider_migration(replica, position, now, candidates=candidates)
 
     def _consider_migration(
         self,
-        replica: _ScratchReplica,
+        replica: ViewReplica,
         position: int,
         now: float,
         candidates: list[tuple[int, int, int]] | None = None,
-        memo: EvaluationMemo | None = None,
     ) -> None:
         """Run Algorithm 3 for a replica and apply its decision."""
         next_device = replica.next_closest_replica
@@ -591,7 +490,6 @@ class DynaSoRe(PlacementStrategy):
             self.device_of_position,
             position_available=self.position_available,
             candidates=candidates,
-            memo=memo,
         )
         if decision.action is MigrationAction.REMOVE:
             self._remove_replica(replica.user, position, now)
@@ -622,26 +520,25 @@ class DynaSoRe(PlacementStrategy):
         than the incoming view.
         """
         assert self.accountant is not None and self.routing is not None
-        table = self.tables
-        positions = table.user_positions(user)
+        positions = self._replica_positions[user]
         if target_position in positions:
             return False
-        if table.used[target_position] >= table.capacities[target_position]:
-            if not self._make_room(target_position, incoming_profit, now):
+        target_server = self.servers[target_position]
+        if target_server.is_full():
+            if not self._make_room(target_server, incoming_profit, now):
                 self.counters.creation_rejected_full += 1
                 return False
 
         write_broker = self.proxies.write_broker(user)
-        device_of_position = self._device_of_position
-        target_device = device_of_position[target_position]
-        before_devices = {device_of_position[p] for p in positions}
+        target_device = self._device_of_position[target_position]
+        before_devices = {self._device_of_position[p] for p in positions}
 
         # Control traffic: the requesting server notifies the write proxy,
         # which instructs the target server and ships the view data from the
         # closest existing replica.
         if requesting_position is not None and write_broker is not None:
             self.accountant.record(
-                device_of_position[requesting_position],
+                self._device_of_position[requesting_position],
                 write_broker,
                 MessageKind.REPLICA_CONTROL,
                 now,
@@ -651,20 +548,23 @@ class DynaSoRe(PlacementStrategy):
         source_device = self.routing.closest_replica(target_device, before_devices)
         self.accountant.record(source_device, target_device, MessageKind.REPLICA_COPY, now)
 
-        source_slot = table.slot_of(user, self._position_of_device[source_device])
-        new_slot = table.allocate(user, target_position, write_proxy_broker=write_broker)
-        self._seed_statistics(source_slot, new_slot, source_device, target_device, now)
-        self._invalidate_ranks(target_position)
-        self._notify_routing_add(user, before_devices, target_device, now)
+        seeded_stats = self._seed_statistics(user, source_device, target_device, now)
+        replica = target_server.add_replica(
+            user, write_proxy_broker=write_broker, stats=seeded_stats
+        )
+        positions.add(target_position)
+        self._occupancy_epoch += 1
+        after_devices = before_devices | {target_device}
+        self._notify_routing_change(user, before_devices, after_devices, now)
         self._refresh_next_closest(user)
-        self._refresh_utility(new_slot)
+        self._refresh_utility(replica)
         self.counters.replicas_created += 1
         return True
 
     def _seed_statistics(
-        self, source_slot: int, new_slot: int, source_device: int, target_device: int, now: float
-    ) -> None:
-        """Seed a freshly created replica's statistics from its source.
+        self, user: int, source_device: int, target_device: int, now: float
+    ):
+        """Initial access statistics of a freshly created replica.
 
         The new replica inherits, from the replica it was copied from, the
         read counts of the origins that will be routed to it (those closer to
@@ -675,52 +575,54 @@ class DynaSoRe(PlacementStrategy):
         are still empty, get evicted, and be re-created on the next read.
         """
         assert self.topology is not None
-        stats = self.tables.stats
-        cost_from_origin = self.topology.cost_from_origin
-        for origin, reads in stats.reads_by_origin(source_slot).items():
-            if cost_from_origin(origin, target_device) < cost_from_origin(
+        source_position = self._position_of_device[source_device]
+        source_replica = self.servers[source_position].replica(user)
+        seeded = source_replica.stats.__class__(
+            self.config.counter_slots, self.config.counter_period
+        )
+        for origin, reads in source_replica.stats.reads_by_origin().items():
+            if self.topology.cost_from_origin(origin, target_device) < self.topology.cost_from_origin(
                 origin, source_device
             ):
-                stats.record_read(new_slot, origin, now, reads)
-        writes = stats.total_writes(source_slot)
+                seeded.record_read(origin, now, reads)
+        writes = source_replica.stats.total_writes()
         if writes:
-            stats.record_write(new_slot, now, writes)
-        stats.mark_evaluated(new_slot)
+            seeded.record_write(now, writes)
+        seeded.mark_evaluated()
+        return seeded
 
-    def _make_room(self, target_position: int, incoming_profit: float, now: float) -> bool:
+    def _make_room(self, server: LegacyStorageServer, incoming_profit: float, now: float) -> bool:
         """Evict the least useful replica of a full server if it is less
         useful than the incoming view.  Returns True when a slot was freed."""
-        table = self.tables
-        candidates = table.eviction_candidate_slots(target_position)
+        candidates = server.eviction_candidates()
         if not candidates:
             return False
         victim = candidates[0]
-        if table.effective_utility(victim) >= incoming_profit:
+        if victim.effective_utility() >= incoming_profit:
             return False
-        self._remove_replica(table._user[victim], target_position, now)
+        self._remove_replica(victim.user, victim.server, now)
         return True
 
     def _remove_replica(self, user: int, position: int, now: float) -> bool:
         """Remove the replica of ``user`` stored at ``position`` (never the
         last one)."""
         assert self.accountant is not None
-        table = self.tables
-        slot = table.slot_of(user, position)
-        if slot is None:
+        positions = self._replica_positions.get(user)
+        if positions is None or position not in positions:
             return False
-        if table.user_replica_count(user) <= self.config.min_replicas:
+        if len(positions) <= self.config.min_replicas:
             return False
-        device_of_position = self._device_of_position
-        device = device_of_position[position]
-        before_devices = {device_of_position[p] for p in table.user_positions(user)}
-        table.free(slot)
-        self._invalidate_ranks(position)
-        after_devices = {device_of_position[p] for p in table.user_positions(user)}
+        device = self._device_of_position[position]
+        before_devices = {self._device_of_position[p] for p in positions}
+        self.servers[position].remove_replica(user)
+        positions.discard(position)
+        self._occupancy_epoch += 1
+        after_devices = {self._device_of_position[p] for p in positions}
 
         write_broker = self.proxies.write_broker(user)
         if write_broker is not None:
             self.accountant.record(device, write_broker, MessageKind.REPLICA_CONTROL, now)
-        self._notify_routing_remove(user, after_devices, device, now)
+        self._notify_routing_change(user, before_devices, after_devices, now)
         self._refresh_next_closest(user)
         self.counters.replicas_removed += 1
         return True
@@ -738,57 +640,15 @@ class DynaSoRe(PlacementStrategy):
                 continue
             self.accountant.record(write_broker, broker, MessageKind.ROUTING_UPDATE, now)
 
-    def _notify_routing_add(
-        self, user: int, before: set[int], added: int, now: float
-    ) -> None:
-        """Routing updates when ``added`` joins the replica set ``before``."""
-        assert self.routing is not None and self.accountant is not None
-        write_broker = self.proxies.write_broker(user)
-        if write_broker is None:
-            return
-        record = self.accountant.record
-        for broker in self.routing.affected_brokers_on_add(before, added):
-            if broker == write_broker:
-                continue
-            record(write_broker, broker, MessageKind.ROUTING_UPDATE, now)
-
-    def _notify_routing_remove(
-        self, user: int, after: set[int], removed: int, now: float
-    ) -> None:
-        """Routing updates when ``removed`` leaves, ``after`` surviving."""
-        assert self.routing is not None and self.accountant is not None
-        write_broker = self.proxies.write_broker(user)
-        if write_broker is None:
-            return
-        record = self.accountant.record
-        for broker in self.routing.affected_brokers_on_remove(after, removed):
-            if broker == write_broker:
-                continue
-            record(write_broker, broker, MessageKind.ROUTING_UPDATE, now)
-
     def _refresh_next_closest(self, user: int) -> None:
         """Refresh every replica's pointer to its next-closest sibling."""
         assert self.routing is not None
-        table = self.tables
-        device_of_position = self._device_of_position
-        slots = table.user_slots(user)
-        next_closest = table._next_closest
-        server_column = table._server
-        if len(slots) == 1:
-            next_closest[slots[0]] = NO_SLOT
-            return
-        if len(slots) == 2:
-            # The common replicated case: each replica's only sibling is
-            # the other one.
-            first, second = slots
-            next_closest[first] = device_of_position[server_column[second]]
-            next_closest[second] = device_of_position[server_column[first]]
-            return
-        devices = {device_of_position[server_column[slot]] for slot in slots}
-        for slot in slots:
-            device = device_of_position[server_column[slot]]
-            nearest = self.routing.next_closest(device, devices)
-            next_closest[slot] = NO_SLOT if nearest is None else nearest
+        positions = self._replica_positions[user]
+        devices = {self._device_of_position[p] for p in positions}
+        for position in positions:
+            device = self._device_of_position[position]
+            replica = self.servers[position].replica(user)
+            replica.next_closest_replica = self.routing.next_closest(device, devices)
 
     # =====================================================================
     # Maintenance tick
@@ -801,87 +661,44 @@ class DynaSoRe(PlacementStrategy):
         self._last_tick = now
         self._threshold_cache.clear()
 
-        table = self._require_tables()
-        # Counter rotation is one flat sweep over the statistics columns;
-        # the utility refresh then walks each position's chain (Algorithm 1
-        # per replica) before its admission threshold is recomputed.  Sole
-        # replicas short-circuit to infinite utility without pricing
-        # (Algorithm 1 needs a next-closest replica to compare against).
-        table.advance_all_counters(now)
-        admission_fill = self.config.admission_fill
-        stats = table.stats
-        srv_head = table._srv_head
-        srv_next = table._srv_next
-        next_closest = table._next_closest
-        utility = table._utility
-        server_column = table._server
-        user_column = table._user
-        write_node = stats._write_node
-        node_total = stats._node_total
-        origins_of = stats.reads_by_origin
-        device_of_position = self._device_of_position
-        write_broker_of = self.proxies.write_proxy.get
-        topology = self.topology
-        for position in range(table.num_positions):
-            slot = srv_head[position]
-            while slot != NO_SLOT:
-                nearest = next_closest[slot]
-                if nearest == NO_SLOT:
-                    utility[slot] = INFINITE_UTILITY
-                else:
-                    node = write_node[slot]
-                    utility[slot] = estimate_profit_values(
-                        topology,
-                        origins_of(slot),
-                        node_total[node] if node != NO_SLOT else 0.0,
-                        device_of_position[server_column[slot]],
-                        nearest,
-                        write_broker_of(user_column[slot]),
-                    )
-                slot = srv_next[slot]
-            table.update_admission_threshold(position, admission_fill)
+        for server in self.servers:
+            server.advance_counters(now)
+            for replica in server.replicas():
+                self._refresh_utility(replica)
+            server.update_admission_threshold()
 
         # Proactive eviction: free memory on servers above the threshold,
         # shedding the least useful replicas first.
-        eviction_threshold = self.config.eviction_threshold
-        for position in range(table.num_positions):
-            if not table.needs_eviction(position, eviction_threshold):
+        for server in self.servers:
+            if not server.needs_eviction():
                 continue
-            excess = table.excess_replicas(position, eviction_threshold)
-            for slot in table.eviction_candidate_slots(position):
+            excess = server.excess_replicas()
+            for replica in server.eviction_candidates():
                 if excess <= 0:
                     break
-                if self._remove_replica(user_column[slot], position, now):
+                if self._remove_replica(replica.user, replica.server, now):
                     excess -= 1
 
         # Views with negative utility are removed regardless of memory
         # pressure (their write cost exceeds their read benefit).
-        for position in range(table.num_positions):
-            for slot in table.position_slots(position):
-                if table.effective_utility(slot) < 0:
-                    self._remove_replica(user_column[slot], position, now)
+        for server in self.servers:
+            for replica in server.replicas():
+                if replica.effective_utility() < 0:
+                    self._remove_replica(replica.user, replica.server, now)
 
-    def _refresh_utility(self, slot: int) -> None:
-        """Recompute the cached utility of a replica (Algorithm 1).
-
-        Sole replicas are pinned at infinite utility (window totals are
-        never negative, so the object path's ``total_reads() >= 0`` guard
-        was always true).
-        """
+    def _refresh_utility(self, replica: ViewReplica) -> None:
+        """Recompute the cached utility of a replica (Algorithm 1)."""
         assert self.topology is not None
-        table = self.tables
-        next_closest = table._next_closest[slot]
-        if next_closest == NO_SLOT:
-            table._utility[slot] = INFINITE_UTILITY
+        device = self._device_of_position[replica.server]
+        if replica.next_closest_replica is None:
+            replica.utility = INFINITE_UTILITY if replica.stats.total_reads() >= 0 else 0.0
             return
-        scratch = self._stats_scratch
-        scratch.slot = slot
-        table._utility[slot] = estimate_profit(
+        replica.utility = estimate_profit(
             self.topology,
-            scratch,
-            self._device_of_position[table._server[slot]],
-            next_closest,
-            self.proxies.write_broker(table._user[slot]),
+            replica.stats,
+            device,
+            replica.next_closest_replica,
+            self.proxies.write_broker(replica.user),
         )
 
     # =====================================================================
@@ -914,38 +731,34 @@ class DynaSoRe(PlacementStrategy):
         assert self.accountant is not None and self.topology is not None
         if self.routing is None or not self.servers:
             raise SimulationError("the placement has not been deployed yet")
-        table = self._require_tables()
         self._begin_server_down(position, self._down_positions, len(self.servers))
         self.counters.servers_lost += 1
 
-        device_of_position = self._device_of_position
-        device = device_of_position[position]
+        crashed = self.servers[position]
+        device = self._device_of_position[position]
         plan = RecoveryPlan(crashed_server=position)
-        doomed = table.position_slots(position)
-        for slot in doomed:
-            user = table._user[slot]
-            write_proxy = table._write_proxy[slot]
-            before_devices = {
-                device_of_position[p] for p in table.user_positions(user)
-            }
-            table.detach(slot)
-            remaining = table.user_positions(user)
-            if remaining:
+        for replica in crashed.replicas():
+            user = replica.user
+            positions = self._replica_positions[user]
+            before_devices = {self._device_of_position[p] for p in positions}
+            positions.discard(position)
+            if positions:
                 # Fast path: other replicas keep serving; reroute brokers.
                 plan.recoverable_from_memory.append(user)
                 self.counters.views_recovered_from_memory += 1
-                after_devices = {device_of_position[p] for p in remaining}
-                self._notify_routing_remove(user, after_devices, device, now)
+                after_devices = {self._device_of_position[p] for p in positions}
+                self._notify_routing_change(user, before_devices, after_devices, now)
                 self._refresh_next_closest(user)
                 continue
             # Slow path: the sole replica is gone; rebuild it elsewhere.
             target = self._recovery_target()
-            target_device = device_of_position[target]
+            target_device = self._device_of_position[target]
             write_broker = self.proxies.write_broker(user)
             if graceful:
                 plan.recoverable_from_memory.append(user)
                 self.counters.views_recovered_from_memory += 1
                 source = device
+                stats = replica.stats
             else:
                 plan.recoverable_from_disk.append(user)
                 self.counters.views_recovered_from_disk += 1
@@ -957,26 +770,25 @@ class DynaSoRe(PlacementStrategy):
                     if write_broker is not None
                     else self.topology.proxy_broker_for_server(target_device)
                 )
+                stats = None
             self.accountant.record(source, target_device, MessageKind.REPLICA_COPY, now)
-            new_slot = table.allocate(
+            self.servers[target].add_replica(
                 user,
-                target,
-                write_proxy_broker=None if write_proxy == NO_SLOT else write_proxy,
+                write_proxy_broker=replica.write_proxy_broker,
+                stats=stats,
+                allow_overflow=True,
             )
-            if graceful:
-                # A drained replica keeps its access history.
-                table.stats.move_slot(slot, new_slot)
+            positions.add(target)
             self._notify_routing_change(user, before_devices, {target_device}, now)
             self._refresh_next_closest(user)
 
-        # Recycle the evacuated slots and leave the departed position with
-        # zero capacity (and an infinite admission threshold) while it is
-        # away so no decision ever lands on it.
-        for slot in doomed:
-            table.release(slot)
-        table.set_capacity(position, 0)
-        table.admission_thresholds[position] = INFINITE_UTILITY
+        # The departed slot keeps zero capacity (and an infinite admission
+        # threshold) while it is away so no decision ever lands on it.
+        placeholder = self._fresh_server(position, 0)
+        placeholder.update_admission_threshold()
+        self.servers[position] = placeholder
         self._threshold_cache.clear()
+        self._occupancy_epoch += 1
         self._origin_rank_cache.clear()
         return plan
 
@@ -988,81 +800,56 @@ class DynaSoRe(PlacementStrategy):
         onto it as traffic flows.
         """
         self._begin_server_up(position, self._down_positions)
-        table = self._require_tables()
-        table.set_capacity(position, self._position_capacity[position])
-        table.admission_thresholds[position] = 0.0
+        self.servers[position] = self._fresh_server(
+            position, self._position_capacity[position]
+        )
         self._threshold_cache.clear()
+        self._occupancy_epoch += 1
         self._origin_rank_cache.clear()
 
     def _recovery_target(self) -> int:
         """Least-loaded in-service server, preferring ones with free slots.
 
         Recovery must always succeed, so when every survivor is full the
-        least-utilised one takes the view anyway (the next maintenance
-        tick's eviction pass works the overshoot off).
+        least-utilised one takes the view anyway (``allow_overflow``); the
+        next maintenance tick's eviction pass works the overshoot off.
         """
-        table = self.tables
-        target = pick_least_loaded(
-            table.used, self._down_positions, capacities=table.capacities, skip_full=True
-        )
-        if target is None:
-            target = pick_least_loaded(
-                table.used, self._down_positions, capacities=table.capacities
-            )
-        if target is None:
-            raise SimulationError("no storage server is available")
-        return target
+        candidates = [
+            p for p in range(len(self.servers)) if p not in self._down_positions
+        ]
+        with_space = [p for p in candidates if not self.servers[p].is_full()]
+        pool = with_space or candidates
+        return min(pool, key=lambda p: (self.servers[p].utilisation, p))
 
     # =====================================================================
     # Introspection
     # =====================================================================
-    def replica_positions(self, user: int) -> tuple[int, ...]:
-        """Storage-server positions holding a replica of ``user``'s view."""
-        return self._require_tables().user_positions(user)
-
     def replica_locations(self) -> dict[int, set[int]]:
-        table = self._require_tables()
-        device_of_position = self._device_of_position
         return {
-            user: {device_of_position[p] for p in table.user_positions(user)}
-            for user in table.users()
+            user: {self._device_of_position[p] for p in positions}
+            for user, positions in self._replica_positions.items()
         }
 
     def replica_count(self, user: int) -> int:
-        return self._require_tables().user_replica_count(user)
-
-    def has_any_replica(self, user: int) -> bool:
-        """O(1) availability check used by the simulator's final audit."""
-        return self._require_tables().has_user(user)
+        return len(self._replica_positions.get(user, ()))
 
     def replication_factor(self) -> float:
         """Average number of replicas per view."""
-        table = self._require_tables()
-        users = len(table._user_head)
-        if not users:
+        if not self._replica_positions:
             return 0.0
-        return table.active_count / users
+        total = sum(len(p) for p in self._replica_positions.values())
+        return total / len(self._replica_positions)
 
     def memory_in_use(self) -> int:
-        """Total view slots in use (O(1) from the table counters)."""
-        return self._require_tables().active_count
+        return sum(server.used for server in self.servers)
 
     def memory_capacity(self) -> int:
         """Total capacity of the cluster in views."""
-        return sum(self._require_tables().capacities)
+        return sum(server.capacity for server in self.servers)
 
     def server_utilisations(self) -> list[float]:
-        """Per-server memory utilisation (O(1) per server from counters)."""
-        table = self._require_tables()
-        result = []
-        for position in range(table.num_positions):
-            capacity = table.capacities[position]
-            used = table.used[position]
-            if capacity == 0:
-                result.append(1.0 if used else 0.0)
-            else:
-                result.append(used / capacity)
-        return result
+        """Per-server memory utilisation."""
+        return [server.utilisation for server in self.servers]
 
 
-__all__ = ["DynaSoRe", "INITIAL_PLACEMENTS", "InitialAssignment", "fit_assignment_to_capacity"]
+__all__ = ["LegacyDynaSoRe"]

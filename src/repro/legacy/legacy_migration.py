@@ -1,27 +1,19 @@
-"""Algorithm 3 — Compute Optimal Position of Replica (paper section 3.2).
+"""Frozen seed copy of :mod:`repro.core.migration` (parity reference).
 
-When no profitable replica can be created, a server considers *moving* the
-replica to a better location instead.  The computation resembles Algorithm 2
-but assumes the replica disappears from the current server, so the reference
-used to price reads is the next-closest replica.  Three outcomes are
-possible: keep the replica where it is, migrate it to the best origin, or —
-when even the best profit is negative — remove it altogether (its update
-cost outweighs its read benefit).
-
-For a **sole** replica the reference falls back to the replica's own server,
-which is exactly Algorithm 2's reference: passing Algorithm 2's
-:class:`~repro.core.replication.EvaluationMemo` then reuses its estimator
-and per-device prices instead of re-pricing every candidate.
+Kept verbatim for the legacy object path: the table-backed core modules
+have been restructured around integer replica ids, while the legacy engine
+must keep executing exactly the seed code.  Do not optimise or refactor.
 """
+
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
 
+from ..store.view import ViewReplica
 from ..topology.base import ClusterTopology
-from .replication import EvaluationMemo
-from .utility import estimate_profit, profit_estimator
+from .legacy_utility import estimate_profit, profit_estimator
 
 
 class MigrationAction(str, Enum):
@@ -43,7 +35,7 @@ class MigrationDecision:
 
 def evaluate_replica_migration(
     topology: ClusterTopology,
-    replica,
+    replica: ViewReplica,
     replica_device: int,
     next_closest_device: int | None,
     write_broker: int | None,
@@ -52,7 +44,6 @@ def evaluate_replica_migration(
     device_of_position,
     position_available=None,
     candidates: list[tuple[int, int, int]] | None = None,
-    memo: EvaluationMemo | None = None,
 ) -> MigrationDecision:
     """Run Algorithm 3 for one replica.
 
@@ -62,12 +53,10 @@ def evaluate_replica_migration(
     ``position_available`` optionally filters candidate targets (the
     engine's server up/down mask), so a migration never lands on a server
     that left the cluster.  ``candidates`` optionally supplies the
-    precomputed :func:`~repro.core.replication.origin_candidates` list, and
-    ``memo`` a same-reference Algorithm 2 pricing memo (only consulted for
-    sole replicas — see the module docstring).
+    precomputed :func:`~repro.core.replication.origin_candidates` list.
     """
     if candidates is None:
-        from .replication import origin_candidates
+        from .legacy_replication import origin_candidates
 
         candidates = origin_candidates(
             replica,
@@ -78,35 +67,24 @@ def evaluate_replica_migration(
         )
     sole_replica = next_closest_device is None
     reference = replica_device if sole_replica else next_closest_device
-    shared = memo if (sole_replica and memo is not None) else None
 
     if not candidates:
         # No placement candidate: only the stay-vs-remove decision remains,
         # priced with a single direct profit estimate (the common case — a
         # view whose readers are already served from the best region).
-        if shared is not None and shared.estimator is not None:
-            stay_profit = shared.estimator(replica_device)
-        else:
-            stay_profit = estimate_profit(
-                topology, replica.stats, replica_device, reference, write_broker
-            )
+        stay_profit = estimate_profit(
+            topology, replica.stats, replica_device, reference, write_broker
+        )
         if stay_profit < 0 and not sole_replica:
             return MigrationDecision(action=MigrationAction.REMOVE, profit=stay_profit)
         return MigrationDecision(action=MigrationAction.STAY, profit=stay_profit)
 
-    if shared is not None:
-        estimate = shared.estimator
-        if estimate is None:
-            estimate = profit_estimator(topology, replica.stats, reference, write_broker)
-            shared.estimator = estimate
-        profits = shared.profits
-    else:
-        estimate = profit_estimator(topology, replica.stats, reference, write_broker)
-        profits = {}
+    estimate = profit_estimator(topology, replica.stats, reference, write_broker)
     best_position: int | None = None
     best_profit = estimate(replica_device)
     stay_profit = best_profit
 
+    profits: dict[int, float] = {}
     for origin, candidate_position, candidate_device in candidates:
         profit = profits.get(candidate_device)
         if profit is None:

@@ -1,17 +1,10 @@
-"""Read and write proxies and their placement (paper section 3.2, "Brokers"
-and "Proxy placement").
+"""Frozen seed copy of :mod:`repro.core.proxies` (parity reference).
 
-DynaSoRe creates, for every user, a *read proxy* (routes her feed reads) and
-a *write proxy* (updates the replicas of her view and serves as the
-synchronisation point for replica creation and eviction).  The two proxies
-may live on different brokers because they access different views.
-
-After executing a request, the proxy analyses where the accessed views were
-served from and computes the broker position that minimises network
-transfers: starting at the root of the tree, it follows at each level the
-branch from which most views were transferred until it reaches a broker.  If
-that broker differs from the current one, the proxy migrates.
+Kept verbatim for the legacy object path: the table-backed core modules
+have been restructured around integer replica ids, while the legacy engine
+must keep executing exactly the seed code.  Do not optimise or refactor.
 """
+
 
 from __future__ import annotations
 
@@ -62,23 +55,14 @@ def optimal_proxy_broker(
     """
     if not transfers:
         return default
-    if len(transfers) == 1:
-        # One serving device: its rack broker (tree) or the machine itself
-        # (flat) is trivially optimal.
-        device = next(iter(transfers))
-        if isinstance(topology, TreeTopology):
-            return topology.broker_for_rack(topology.rack_of(device))
-        return device
     if isinstance(topology, TreeTopology):
         # One aggregation pass: per-rack counts plus each rack's
         # intermediate switch, then pick the heaviest branch and the
-        # heaviest rack inside it (ties on the lower index, explicit loops
-        # on the hot path).
+        # heaviest rack inside it.
         rack_counts: dict[int, float] = {}
         rack_inter: dict[int, int] = {}
-        rack_of = topology.rack_of
         for device, count in transfers.items():
-            rack = rack_of(device)
+            rack = topology.rack_of(device)
             if rack in rack_counts:
                 rack_counts[rack] += count
             else:
@@ -88,30 +72,17 @@ def optimal_proxy_broker(
         for rack, count in rack_counts.items():
             inter = rack_inter[rack]
             per_intermediate[inter] = per_intermediate.get(inter, 0.0) + count
-        best_inter = -1
-        best_count = -1.0
-        for inter, count in per_intermediate.items():
-            if count > best_count or (count == best_count and inter < best_inter):
-                best_count = count
-                best_inter = inter
-        best_rack = -1
-        best_count = -1.0
-        for rack, count in rack_counts.items():
-            if rack_inter[rack] != best_inter:
-                continue
-            if count > best_count or (count == best_count and rack < best_rack):
-                best_count = count
-                best_rack = rack
+        best_inter = min(
+            per_intermediate, key=lambda i: (-per_intermediate[i], i)
+        )
+        best_rack = min(
+            (rack for rack in rack_counts if rack_inter[rack] == best_inter),
+            key=lambda r: (-rack_counts[r], r),
+        )
         return topology.broker_for_rack(best_rack)
     # Flat topology: the machine that served the most views is the best
     # broker (requests served locally traverse no switch at all).
-    best_device = -1
-    best_count = -1.0
-    for device, count in transfers.items():
-        if count > best_count or (count == best_count and device < best_device):
-            best_count = count
-            best_device = device
-    return best_device
+    return min(transfers, key=lambda device: (-transfers[device], device))
 
 
 __all__ = ["ProxyDirectory", "optimal_proxy_broker"]

@@ -1,42 +1,18 @@
-"""Algorithm 2 — Evaluate Creation of Replica (paper section 3.2).
+"""Frozen seed copy of :mod:`repro.core.replication` (parity reference).
 
-Upon serving a read, a server re-examines the access statistics of the view:
-for every origin that reads the view, it estimates the profit of placing a
-new replica on the least-loaded server of that origin's sub-tree.  If the
-best profit exceeds both the admission threshold of the target region and
-zero, the server asks the view's write proxy to create the replica there.
-
-``replica`` is duck-typed (``.user``/``.stats``): the engine passes a
-rebound table view over the replica's slot, tests may pass a plain
-:class:`~repro.store.view.ViewReplica`.  An :class:`EvaluationMemo` lets the
-engine share the profit estimator and the per-device prices with the
-sole-replica case of Algorithm 3, which uses the same reference replica —
-without it every evaluated read priced the identical candidates twice.
+Kept verbatim for the legacy object path: the table-backed core modules
+have been restructured around integer replica ids, while the legacy engine
+must keep executing exactly the seed code.  Do not optimise or refactor.
 """
+
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..store.view import ViewReplica
 from ..topology.base import ClusterTopology
-from .utility import profit_estimator
-
-
-class EvaluationMemo:
-    """Pricing state shared between Algorithm 2 and Algorithm 3.
-
-    Valid only while the underlying statistics are untouched and only for
-    evaluations against the same reference replica (the engine passes it to
-    Algorithm 3 only for sole replicas, whose migration reference is the
-    replica's own server — exactly Algorithm 2's reference).
-    """
-
-    __slots__ = ("estimator", "profits")
-
-    def __init__(self) -> None:
-        self.estimator = None
-        #: candidate device -> profit, filled lazily
-        self.profits: dict[int, float] = {}
+from .legacy_utility import profit_estimator
 
 
 @dataclass(frozen=True)
@@ -55,7 +31,7 @@ class ReplicationDecision:
 
 
 def origin_candidates(
-    replica,
+    replica: ViewReplica,
     replica_device: int,
     least_loaded_server_under,
     device_of_position,
@@ -86,7 +62,7 @@ def origin_candidates(
 
 def evaluate_replica_creation(
     topology: ClusterTopology,
-    replica,
+    replica: ViewReplica,
     replica_device: int,
     write_broker: int | None,
     least_loaded_server_under,
@@ -94,7 +70,6 @@ def evaluate_replica_creation(
     device_of_position,
     position_available=None,
     candidates: list[tuple[int, int, int]] | None = None,
-    memo: EvaluationMemo | None = None,
 ) -> ReplicationDecision:
     """Run Algorithm 2 for one replica.
 
@@ -128,9 +103,6 @@ def evaluate_replica_creation(
     candidates:
         Optional precomputed result of :func:`origin_candidates`; when
         omitted it is computed here.
-    memo:
-        Optional :class:`EvaluationMemo` that captures the estimator and
-        per-device profits for reuse by a same-reference Algorithm 3 run.
     """
     if candidates is None:
         candidates = origin_candidates(
@@ -142,8 +114,8 @@ def evaluate_replica_creation(
         )
     best_profit = 0.0
     best_position: int | None = None
-    estimate = memo.estimator if memo is not None else None
-    profits: dict[int, float] = memo.profits if memo is not None else {}
+    estimate = None
+    profits: dict[int, float] = {}
     for origin, candidate_position, candidate_device in candidates:
         profit = profits.get(candidate_device)
         if profit is None:
@@ -151,8 +123,6 @@ def evaluate_replica_creation(
                 estimate = profit_estimator(
                     topology, replica.stats, replica_device, write_broker
                 )
-                if memo is not None:
-                    memo.estimator = estimate
             profit = estimate(candidate_device)
             profits[candidate_device] = profit
         threshold = admission_threshold_under(origin)
@@ -162,9 +132,4 @@ def evaluate_replica_creation(
     return ReplicationDecision(target_position=best_position, profit=best_profit)
 
 
-__all__ = [
-    "EvaluationMemo",
-    "ReplicationDecision",
-    "evaluate_replica_creation",
-    "origin_candidates",
-]
+__all__ = ["ReplicationDecision", "evaluate_replica_creation", "origin_candidates"]

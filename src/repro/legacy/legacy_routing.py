@@ -1,0 +1,69 @@
+"""Frozen seed copy of :mod:`repro.core.routing` (parity reference).
+
+Kept verbatim for the legacy object path: the table-backed core modules
+have been restructured around integer replica ids, while the legacy engine
+must keep executing exactly the seed code.  Do not optimise or refactor.
+"""
+
+
+from __future__ import annotations
+
+from ..exceptions import RoutingError
+from ..topology.base import ClusterTopology
+
+
+class RoutingService:
+    """Closest-replica resolution plus routing-update fan-out computation."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        self._broker_indices = tuple(broker.index for broker in topology.brokers)
+
+    # ----------------------------------------------------------- resolution
+    def closest_replica(self, broker: int, replica_devices: set[int] | tuple[int, ...]) -> int:
+        """Replica device closest to ``broker``; ties break on device index."""
+        if not replica_devices:
+            raise RoutingError("view has no replica to route to")
+        if len(replica_devices) == 1:
+            return next(iter(replica_devices))
+        distances = self.topology.distance_row(broker)
+        return min(replica_devices, key=lambda device: (distances[device], device))
+
+    def routing_table_for(self, broker: int, replica_map: dict[int, set[int]]) -> dict[int, int]:
+        """Full routing table of one broker (used by tests and the API layer)."""
+        return {
+            user: self.closest_replica(broker, devices)
+            for user, devices in replica_map.items()
+            if devices
+        }
+
+    # ------------------------------------------------------------- fan-out
+    def affected_brokers(
+        self,
+        before: set[int] | tuple[int, ...],
+        after: set[int] | tuple[int, ...],
+    ) -> tuple[int, ...]:
+        """Brokers whose closest replica changes when the set goes from
+        ``before`` to ``after``.
+
+        The routing policy is deterministic, so the write proxy only notifies
+        these brokers (paper section 3.2, "Routing tables").
+        """
+        changed = []
+        for broker in self._broker_indices:
+            old = self.closest_replica(broker, before) if before else None
+            new = self.closest_replica(broker, after) if after else None
+            if old != new:
+                changed.append(broker)
+        return tuple(changed)
+
+    def next_closest(self, device: int, replica_devices: set[int]) -> int | None:
+        """Closest *other* replica as seen from ``device`` (None when sole)."""
+        others = [d for d in replica_devices if d != device]
+        if not others:
+            return None
+        distances = self.topology.distance_row(device)
+        return min(others, key=lambda d: (distances[d], d))
+
+
+__all__ = ["RoutingService"]

@@ -1,34 +1,20 @@
-"""Algorithm 1 — Estimate Profit (paper section 3.2, "View utility").
+"""Frozen seed copy of :mod:`repro.core.utility` (parity reference).
 
-The utility of keeping (or creating) a replica of a view on a server is the
-network traffic saved by serving its reads from that server instead of the
-next-closest replica, minus the traffic required to keep the replica up to
-date:
-
-    serverReadCost   = Σ_origin reads(origin) · cost(origin, server)
-    nearestReadCost  = Σ_origin reads(origin) · cost(origin, nearest)
-    serverWriteCost  = writes · cost(writeProxyBroker, server)
-    profit           = nearestReadCost − serverReadCost − serverWriteCost
-
-``cost`` counts the switches a message traverses; origins are the coarse
-sub-tree labels recorded by the access statistics.
-
-``stats`` is duck-typed: both the standalone
-:class:`~repro.store.stats.AccessStatistics` objects and the table-backed
-:class:`~repro.store.tables.StatsHandle` views satisfy the two queries used
-here (``reads_by_origin``/``total_writes``).  The amortised estimator
-pre-resolves the per-origin reference costs once, because the table-backed
-engine prices many candidate servers against the same reference replica.
+Kept verbatim for the legacy object path: the table-backed core modules
+have been restructured around integer replica ids, while the legacy engine
+must keep executing exactly the seed code.  Do not optimise or refactor.
 """
+
 
 from __future__ import annotations
 
+from ..store.stats import AccessStatistics
 from ..topology.base import ClusterTopology
 
 
 def estimate_profit(
     topology: ClusterTopology,
-    stats,
+    stats: AccessStatistics,
     candidate_server: int,
     reference_server: int,
     write_broker: int | None,
@@ -51,42 +37,18 @@ def estimate_profit(
         Leaf device index of the broker hosting the view's write proxy, or
         ``None`` when the view has never been written (write cost is then 0).
     """
-    return estimate_profit_values(
-        topology,
-        stats.reads_by_origin(),
-        stats.total_writes(),
-        candidate_server,
-        reference_server,
-        write_broker,
-    )
-
-
-def estimate_profit_values(
-    topology: ClusterTopology,
-    reads_by_origin: dict[int, float],
-    writes: float,
-    candidate_server: int,
-    reference_server: int,
-    write_broker: int | None,
-) -> float:
-    """:func:`estimate_profit` on primitive inputs.
-
-    The table-backed engine's maintenance sweep resolves the origin dict and
-    the write total straight from the statistics columns, so the pricing
-    needs no statistics view at all.
-    """
     server_read_cost = 0.0
     nearest_read_cost = 0.0
+    reads_by_origin = stats.reads_by_origin()
     if reads_by_origin:
         candidate_costs = topology.cost_row(candidate_server)
         reference_costs = topology.cost_row(reference_server)
-        cost_from_origin = topology.cost_from_origin
         for origin, reads in reads_by_origin.items():
             candidate_cost = candidate_costs[origin]
             reference_cost = reference_costs[origin]
             if candidate_cost is None or reference_cost is None:
-                candidate_cost = cost_from_origin(origin, candidate_server)
-                reference_cost = cost_from_origin(origin, reference_server)
+                candidate_cost = topology.cost_from_origin(origin, candidate_server)
+                reference_cost = topology.cost_from_origin(origin, reference_server)
             # Routing is deterministic and always picks the closest replica,
             # so reads from an origin only move to the candidate when it is
             # closer; they never become more expensive because the reference
@@ -100,6 +62,7 @@ def estimate_profit_values(
             else:
                 server_read_cost += reads * reference_cost
             nearest_read_cost += reads * reference_cost
+    writes = stats.total_writes()
     if writes and write_broker is not None:
         server_write_cost = writes * topology.distance_row(write_broker)[candidate_server]
     else:
@@ -109,7 +72,7 @@ def estimate_profit_values(
 
 def profit_estimator(
     topology: ClusterTopology,
-    stats,
+    stats: AccessStatistics,
     reference_server: int,
     write_broker: int | None,
 ):
@@ -117,45 +80,43 @@ def profit_estimator(
 
     Algorithms 2 and 3 price many candidate servers against the *same*
     reference replica and the *same* access statistics; the reference read
-    cost and the per-origin ``(origin, reads, reference cost)`` triples are
-    resolved once.  Returns a callable ``candidate_server -> profit``.
+    cost and the per-origin read counts only need to be resolved once.
+    Returns a callable ``candidate_server -> profit``.
     """
     reads_by_origin = stats.reads_by_origin()
     nearest_read_cost = 0.0
-    # (origin, reads, reference_cost) with the reference cost pre-resolved;
-    # a None reference cost marks origins that need the slow-path lookup.
-    triples: list[tuple[int, float, int | None]] = []
+    reference_costs: list[int | None] | None = None
     if reads_by_origin:
         reference_costs = topology.cost_row(reference_server)
-        cost_from_origin = topology.cost_from_origin
         for origin, reads in reads_by_origin.items():
             reference_cost = reference_costs[origin]
             if reference_cost is None:
-                reference_cost = cost_from_origin(origin, reference_server)
-                nearest_read_cost += reads * reference_cost
-                triples.append((origin, reads, None))
-            else:
-                nearest_read_cost += reads * reference_cost
-                triples.append((origin, reads, reference_cost))
+                reference_cost = topology.cost_from_origin(origin, reference_server)
+            nearest_read_cost += reads * reference_cost
     writes = stats.total_writes()
     priced_writes = writes if write_broker is not None else 0.0
     write_distances = (
         topology.distance_row(write_broker) if priced_writes else None
     )
-    cost_row = topology.cost_row
-    cost_from_origin = topology.cost_from_origin
 
     def estimate(candidate_server: int) -> float:
         server_read_cost = 0.0
-        if triples:
-            candidate_costs = cost_row(candidate_server)
-            for origin, reads, reference_cost in triples:
+        if reference_costs is not None:
+            candidate_costs = topology.cost_row(candidate_server)
+            for origin, reads in reads_by_origin.items():
                 candidate_cost = candidate_costs[origin]
+                reference_cost = reference_costs[origin]
                 if candidate_cost is None or reference_cost is None:
-                    candidate_cost = cost_from_origin(origin, candidate_server)
-                    reference_cost = cost_from_origin(origin, reference_server)
-                # Same clamp as estimate_profit: reads only move to the
-                # candidate when it is closer (deterministic routing).
+                    candidate_cost = topology.cost_from_origin(origin, candidate_server)
+                    reference_cost = topology.cost_from_origin(origin, reference_server)
+                # Routing is deterministic and always picks the closest
+                # replica, so reads from an origin only move to the candidate
+                # when it is closer; they never become more expensive because
+                # the reference replica (the current server or the
+                # next-closest replica) still exists.  Without this clamp,
+                # views with geographically spread readers would never be
+                # replicated, which contradicts the paper's flash-event
+                # behaviour (one replica per intermediate switch).
                 if candidate_cost < reference_cost:
                     server_read_cost += reads * candidate_cost
                 else:
@@ -171,7 +132,7 @@ def profit_estimator(
 
 def replica_utility(
     topology: ClusterTopology,
-    stats,
+    stats: AccessStatistics,
     server: int,
     next_closest_replica: int | None,
     write_broker: int | None,
@@ -186,9 +147,4 @@ def replica_utility(
     return estimate_profit(topology, stats, server, reference, write_broker)
 
 
-__all__ = [
-    "estimate_profit",
-    "estimate_profit_values",
-    "profit_estimator",
-    "replica_utility",
-]
+__all__ = ["estimate_profit", "profit_estimator", "replica_utility"]

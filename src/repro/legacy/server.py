@@ -1,0 +1,205 @@
+"""Frozen seed copy of the object-backed storage server (parity reference).
+
+This module preserves, verbatim, the dict-of-objects ``StorageServer`` the
+repository shipped before the struct-of-arrays placement tables
+(:mod:`repro.store.tables`) replaced it.  It exists so the golden parity
+suite and the strategy benchmarks can run the *seed object path* live and
+compare it against the table-backed path.  Do not optimise or "fix" this
+code: its value is that it never changes.
+
+A server's capacity is expressed as the number of views it can host.  The
+server tracks, for every replica it stores, the access statistics needed by
+the utility computation, maintains an *admission threshold* (the minimum
+utility a new replica must bring to be worth its memory) and frees memory
+proactively once utilisation exceeds the eviction threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import DEFAULT_ADMISSION_FILL, DEFAULT_EVICTION_THRESHOLD
+from ..exceptions import StorageError
+from ..store.stats import AccessStatistics
+from ..store.view import INFINITE_UTILITY, ViewReplica
+
+
+class LegacyStorageServer:
+    """A single cache server with bounded view capacity (seed layout)."""
+
+    def __init__(
+        self,
+        server_index: int,
+        capacity: int,
+        counter_slots: int = 24,
+        counter_period: float = 3600.0,
+        admission_fill: float = DEFAULT_ADMISSION_FILL,
+        eviction_threshold: float = DEFAULT_EVICTION_THRESHOLD,
+    ) -> None:
+        if capacity < 0:
+            raise StorageError("server capacity cannot be negative")
+        self.server_index = server_index
+        self.capacity = capacity
+        self.counter_slots = counter_slots
+        self.counter_period = counter_period
+        self.admission_fill = admission_fill
+        self.eviction_threshold = eviction_threshold
+        self.admission_threshold = 0.0
+        self._replicas: dict[int, ViewReplica] = {}
+
+    # --------------------------------------------------------------- storage
+    @property
+    def used(self) -> int:
+        """Number of views currently stored."""
+        return len(self._replicas)
+
+    @property
+    def free_slots(self) -> int:
+        """Remaining capacity in views."""
+        return self.capacity - len(self._replicas)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the capacity in use (0 when capacity is 0)."""
+        if self.capacity == 0:
+            return 1.0 if self._replicas else 0.0
+        return len(self._replicas) / self.capacity
+
+    def is_full(self) -> bool:
+        """True when no free slot remains."""
+        return len(self._replicas) >= self.capacity
+
+    def has_view(self, user: int) -> bool:
+        """True when this server stores a replica of the user's view."""
+        return user in self._replicas
+
+    def replica(self, user: int) -> ViewReplica:
+        """The replica of a user's view stored here."""
+        try:
+            return self._replicas[user]
+        except KeyError as exc:
+            raise StorageError(
+                f"server {self.server_index} does not store view {user}"
+            ) from exc
+
+    def replicas(self) -> tuple[ViewReplica, ...]:
+        """Every replica stored on this server."""
+        return tuple(self._replicas.values())
+
+    def stored_users(self) -> tuple[int, ...]:
+        """User ids whose views are stored here."""
+        return tuple(self._replicas)
+
+    # ------------------------------------------------------------ add/remove
+    def add_replica(
+        self,
+        user: int,
+        write_proxy_broker: int | None = None,
+        stats: AccessStatistics | None = None,
+        allow_overflow: bool = False,
+    ) -> ViewReplica:
+        """Store a new replica of ``user``'s view.
+
+        ``allow_overflow`` is used during initial placement when the
+        no-replication capacity exactly equals the number of views and
+        rounding may leave one server one view short.
+        """
+        if user in self._replicas:
+            raise StorageError(f"server {self.server_index} already stores view {user}")
+        if self.is_full() and not allow_overflow:
+            raise StorageError(f"server {self.server_index} is full")
+        replica = ViewReplica(
+            user=user,
+            server=self.server_index,
+            stats=stats or AccessStatistics(self.counter_slots, self.counter_period),
+            write_proxy_broker=write_proxy_broker,
+        )
+        self._replicas[user] = replica
+        return replica
+
+    def remove_replica(self, user: int) -> ViewReplica:
+        """Remove and return the replica of ``user``'s view."""
+        try:
+            return self._replicas.pop(user)
+        except KeyError as exc:
+            raise StorageError(
+                f"server {self.server_index} does not store view {user}"
+            ) from exc
+
+    # --------------------------------------------------- thresholds/eviction
+    def update_admission_threshold(self) -> float:
+        """Recompute the admission threshold (paper section 3.2).
+
+        The threshold is chosen so that ``admission_fill`` (90% by default) of
+        the server's memory is occupied by views whose utility is above the
+        threshold; when the server is less full than that, the threshold is 0.
+        """
+        if self.capacity == 0:
+            self.admission_threshold = INFINITE_UTILITY
+            return self.admission_threshold
+        fill_slots = int(self.admission_fill * self.capacity)
+        if self.used <= fill_slots or fill_slots == 0:
+            self.admission_threshold = 0.0
+            return self.admission_threshold
+        utilities = sorted(
+            (replica.effective_utility() for replica in self._replicas.values()),
+            reverse=True,
+        )
+        # Utility of the replica sitting at the admission-fill boundary.
+        boundary_index = min(fill_slots, len(utilities)) - 1
+        threshold = utilities[boundary_index]
+        self.admission_threshold = 0.0 if threshold == INFINITE_UTILITY else max(0.0, threshold)
+        return self.admission_threshold
+
+    def _eviction_target(self) -> int:
+        """Occupancy the proactive eviction pass aims for.
+
+        With realistic capacities (hundreds of views per server) this is 95%
+        of the capacity; it is additionally capped at ``capacity - 1`` so a
+        full server always frees at least one slot — the paper's proactive
+        eviction exists precisely so that memory can be freed at any time and
+        new replicas can always be admitted somewhere.
+        """
+        if self.capacity <= 1:
+            return self.capacity
+        return min(self.capacity - 1, math.ceil(self.eviction_threshold * self.capacity))
+
+    def needs_eviction(self) -> bool:
+        """True when occupancy exceeds the proactive eviction target."""
+        if self.capacity == 0:
+            return bool(self._replicas)
+        return self.used > self._eviction_target()
+
+    def eviction_candidates(self) -> list[ViewReplica]:
+        """Replicas that may be evicted, least useful first.
+
+        Sole replicas have infinite utility and are never candidates.
+        """
+        candidates = [
+            replica
+            for replica in self._replicas.values()
+            if replica.effective_utility() != INFINITE_UTILITY
+        ]
+        candidates.sort(key=lambda replica: replica.effective_utility())
+        return candidates
+
+    def excess_replicas(self) -> int:
+        """Number of replicas to shed to get back under the eviction target."""
+        if self.capacity == 0:
+            return len(self._replicas)
+        return max(0, self.used - self._eviction_target())
+
+    # ------------------------------------------------------------ maintenance
+    def advance_counters(self, timestamp: float) -> None:
+        """Rotate the access counters of every stored replica."""
+        for replica in self._replicas.values():
+            replica.stats.advance(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LegacyStorageServer(index={self.server_index}, used={self.used}/"
+            f"{self.capacity}, threshold={self.admission_threshold:.2f})"
+        )
+
+
+__all__ = ["LegacyStorageServer"]

@@ -1,45 +1,21 @@
-"""Memory-capped SPAR baseline (paper section 4.1, "SPAR").
+"""Frozen seed copy of the memory-capped SPAR baseline (parity reference).
 
-SPAR (Pujol et al., SIGCOMM 2010) co-locates the views of a user's social
-neighbourhood on her server so reads are served locally, at the cost of
-updating many replicas on writes.  The original middleware assumes unbounded
-replication; the paper adapts it to a memory budget: *"The views of the
-friends of a user are copied to her server as long as storage is available.
-When the server is full, these views are not replicated."*
-
-The implementation below follows that adaptation:
-
-* every user receives a *master* replica on the least-loaded server when she
-  first appears in the edge stream (SPAR's load-balancing requirement);
-* the social graph's edges are then streamed in random order, and for each
-  follow edge ``u → v`` the view of ``v`` is replicated onto ``u``'s master
-  server if that server still has free slots;
-* the placement is then frozen: SPAR only reacts to changes of the social
-  graph, not to request traffic, so the trace is executed against a fixed
-  layout (new edges arriving during the run are processed the same way).
-
-Replica placement lives in a statistics-free
-:class:`~repro.store.tables.ReplicaTable`: the per-user chains replace the
-old ``dict``-of-``set`` location maps, and the per-position ``used``
-counters replace the hand-maintained load list, so closest-replica lookups
-and evacuation run over the same flat columns as the DynaSoRe engine.
-
-Proxies live on the broker of the rack hosting the user's master replica;
-reads are routed to the closest replica of each target view; writes update
-every replica of the written view.
+The dict/set-backed SPAR exactly as it existed before the placement tables.
+Used only by the golden parity suite and the strategy benchmarks; do not
+optimise or refactor — its value is that it never changes.
 """
+
 
 from __future__ import annotations
 
 from ..exceptions import SimulationError
 from ..persistence.recovery import RecoveryPlan
-from ..store.tables import ReplicaTable, pick_least_loaded
 from ..traffic.messages import MessageKind
-from .base import PlacementStrategy
+from ..baselines.base import PlacementStrategy
 
 
-class SparPlacement(PlacementStrategy):
-    """SPAR with the paper's bounded-memory adaptation."""
+class LegacySparPlacement(PlacementStrategy):
+    """Seed object-backed SPAR (see module docstring)."""
 
     name = "spar"
 
@@ -48,8 +24,12 @@ class SparPlacement(PlacementStrategy):
         self.seed = seed
         #: user -> server position of the master replica
         self._master: dict[int, int] = {}
-        #: flat placement table (chains + per-position counters, no stats)
-        self.tables: ReplicaTable | None = None
+        #: user -> set of server positions holding a replica (incl. master)
+        self._replicas: dict[int, set[int]] = {}
+        #: server position -> number of stored views
+        self._load: list[int] = []
+        #: server position -> capacity in views
+        self._capacity: list[int] = []
         #: server positions currently out of service
         self._down_positions: set[int] = set()
 
@@ -58,14 +38,12 @@ class SparPlacement(PlacementStrategy):
         self.require_bound()
         assert self.graph is not None and self.topology is not None and self.budget is not None
         servers = len(self.topology.servers)
-        capacities = self.budget.per_server_capacity()
-        if len(capacities) != servers:
+        self._capacity = self.budget.per_server_capacity()
+        if len(self._capacity) != servers:
             raise SimulationError("memory budget does not match the number of servers")
-        table = ReplicaTable(positions=servers, with_stats=False)
-        for position, capacity in enumerate(capacities):
-            table.set_capacity(position, capacity)
-        self.tables = table
+        self._load = [0] * servers
         self._master = {}
+        self._replicas = {}
 
         # One master replica per user, least-loaded server first.
         for user in self.graph.users:
@@ -80,12 +58,13 @@ class SparPlacement(PlacementStrategy):
 
     def _place_master(self, user: int) -> int:
         """Create the master replica of a user on the least-loaded server."""
-        table = self.tables
-        position = pick_least_loaded(table.used, self._down_positions)
-        if position is None:
-            raise SimulationError("no storage server is available")
+        position = min(
+            (p for p in range(len(self._load)) if p not in self._down_positions),
+            key=lambda p: (self._load[p], p),
+        )
         self._master[user] = position
-        table.allocate(user, position)
+        self._replicas[user] = {position}
+        self._load[position] += 1
         return position
 
     def _co_locate(self, follower: int, followee: int) -> bool:
@@ -98,15 +77,15 @@ class SparPlacement(PlacementStrategy):
             self._place_master(follower)
         if followee not in self._master:
             self._place_master(followee)
-        table = self.tables
         target = self._master[follower]
         if target in self._down_positions:
             return False
-        if table.slot_of(followee, target) is not None:
+        if target in self._replicas[followee]:
             return False
-        if table.used[target] >= table.capacities[target]:
+        if self._load[target] >= self._capacity[target]:
             return False
-        table.allocate(followee, target)
+        self._replicas[followee].add(target)
+        self._load[target] += 1
         return True
 
     # ------------------------------------------------------------- execution
@@ -132,10 +111,9 @@ class SparPlacement(PlacementStrategy):
                 return
             targets = tuple(self.graph.following(user))
         broker = self.proxy_broker(user)
-        table = self.tables
         for target in targets:
             self._master_position(target)
-            replicas = {self.server_device(p) for p in table.user_positions(target)}
+            replicas = {self.server_device(p) for p in self._replicas[target]}
             server = self.closest_replica(broker, replicas)
             self.accountant.record_roundtrip(
                 broker, server, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, now
@@ -146,7 +124,7 @@ class SparPlacement(PlacementStrategy):
         assert self.accountant is not None
         broker = self.proxy_broker(user)
         self._master_position(user)
-        for position in self.tables.user_positions(user):
+        for position in self._replicas[user]:
             server = self.server_device(position)
             self.accountant.record_roundtrip(
                 broker, server, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
@@ -174,29 +152,27 @@ class SparPlacement(PlacementStrategy):
         assert self.topology is not None and self.accountant is not None
         servers = len(self.topology.servers)
         self._begin_server_down(position, self._down_positions, servers)
-        table = self.tables
 
         plan = RecoveryPlan(crashed_server=position)
         source_device = self.server_device(position)
-        affected = set(table.users_at(position))
-        for user in self._master:
-            if user not in affected:
+        for user, positions in self._replicas.items():
+            if position not in positions:
                 continue
-            doomed = table.slot_of(user, position)
-            table.free(doomed)
+            positions.discard(position)
             if self._master.get(user) != position:
                 continue  # a lost secondary replica; the master survives
-            remaining = table.user_positions(user)
-            if remaining:
+            if positions:
                 # Promote the closest surviving replica to master.
-                self._master[user] = min(remaining)
+                self._master[user] = min(positions)
                 plan.recoverable_from_memory.append(user)
                 continue
-            target = pick_least_loaded(table.used, self._down_positions)
-            if target is None:
-                raise SimulationError("no storage server is available")
-            table.allocate(user, target)
+            target = min(
+                (p for p in range(servers) if p not in self._down_positions),
+                key=lambda p: (self._load[p], p),
+            )
+            positions.add(target)
             self._master[user] = target
+            self._load[target] += 1
             target_device = self.server_device(target)
             if graceful:
                 plan.recoverable_from_memory.append(user)
@@ -207,6 +183,7 @@ class SparPlacement(PlacementStrategy):
             self.accountant.record(
                 source, target_device, MessageKind.REPLICA_COPY, now
             )
+        self._load[position] = 0
         return plan
 
     def on_server_up(self, position: int, now: float) -> None:
@@ -215,29 +192,19 @@ class SparPlacement(PlacementStrategy):
 
     # ----------------------------------------------------------- introspection
     def replica_locations(self) -> dict[int, set[int]]:
-        table = self.tables
         return {
-            user: {self.server_device(position) for position in table.user_positions(user)}
-            for user in table.users()
+            user: {self.server_device(position) for position in positions}
+            for user, positions in self._replicas.items()
         }
 
     def replica_count(self, user: int) -> int:
-        return self.tables.user_replica_count(user) if self.tables is not None else 0
-
-    def has_any_replica(self, user: int) -> bool:
-        """O(1) availability check used by the simulator's final audit."""
-        return self.tables is not None and self.tables.has_user(user)
-
-    def memory_in_use(self) -> int:
-        """Total replicas stored (O(1) from the table counters)."""
-        return self.tables.active_count if self.tables is not None else 0
+        return len(self._replicas.get(user, ()))
 
     def replication_factor(self) -> float:
         """Average number of replicas per view."""
-        table = self.tables
-        if table is None or not len(table._user_head):
+        if not self._replicas:
             return 0.0
-        return table.active_count / len(table._user_head)
+        return sum(len(p) for p in self._replicas.values()) / len(self._replicas)
 
 
-__all__ = ["SparPlacement"]
+__all__ = ["LegacySparPlacement"]

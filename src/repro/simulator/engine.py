@@ -510,7 +510,15 @@ class ClusterSimulator:
             hook(tick_time)
 
     def _count_unavailable_views(self) -> int:
-        """Users with no replica anywhere (must be 0 after full recovery)."""
+        """Users with no replica anywhere (must be 0 after full recovery).
+
+        Strategies backed by the placement tables answer per-user
+        availability in O(1); the fallback materialises the full location
+        map (custom strategies only).
+        """
+        has_any = getattr(self.strategy, "has_any_replica", None)
+        if has_any is not None:
+            return sum(1 for user in self.graph.users if not has_any(user))
         locations = self.strategy.replica_locations()
         return sum(1 for user in self.graph.users if not locations.get(user))
 

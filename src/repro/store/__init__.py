@@ -1,9 +1,23 @@
-"""In-memory store substrate: counters, statistics, views, servers, budgets."""
+"""In-memory store substrate: flat placement tables plus object façades.
+
+Placement state lives in the struct-of-arrays tables of
+:mod:`repro.store.tables`; ``StorageServer``, ``ViewReplica`` and
+``AccessStatistics`` survive as thin, fully compatible façades/objects.
+"""
 
 from .counters import RotatingCounter
 from .memory import MemoryBudget, budget_for
 from .server import StorageServer
 from .stats import AccessStatistics
+from .tables import (
+    NO_SLOT,
+    ReplicaHandle,
+    ReplicaTable,
+    StatsHandle,
+    StatsTable,
+    pick_least_loaded,
+    rank_by_utilisation,
+)
 from .view import Event, INFINITE_UTILITY, View, ViewReplica
 
 __all__ = [
@@ -11,9 +25,16 @@ __all__ = [
     "Event",
     "INFINITE_UTILITY",
     "MemoryBudget",
+    "NO_SLOT",
+    "ReplicaHandle",
+    "ReplicaTable",
     "RotatingCounter",
+    "StatsHandle",
+    "StatsTable",
     "StorageServer",
     "View",
     "ViewReplica",
     "budget_for",
+    "pick_least_loaded",
+    "rank_by_utilisation",
 ]

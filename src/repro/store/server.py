@@ -1,25 +1,27 @@
 """Storage servers: bounded-capacity replica containers with admission
 thresholds and proactive eviction (paper section 3.2, "Storage management").
 
-A server's capacity is expressed as the number of views it can host.  The
-server tracks, for every replica it stores, the access statistics needed by
-the utility computation, maintains an *admission threshold* (the minimum
-utility a new replica must bring to be worth its memory) and frees memory
-proactively once utilisation exceeds the eviction threshold.
+Since the array-backed state refactor a ``StorageServer`` owns no replica
+objects: it is a thin façade over one *position* of a
+:class:`~repro.store.tables.ReplicaTable`.  Constructed standalone it
+creates a private table; the placement engine instead attaches every server
+of the fleet to one shared table so all placement state lives in the same
+flat columns.  The public API — and its exact semantics, down to the
+insertion-ordered iteration the eviction tie-breaking relies on — is
+unchanged from the object days.
 """
 
 from __future__ import annotations
 
-import math
-
 from ..constants import DEFAULT_ADMISSION_FILL, DEFAULT_EVICTION_THRESHOLD
 from ..exceptions import StorageError
 from .stats import AccessStatistics
-from .view import INFINITE_UTILITY, ViewReplica
+from .tables import ReplicaHandle, ReplicaTable
+from .view import ViewReplica
 
 
 class StorageServer:
-    """A single cache server with bounded view capacity."""
+    """A single cache server with bounded view capacity (table-backed)."""
 
     def __init__(
         self,
@@ -29,60 +31,91 @@ class StorageServer:
         counter_period: float = 3600.0,
         admission_fill: float = DEFAULT_ADMISSION_FILL,
         eviction_threshold: float = DEFAULT_EVICTION_THRESHOLD,
+        table: ReplicaTable | None = None,
     ) -> None:
         if capacity < 0:
             raise StorageError("server capacity cannot be negative")
         self.server_index = server_index
-        self.capacity = capacity
         self.counter_slots = counter_slots
         self.counter_period = counter_period
         self.admission_fill = admission_fill
         self.eviction_threshold = eviction_threshold
-        self.admission_threshold = 0.0
-        self._replicas: dict[int, ViewReplica] = {}
+        if table is None:
+            table = ReplicaTable(
+                positions=server_index + 1,
+                counter_slots=counter_slots,
+                counter_period=counter_period,
+            )
+        else:
+            table.ensure_position(server_index)
+        self.table = table
+        table.set_capacity(server_index, capacity)
+        table.admission_thresholds[server_index] = 0.0
 
     # --------------------------------------------------------------- storage
     @property
+    def capacity(self) -> int:
+        """Capacity in views (0 while the server is out of service)."""
+        return self.table.capacity_of(self.server_index)
+
+    @capacity.setter
+    def capacity(self, value: int) -> None:
+        self.table.set_capacity(self.server_index, value)
+
+    @property
+    def admission_threshold(self) -> float:
+        """Minimum utility a new replica must bring to be admitted."""
+        return self.table.admission_thresholds[self.server_index]
+
+    @admission_threshold.setter
+    def admission_threshold(self, value: float) -> None:
+        self.table.admission_thresholds[self.server_index] = value
+
+    @property
     def used(self) -> int:
-        """Number of views currently stored."""
-        return len(self._replicas)
+        """Number of views currently stored (O(1) table counter)."""
+        return self.table.used_of(self.server_index)
 
     @property
     def free_slots(self) -> int:
         """Remaining capacity in views."""
-        return self.capacity - len(self._replicas)
+        return self.capacity - self.used
 
     @property
     def utilisation(self) -> float:
         """Fraction of the capacity in use (0 when capacity is 0)."""
-        if self.capacity == 0:
-            return 1.0 if self._replicas else 0.0
-        return len(self._replicas) / self.capacity
+        capacity = self.capacity
+        if capacity == 0:
+            return 1.0 if self.used else 0.0
+        return self.used / capacity
 
     def is_full(self) -> bool:
         """True when no free slot remains."""
-        return len(self._replicas) >= self.capacity
+        return self.used >= self.capacity
 
     def has_view(self, user: int) -> bool:
         """True when this server stores a replica of the user's view."""
-        return user in self._replicas
+        return self.table.slot_of(user, self.server_index) is not None
 
-    def replica(self, user: int) -> ViewReplica:
+    def replica(self, user: int) -> ReplicaHandle:
         """The replica of a user's view stored here."""
-        try:
-            return self._replicas[user]
-        except KeyError as exc:
+        slot = self.table.slot_of(user, self.server_index)
+        if slot is None:
             raise StorageError(
                 f"server {self.server_index} does not store view {user}"
-            ) from exc
+            )
+        return ReplicaHandle(self.table, slot)
 
-    def replicas(self) -> tuple[ViewReplica, ...]:
-        """Every replica stored on this server."""
-        return tuple(self._replicas.values())
+    def replicas(self) -> tuple[ReplicaHandle, ...]:
+        """Every replica stored on this server, insertion order."""
+        return tuple(
+            ReplicaHandle(self.table, slot)
+            for slot in self.table.iter_position(self.server_index)
+        )
 
     def stored_users(self) -> tuple[int, ...]:
         """User ids whose views are stored here."""
-        return tuple(self._replicas)
+        return tuple(self.table.users_at(self.server_index))
 
     # ------------------------------------------------------------ add/remove
     def add_replica(
@@ -91,103 +124,78 @@ class StorageServer:
         write_proxy_broker: int | None = None,
         stats: AccessStatistics | None = None,
         allow_overflow: bool = False,
-    ) -> ViewReplica:
+    ) -> ReplicaHandle:
         """Store a new replica of ``user``'s view.
 
         ``allow_overflow`` is used during initial placement when the
         no-replication capacity exactly equals the number of views and
         rounding may leave one server one view short.
         """
-        if user in self._replicas:
+        if self.has_view(user):
             raise StorageError(f"server {self.server_index} already stores view {user}")
         if self.is_full() and not allow_overflow:
             raise StorageError(f"server {self.server_index} is full")
-        replica = ViewReplica(
-            user=user,
-            server=self.server_index,
-            stats=stats or AccessStatistics(self.counter_slots, self.counter_period),
-            write_proxy_broker=write_proxy_broker,
-        )
-        self._replicas[user] = replica
-        return replica
+        slot = self.table.allocate(user, self.server_index, write_proxy_broker)
+        if stats is not None and self.table.stats is not None:
+            self.table.stats.adopt(slot, stats)
+        return ReplicaHandle(self.table, slot)
 
     def remove_replica(self, user: int) -> ViewReplica:
-        """Remove and return the replica of ``user``'s view."""
-        try:
-            return self._replicas.pop(user)
-        except KeyError as exc:
+        """Remove the replica of ``user``'s view; returns a detached copy."""
+        slot = self.table.slot_of(user, self.server_index)
+        if slot is None:
             raise StorageError(
                 f"server {self.server_index} does not store view {user}"
-            ) from exc
+            )
+        handle = ReplicaHandle(self.table, slot)
+        removed = ViewReplica(
+            user=user,
+            server=self.server_index,
+            stats=self.table.stats.export(slot)
+            if self.table.stats is not None
+            else AccessStatistics(self.counter_slots, self.counter_period),
+            utility=handle.utility,
+            write_proxy_broker=handle.write_proxy_broker,
+            next_closest_replica=handle.next_closest_replica,
+        )
+        self.table.free(slot)
+        return removed
 
     # --------------------------------------------------- thresholds/eviction
     def update_admission_threshold(self) -> float:
-        """Recompute the admission threshold (paper section 3.2).
-
-        The threshold is chosen so that ``admission_fill`` (90% by default) of
-        the server's memory is occupied by views whose utility is above the
-        threshold; when the server is less full than that, the threshold is 0.
-        """
-        if self.capacity == 0:
-            self.admission_threshold = INFINITE_UTILITY
-            return self.admission_threshold
-        fill_slots = int(self.admission_fill * self.capacity)
-        if self.used <= fill_slots or fill_slots == 0:
-            self.admission_threshold = 0.0
-            return self.admission_threshold
-        utilities = sorted(
-            (replica.effective_utility() for replica in self._replicas.values()),
-            reverse=True,
-        )
-        # Utility of the replica sitting at the admission-fill boundary.
-        boundary_index = min(fill_slots, len(utilities)) - 1
-        threshold = utilities[boundary_index]
-        self.admission_threshold = 0.0 if threshold == INFINITE_UTILITY else max(0.0, threshold)
-        return self.admission_threshold
+        """Recompute the admission threshold (paper section 3.2)."""
+        return self.table.update_admission_threshold(self.server_index, self.admission_fill)
 
     def _eviction_target(self) -> int:
-        """Occupancy the proactive eviction pass aims for.
-
-        With realistic capacities (hundreds of views per server) this is 95%
-        of the capacity; it is additionally capped at ``capacity - 1`` so a
-        full server always frees at least one slot — the paper's proactive
-        eviction exists precisely so that memory can be freed at any time and
-        new replicas can always be admitted somewhere.
-        """
-        if self.capacity <= 1:
-            return self.capacity
-        return min(self.capacity - 1, math.ceil(self.eviction_threshold * self.capacity))
+        """Occupancy the proactive eviction pass aims for."""
+        return self.table.eviction_target(self.server_index, self.eviction_threshold)
 
     def needs_eviction(self) -> bool:
         """True when occupancy exceeds the proactive eviction target."""
-        if self.capacity == 0:
-            return bool(self._replicas)
-        return self.used > self._eviction_target()
+        return self.table.needs_eviction(self.server_index, self.eviction_threshold)
 
-    def eviction_candidates(self) -> list[ViewReplica]:
+    def eviction_candidates(self) -> list[ReplicaHandle]:
         """Replicas that may be evicted, least useful first.
 
         Sole replicas have infinite utility and are never candidates.
         """
-        candidates = [
-            replica
-            for replica in self._replicas.values()
-            if replica.effective_utility() != INFINITE_UTILITY
+        return [
+            ReplicaHandle(self.table, slot)
+            for slot in self.table.eviction_candidate_slots(self.server_index)
         ]
-        candidates.sort(key=lambda replica: replica.effective_utility())
-        return candidates
 
     def excess_replicas(self) -> int:
         """Number of replicas to shed to get back under the eviction target."""
-        if self.capacity == 0:
-            return len(self._replicas)
-        return max(0, self.used - self._eviction_target())
+        return self.table.excess_replicas(self.server_index, self.eviction_threshold)
 
     # ------------------------------------------------------------ maintenance
     def advance_counters(self, timestamp: float) -> None:
         """Rotate the access counters of every stored replica."""
-        for replica in self._replicas.values():
-            replica.stats.advance(timestamp)
+        stats = self.table.stats
+        if stats is None:
+            return
+        for slot in self.table.iter_position(self.server_index):
+            stats.advance_slot(slot, timestamp)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

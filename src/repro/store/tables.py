@@ -1,0 +1,1081 @@
+"""Struct-of-arrays placement state: flat replica and statistics tables.
+
+This module is the storage substrate every placement layer shares since the
+array-backed state refactor.  Instead of one ``ViewReplica`` object per
+replica inside per-server dicts — plus per-user ``dict``/``set`` location
+maps and a tree of ``AccessStatistics``/``RotatingCounter`` objects — all
+placement-relevant state lives in a handful of flat, parallel columns
+indexed by an integer **replica id** (a *slot*):
+
+``ReplicaTable`` (one row per replica slot)
+    ===============  ==========  ===================================================
+    column           type        meaning
+    ===============  ==========  ===================================================
+    ``_user``        int64       user whose view this replica stores
+    ``_server``      int64       storage-server *position* hosting it (-1 = free)
+    ``_utility``     float64     cached utility (Algorithm 1), ``inf`` when sole
+    ``_write_proxy`` int64       broker device of the view's write proxy (-1 = none)
+    ``_next_closest``int64       device of the next-closest sibling replica (-1 = sole)
+    ``_user_next``   int64       next slot of the *same user* (also the free list)
+    ``_srv_prev``    int64       previous slot in the *same position's* chain
+    ``_srv_next``    int64       next slot in the *same position's* chain
+    ===============  ==========  ===================================================
+
+    The per-user and per-server indexes are CSR-in-spirit: instead of
+    materialised offset arrays (which would need rebuilding under churn)
+    each dimension keeps head pointers — ``_user_head`` (user id → first
+    slot) and ``_srv_head``/``_srv_tail`` (position → chain ends) — and the
+    rows chain through the link columns above.  Walking a chain touches
+    only flat arrays; per-user chains are replication-factor short, and
+    per-server chains preserve **insertion order** exactly like the dicts
+    they replace (appends go to the tail, removals unlink in place), which
+    the eviction tie-breaking relies on.
+
+    Freed slots are recycled through a free list threaded through
+    ``_user_next``; allocation therefore never shifts live rows, so a
+    replica id stays valid from ``allocate`` until ``free`` — the
+    *replica-id contract* the engine, the baselines and the simulator all
+    rely on.  Per-position occupancy lives in ``_used``/``_capacity``
+    counters, making ``memory_in_use``/``server_utilisations`` O(1) reads.
+
+``StatsTable`` (rotating access windows as numeric columns)
+    The per-replica read/write statistics of the paper's Algorithms 1–3.
+    Rotating windows are rows of a shared **counter-node pool**: flattened
+    bucket columns (``_node_buckets``, stride = ``slots``), a running
+    window total, the node's current rotation period and its origin label.
+    A replica's per-origin read counters form a chain through
+    ``_node_next`` in **first-record order** (the order Algorithm 2
+    iterates candidate origins in), its write window is a single lazily
+    allocated node, and freed nodes recycle through their own free list.
+    The arithmetic is a verbatim port of
+    :class:`~repro.store.counters.RotatingCounter`, so window totals are
+    bit-for-bit identical to the object path.
+
+The object classes (:class:`~repro.store.view.ViewReplica`,
+:class:`~repro.store.stats.AccessStatistics`,
+:class:`~repro.store.server.StorageServer`) survive as thin façades:
+:class:`ReplicaHandle`/:class:`StatsHandle` expose the same attribute
+surface reading and writing table columns, so existing tests, the decision
+algorithms in :mod:`repro.core` and user code keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from collections.abc import Iterator, Sequence
+
+from ..constants import DEFAULT_COUNTER_PERIOD, DEFAULT_COUNTER_SLOTS
+from ..exceptions import StorageError
+
+#: Utility of a replica that must never be evicted (sole replica).
+_INF = math.inf
+
+#: Sentinel for "no slot / no node / no value" in the int64 link columns.
+NO_SLOT = -1
+
+
+# ---------------------------------------------------------------------------
+# Shared least-loaded helpers (deduplicated from the engine and baselines)
+# ---------------------------------------------------------------------------
+def pick_least_loaded(
+    loads: Sequence[int],
+    down: Sequence[int] | set[int] = (),
+    capacities: Sequence[int] | None = None,
+    skip_full: bool = False,
+) -> int | None:
+    """Least-loaded in-service position, ties broken on the position index.
+
+    With ``capacities`` the key is the memory *utilisation* (``load /
+    capacity``; an empty zero-capacity server counts as 0.0, a non-empty one
+    as 1.0 — the historical ``StorageServer.utilisation`` contract);
+    without, the key is the absolute load.  ``skip_full`` additionally
+    requires a free slot.  This is the single implementation behind the
+    engine's recovery/new-user targeting and the static/SPAR baselines'
+    placement, which each used to carry their own copy.
+    """
+    best = None
+    best_key: tuple[float, int] | None = None
+    for position in range(len(loads)):
+        if position in down:
+            continue
+        load = loads[position]
+        if capacities is not None:
+            capacity = capacities[position]
+            if skip_full and load >= capacity:
+                continue
+            if capacity > 0:
+                key_load = load / capacity
+            else:
+                key_load = 1.0 if load else 0.0
+        else:
+            if skip_full:
+                raise StorageError("skip_full requires capacities")
+            key_load = load
+        key = (key_load, position)
+        if best_key is None or key < best_key:
+            best = position
+            best_key = key
+    return best
+
+
+def rank_by_utilisation(
+    positions: Sequence[int], loads: Sequence[int], capacities: Sequence[int]
+) -> tuple[int, ...]:
+    """Positions with a free slot, least utilised first (ties on position).
+
+    The ranking the engine caches per origin between occupancy changes;
+    replica creation never evicts on the spot, so full servers are skipped.
+    """
+    ranked: list[tuple[float, int]] = []
+    for position in positions:
+        capacity = capacities[position]
+        used = loads[position]
+        if used < capacity:
+            ranked.append((used / capacity, position))
+    ranked.sort()
+    return tuple(position for _, position in ranked)
+
+
+# ---------------------------------------------------------------------------
+# StatsTable: rotating access windows as numeric columns
+# ---------------------------------------------------------------------------
+class StatsTable:
+    """Per-slot access statistics stored as flat counter-node columns.
+
+    See the module docstring for the layout.  All mutation entry points
+    mirror :class:`~repro.store.stats.AccessStatistics` one-to-one; window
+    arithmetic is a verbatim port of
+    :class:`~repro.store.counters.RotatingCounter`.
+    """
+
+    __slots__ = (
+        "slots",
+        "period",
+        "_read_head",
+        "_write_node",
+        "_reads_since_eval",
+        "_node_origin",
+        "_node_next",
+        "_node_period",
+        "_node_total",
+        "_node_buckets",
+        "_node_free",
+        "_node_count",
+        "_origins_cache",
+    )
+
+    def __init__(
+        self,
+        slots: int = DEFAULT_COUNTER_SLOTS,
+        period: float = DEFAULT_COUNTER_PERIOD,
+    ) -> None:
+        if slots < 1:
+            raise StorageError("a rotating counter needs at least one slot")
+        if period <= 0:
+            raise StorageError("the rotation period must be positive")
+        self.slots = slots
+        self.period = period
+        # Per replica-slot columns (kept in lockstep with the ReplicaTable).
+        # Plain lists, not ``array``: the hot path reads these once per
+        # event, and list indexing avoids re-boxing the value every access.
+        self._read_head: list[int] = []
+        self._write_node: list[int] = []
+        self._reads_since_eval: list[int] = []
+        # Counter-node pool: one row per rotating window.  The bucket matrix
+        # is an ``array('d')`` — it is the bulk of the statistics memory
+        # (``slots`` doubles per window) and is only touched on rotation.
+        self._node_origin: list[int] = []
+        self._node_next: list[int] = []
+        self._node_period: list[int] = []
+        self._node_total: list[float] = []
+        self._node_buckets = array("d")
+        self._node_free = NO_SLOT
+        self._node_count = 0
+        # slot -> {origin: window total > 0} in first-record order, built
+        # lazily and invalidated by reads, rotations and resets (the same
+        # cache discipline AccessStatistics uses).
+        self._origins_cache: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------- lifecycle
+    def append_slot(self) -> None:
+        """Grow the per-slot columns by one fresh row."""
+        self._read_head.append(NO_SLOT)
+        self._write_node.append(NO_SLOT)
+        self._reads_since_eval.append(0)
+
+    def reset_slot(self, slot: int) -> None:
+        """Return a slot's counter nodes to the pool and zero its state."""
+        node = self._read_head[slot]
+        nnext = self._node_next
+        while node != NO_SLOT:
+            following = nnext[node]
+            self._free_node(node)
+            node = following
+        self._read_head[slot] = NO_SLOT
+        write_node = self._write_node[slot]
+        if write_node != NO_SLOT:
+            self._free_node(write_node)
+            self._write_node[slot] = NO_SLOT
+        self._reads_since_eval[slot] = 0
+        self._origins_cache.pop(slot, None)
+
+    def move_slot(self, source: int, target: int) -> None:
+        """Transfer all statistics of ``source`` onto the fresh ``target``.
+
+        The graceful-drain path: a replica keeps its access history when it
+        is copied off a leaving server.  ``target`` must be freshly
+        allocated (no counters of its own yet).
+        """
+        if self._read_head[target] != NO_SLOT or self._write_node[target] != NO_SLOT:
+            raise StorageError("cannot move statistics onto a used slot")
+        self._read_head[target] = self._read_head[source]
+        self._write_node[target] = self._write_node[source]
+        self._reads_since_eval[target] = self._reads_since_eval[source]
+        self._read_head[source] = NO_SLOT
+        self._write_node[source] = NO_SLOT
+        self._reads_since_eval[source] = 0
+        self._origins_cache.pop(source, None)
+        self._origins_cache.pop(target, None)
+
+    # ----------------------------------------------------------- node pool
+    def _alloc_node(self, origin: int, period_index: int) -> int:
+        node = self._node_free
+        if node != NO_SLOT:
+            self._node_free = self._node_next[node]
+        else:
+            node = len(self._node_origin)
+            self._node_origin.append(0)
+            self._node_next.append(NO_SLOT)
+            self._node_period.append(0)
+            self._node_total.append(0.0)
+            self._node_buckets.extend([0.0] * self.slots)
+        self._node_origin[node] = origin
+        self._node_next[node] = NO_SLOT
+        self._node_period[node] = period_index
+        self._node_total[node] = 0.0
+        self._node_count += 1
+        return node
+
+    def _free_node(self, node: int) -> None:
+        # Zero the window now so recycled nodes start clean.
+        base = node * self.slots
+        buckets = self._node_buckets
+        for index in range(base, base + self.slots):
+            buckets[index] = 0.0
+        self._node_total[node] = 0.0
+        self._node_next[node] = self._node_free
+        self._node_free = node
+        self._node_count -= 1
+
+    # -------------------------------------------------- window arithmetic
+    def _advance_node(self, node: int, period_index: int) -> None:
+        """Port of ``RotatingCounter.advance`` on the flat columns."""
+        current = self._node_period[node]
+        if period_index <= current:
+            return
+        slots = self.slots
+        base = node * slots
+        buckets = self._node_buckets
+        elapsed = period_index - current
+        if elapsed >= slots:
+            for index in range(base, base + slots):
+                buckets[index] = 0.0
+            self._node_total[node] = 0.0
+        else:
+            total = self._node_total[node]
+            for step in range(1, elapsed + 1):
+                index = base + (current + step) % slots
+                total -= buckets[index]
+                buckets[index] = 0.0
+            self._node_total[node] = total
+        self._node_period[node] = period_index
+
+    def _record(self, node: int, timestamp: float, amount: float) -> None:
+        """Port of ``RotatingCounter.record`` on the flat columns."""
+        period_index = int(timestamp // self.period)
+        if period_index > self._node_period[node]:
+            self._advance_node(node, period_index)
+        self._node_buckets[node * self.slots + self._node_period[node] % self.slots] += amount
+        self._node_total[node] += amount
+
+    # ------------------------------------------------------------ recording
+    def record_read(self, slot: int, origin: int, timestamp: float, amount: float = 1.0) -> None:
+        """Record a read of ``slot``'s view coming from ``origin``."""
+        node = self._read_head[slot]
+        nnext = self._node_next
+        norigin = self._node_origin
+        last = NO_SLOT
+        while node != NO_SLOT:
+            if norigin[node] == origin:
+                break
+            last = node
+            node = nnext[node]
+        if node == NO_SLOT:
+            # New origins start their window at the first read's timestamp,
+            # appended at the tail so first-record order is preserved.
+            node = self._alloc_node(origin, int(timestamp // self.period))
+            if last == NO_SLOT:
+                self._read_head[slot] = node
+            else:
+                nnext[last] = node
+        # Inlined ``RotatingCounter.record`` (one call per simulated read).
+        nperiod = self._node_period
+        period_index = int(timestamp // self.period)
+        if period_index > nperiod[node]:
+            self._advance_node(node, period_index)
+        self._node_buckets[node * self.slots + nperiod[node] % self.slots] += amount
+        self._node_total[node] += amount
+        self._reads_since_eval[slot] += 1
+        # Keep the cached origins dict live instead of rebuilding it on the
+        # next query: a read only changes its own origin's total, and only
+        # an origin already present keeps its position in first-record
+        # order (a newly visible origin forces a rebuild).
+        cached = self._origins_cache.get(slot)
+        if cached is not None:
+            if origin in cached:
+                cached[origin] = self._node_total[node]
+            else:
+                del self._origins_cache[slot]
+
+    def record_write(self, slot: int, timestamp: float, amount: float = 1.0) -> None:
+        """Record a write (writes always come from the view's write proxy)."""
+        node = self._write_node[slot]
+        if node == NO_SLOT:
+            # Write windows are allocated lazily; period 0 matches the
+            # object path, whose write counter is created at time 0.
+            node = self._alloc_node(NO_SLOT, 0)
+            self._write_node[slot] = node
+        self._record(node, timestamp, amount)
+
+    def advance_slot(self, slot: int, timestamp: float) -> None:
+        """Rotate every window of ``slot`` so it is current with ``timestamp``."""
+        period_index = int(timestamp // self.period)
+        node = self._read_head[slot]
+        nnext = self._node_next
+        while node != NO_SLOT:
+            self._advance_node(node, period_index)
+            node = nnext[node]
+        write_node = self._write_node[slot]
+        if write_node != NO_SLOT:
+            self._advance_node(write_node, period_index)
+        self._origins_cache.pop(slot, None)
+
+    def advance_pool(self, timestamp: float) -> None:
+        """Column sweep: rotate **every** window in the pool to ``timestamp``.
+
+        The maintenance tick's replacement for per-replica ``advance``
+        calls: one flat pass over the node columns, no chain walks.  Free
+        nodes are zeroed when recycled, so fast-forwarding their (empty)
+        windows is a no-op beyond stamping the period.
+        """
+        period_index = int(timestamp // self.period)
+        slots = self.slots
+        nperiod = self._node_period
+        ntotal = self._node_total
+        buckets = self._node_buckets
+        for node in range(len(nperiod)):
+            current = nperiod[node]
+            if current >= period_index:
+                continue
+            total = ntotal[node]
+            # Amounts are non-negative, so a zero window total means every
+            # bucket is already zero — only the period needs stamping.
+            if total:
+                base = node * slots
+                elapsed = period_index - current
+                if elapsed >= slots:
+                    for index in range(base, base + slots):
+                        buckets[index] = 0.0
+                    ntotal[node] = 0.0
+                else:
+                    for step in range(1, elapsed + 1):
+                        index = base + (current + step) % slots
+                        total -= buckets[index]
+                        buckets[index] = 0.0
+                    ntotal[node] = total
+            nperiod[node] = period_index
+        self._origins_cache.clear()
+
+    # -------------------------------------------------------------- queries
+    def reads_by_origin(self, slot: int) -> dict[int, float]:
+        """Window read totals keyed by origin, in first-record order.
+
+        The returned dict is a shared cache — treat it as read-only.
+        """
+        cached = self._origins_cache.get(slot)
+        if cached is None:
+            cached = {}
+            node = self._read_head[slot]
+            nnext = self._node_next
+            norigin = self._node_origin
+            ntotal = self._node_total
+            while node != NO_SLOT:
+                total = ntotal[node]
+                if total > 0:
+                    cached[norigin[node]] = total
+                node = nnext[node]
+            self._origins_cache[slot] = cached
+        return cached
+
+    def total_reads(self, slot: int) -> float:
+        """Total window reads of ``slot``, all origins combined."""
+        total = 0.0
+        node = self._read_head[slot]
+        while node != NO_SLOT:
+            total += self._node_total[node]
+            node = self._node_next[node]
+        return total
+
+    def total_writes(self, slot: int) -> float:
+        """Total window writes of ``slot``."""
+        node = self._write_node[slot]
+        return self._node_total[node] if node != NO_SLOT else 0.0
+
+    def reads_from(self, slot: int, origin: int) -> float:
+        """Window reads of ``slot`` recorded from one origin."""
+        node = self._read_head[slot]
+        while node != NO_SLOT:
+            if self._node_origin[node] == origin:
+                return self._node_total[node]
+            node = self._node_next[node]
+        return 0.0
+
+    def reads_since_evaluation(self, slot: int) -> int:
+        """Reads recorded since the evaluation marker was reset."""
+        return self._reads_since_eval[slot]
+
+    def mark_evaluated(self, slot: int) -> None:
+        """Reset the evaluation marker (after running Algorithm 2)."""
+        self._reads_since_eval[slot] = 0
+
+    # ----------------------------------------------- object-path interop
+    def adopt(self, slot: int, stats) -> None:
+        """Load the content of an ``AccessStatistics`` object into ``slot``.
+
+        Used by the ``StorageServer`` façade when callers hand it a
+        pre-built statistics object (the historical ``add_replica(...,
+        stats=...)`` contract).  Copies windows bucket-for-bucket.
+        """
+        for origin, counter in stats._reads.items():
+            node = self._alloc_node(origin, counter._current_period)
+            self._adopt_counter(node, counter)
+            self._link_read_tail(slot, node)
+        writes = stats._writes
+        node = self._alloc_node(NO_SLOT, writes._current_period)
+        self._adopt_counter(node, writes)
+        self._write_node[slot] = node
+        self._reads_since_eval[slot] = stats._reads_since_evaluation
+        self._origins_cache.pop(slot, None)
+
+    def _adopt_counter(self, node: int, counter) -> None:
+        if counter.slots != self.slots or counter.period != self.period:
+            raise StorageError("cannot adopt a counter with a different window")
+        base = node * self.slots
+        for offset, value in enumerate(counter._buckets):
+            self._node_buckets[base + offset] = value
+        self._node_total[node] = counter.total()
+        self._node_period[node] = counter._current_period
+
+    def _link_read_tail(self, slot: int, node: int) -> None:
+        head = self._read_head[slot]
+        if head == NO_SLOT:
+            self._read_head[slot] = node
+            return
+        while self._node_next[head] != NO_SLOT:
+            head = self._node_next[head]
+        self._node_next[head] = node
+
+    def export(self, slot: int):
+        """Materialise ``slot``'s statistics as a standalone object copy."""
+        from .counters import RotatingCounter
+        from .stats import AccessStatistics
+
+        stats = AccessStatistics(self.slots, self.period)
+        node = self._read_head[slot]
+        while node != NO_SLOT:
+            stats._reads[self._node_origin[node]] = self._export_counter(node, RotatingCounter)
+            node = self._node_next[node]
+        write_node = self._write_node[slot]
+        if write_node != NO_SLOT:
+            stats._writes = self._export_counter(write_node, RotatingCounter)
+        stats._reads_since_evaluation = self._reads_since_eval[slot]
+        return stats
+
+    def _export_counter(self, node: int, counter_class):
+        counter = counter_class(self.slots, self.period)
+        base = node * self.slots
+        counter._buckets = list(self._node_buckets[base : base + self.slots])
+        counter._current_period = self._node_period[node]
+        counter._total = self._node_total[node]
+        return counter
+
+
+# ---------------------------------------------------------------------------
+# ReplicaTable: the flat placement-state table
+# ---------------------------------------------------------------------------
+class ReplicaTable:
+    """Flat replica-slot table with per-user and per-server chain indexes.
+
+    See the module docstring for the column layout and the replica-id
+    contract.  ``with_stats=False`` builds a table without the statistics
+    columns (SPAR and the static baselines track placement only).
+    """
+
+    def __init__(
+        self,
+        positions: int = 0,
+        counter_slots: int = DEFAULT_COUNTER_SLOTS,
+        counter_period: float = DEFAULT_COUNTER_PERIOD,
+        with_stats: bool = True,
+    ) -> None:
+        # Slot columns.  Plain lists: every hot path indexes these several
+        # times per event, and list indexing returns the stored object
+        # without re-boxing (an ``array`` materialises a fresh int per
+        # read).  The referenced ints are shared with the social graph and
+        # the user index, so the per-slot cost stays one machine word.
+        self._user: list[int] = []
+        self._server: list[int] = []
+        self._utility: list[float] = []
+        self._write_proxy: list[int] = []
+        self._next_closest: list[int] = []
+        self._user_next: list[int] = []  # doubles as the free-list link
+        self._srv_prev: list[int] = []
+        self._srv_next: list[int] = []
+        # Per-user index: user id -> head slot (insertion order of this dict
+        # is first-placement order, which replica_locations() preserves).
+        self._user_head: dict[int, int] = {}
+        # Per-position index and counters.
+        self._srv_head: list[int] = [NO_SLOT] * positions
+        self._srv_tail: list[int] = [NO_SLOT] * positions
+        self._used: list[int] = [0] * positions
+        self._capacity: list[int] = [0] * positions
+        self._admission: list[float] = [0.0] * positions
+        self._free_head = NO_SLOT
+        self._active = 0
+        self.stats: StatsTable | None = (
+            StatsTable(counter_slots, counter_period) if with_stats else None
+        )
+
+    # ------------------------------------------------------------ positions
+    @property
+    def num_positions(self) -> int:
+        """Number of storage-server positions the table spans."""
+        return len(self._srv_head)
+
+    def add_position(self, capacity: int = 0) -> int:
+        """Append a new storage-server position."""
+        if capacity < 0:
+            raise StorageError("server capacity cannot be negative")
+        self._srv_head.append(NO_SLOT)
+        self._srv_tail.append(NO_SLOT)
+        self._used.append(0)
+        self._capacity.append(capacity)
+        self._admission.append(0.0)
+        return len(self._srv_head) - 1
+
+    def ensure_position(self, position: int) -> None:
+        """Grow the position axis so ``position`` is addressable."""
+        while position >= len(self._srv_head):
+            self.add_position()
+
+    def set_capacity(self, position: int, capacity: int) -> None:
+        """Set the nominal capacity of a position (0 while it is down)."""
+        if capacity < 0:
+            raise StorageError("server capacity cannot be negative")
+        self._capacity[position] = capacity
+
+    def capacity_of(self, position: int) -> int:
+        """Nominal capacity of a position in views."""
+        return self._capacity[position]
+
+    def used_of(self, position: int) -> int:
+        """Replicas currently stored at a position (O(1) counter)."""
+        return self._used[position]
+
+    @property
+    def used(self) -> list[int]:
+        """Per-position occupancy counters (read-only by convention)."""
+        return self._used
+
+    @property
+    def capacities(self) -> list[int]:
+        """Per-position capacities (read-only by convention)."""
+        return self._capacity
+
+    @property
+    def admission_thresholds(self) -> list[float]:
+        """Per-position admission thresholds (read-only by convention)."""
+        return self._admission
+
+    @property
+    def active_count(self) -> int:
+        """Total live replicas across every position (O(1))."""
+        return self._active
+
+    # ------------------------------------------------------------ allocation
+    def allocate(
+        self, user: int, position: int, write_proxy_broker: int | None = None
+    ) -> int:
+        """Create a replica of ``user``'s view at ``position``; returns its slot.
+
+        Capacity is *not* enforced here — admission policy belongs to the
+        callers (the engine allows controlled overflow during recovery).
+        """
+        slot = self._free_head
+        if slot != NO_SLOT:
+            self._free_head = self._user_next[slot]
+            self._user[slot] = user
+            self._server[slot] = position
+            self._utility[slot] = 0.0
+            self._write_proxy[slot] = NO_SLOT if write_proxy_broker is None else write_proxy_broker
+            self._next_closest[slot] = NO_SLOT
+            self._user_next[slot] = NO_SLOT
+        else:
+            slot = len(self._user)
+            self._user.append(user)
+            self._server.append(position)
+            self._utility.append(0.0)
+            self._write_proxy.append(
+                NO_SLOT if write_proxy_broker is None else write_proxy_broker
+            )
+            self._next_closest.append(NO_SLOT)
+            self._user_next.append(NO_SLOT)
+            self._srv_prev.append(NO_SLOT)
+            self._srv_next.append(NO_SLOT)
+            if self.stats is not None:
+                self.stats.append_slot()
+        # Link at the tail of the user chain.
+        head = self._user_head.get(user, NO_SLOT)
+        if head == NO_SLOT:
+            self._user_head[user] = slot
+        else:
+            while self._user_next[head] != NO_SLOT:
+                head = self._user_next[head]
+            self._user_next[head] = slot
+        # Link at the tail of the position chain (insertion order).
+        tail = self._srv_tail[position]
+        self._srv_prev[slot] = tail
+        self._srv_next[slot] = NO_SLOT
+        if tail == NO_SLOT:
+            self._srv_head[position] = slot
+        else:
+            self._srv_next[tail] = slot
+        self._srv_tail[position] = slot
+        self._used[position] += 1
+        self._active += 1
+        return slot
+
+    def detach(self, slot: int) -> None:
+        """Unlink a slot from both indexes without recycling it yet.
+
+        The evacuation path detaches first so the slot's statistics stay
+        readable while the replica is re-homed, then calls :meth:`release`.
+        """
+        user = self._user[slot]
+        position = self._server[slot]
+        # User chain.
+        head = self._user_head[user]
+        if head == slot:
+            following = self._user_next[slot]
+            if following == NO_SLOT:
+                del self._user_head[user]
+            else:
+                self._user_head[user] = following
+        else:
+            previous = head
+            while self._user_next[previous] != slot:
+                previous = self._user_next[previous]
+            self._user_next[previous] = self._user_next[slot]
+        self._user_next[slot] = NO_SLOT
+        # Position chain.
+        previous, following = self._srv_prev[slot], self._srv_next[slot]
+        if previous == NO_SLOT:
+            self._srv_head[position] = following
+        else:
+            self._srv_next[previous] = following
+        if following == NO_SLOT:
+            self._srv_tail[position] = previous
+        else:
+            self._srv_prev[following] = previous
+        self._srv_prev[slot] = NO_SLOT
+        self._srv_next[slot] = NO_SLOT
+        self._used[position] -= 1
+        self._active -= 1
+
+    def release(self, slot: int) -> None:
+        """Recycle a detached slot through the free list."""
+        if self.stats is not None:
+            self.stats.reset_slot(slot)
+        self._server[slot] = NO_SLOT
+        self._user_next[slot] = self._free_head
+        self._free_head = slot
+
+    def free(self, slot: int) -> None:
+        """Remove a replica: detach from the indexes and recycle the slot."""
+        self.detach(slot)
+        self.release(slot)
+
+    # --------------------------------------------------------------- queries
+    def user_of(self, slot: int) -> int:
+        """User whose view the slot stores."""
+        return self._user[slot]
+
+    def position_of(self, slot: int) -> int:
+        """Position hosting the slot (-1 when the slot is free)."""
+        return self._server[slot]
+
+    def has_user(self, user: int) -> bool:
+        """True when at least one replica of the user's view exists."""
+        return user in self._user_head
+
+    def users(self):
+        """Live users in first-placement order."""
+        return self._user_head.keys()
+
+    def user_slots(self, user: int) -> list[int]:
+        """Slots of one user's replicas, placement order."""
+        result: list[int] = []
+        slot = self._user_head.get(user, NO_SLOT)
+        user_next = self._user_next
+        while slot != NO_SLOT:
+            result.append(slot)
+            slot = user_next[slot]
+        return result
+
+    def user_positions(self, user: int) -> tuple[int, ...]:
+        """Positions storing the user's view, placement order."""
+        result: list[int] = []
+        slot = self._user_head.get(user, NO_SLOT)
+        user_next = self._user_next
+        server = self._server
+        while slot != NO_SLOT:
+            result.append(server[slot])
+            slot = user_next[slot]
+        return tuple(result)
+
+    def user_replica_count(self, user: int) -> int:
+        """Number of replicas of one user's view."""
+        count = 0
+        slot = self._user_head.get(user, NO_SLOT)
+        while slot != NO_SLOT:
+            count += 1
+            slot = self._user_next[slot]
+        return count
+
+    def slot_of(self, user: int, position: int) -> int | None:
+        """Slot of the user's replica at ``position`` (None when absent)."""
+        slot = self._user_head.get(user, NO_SLOT)
+        while slot != NO_SLOT:
+            if self._server[slot] == position:
+                return slot
+            slot = self._user_next[slot]
+        return None
+
+    def position_slots(self, position: int) -> list[int]:
+        """Snapshot of a position's slots in insertion order."""
+        result: list[int] = []
+        slot = self._srv_head[position]
+        while slot != NO_SLOT:
+            result.append(slot)
+            slot = self._srv_next[slot]
+        return result
+
+    def iter_position(self, position: int) -> Iterator[int]:
+        """Iterate a position's slots in insertion order (no snapshot)."""
+        slot = self._srv_head[position]
+        while slot != NO_SLOT:
+            yield slot
+            slot = self._srv_next[slot]
+
+    def users_at(self, position: int) -> list[int]:
+        """Users with a replica at ``position``, insertion order."""
+        return [self._user[slot] for slot in self.iter_position(position)]
+
+    # ------------------------------------------------------ replica columns
+    def effective_utility(self, slot: int) -> float:
+        """Eviction utility: infinite for sole replicas."""
+        if self._next_closest[slot] == NO_SLOT:
+            return _INF
+        return self._utility[slot]
+
+    # ------------------------------------------------- thresholds/eviction
+    def update_admission_threshold(self, position: int, admission_fill: float) -> float:
+        """Recompute a position's admission threshold (paper section 3.2)."""
+        capacity = self._capacity[position]
+        if capacity == 0:
+            self._admission[position] = _INF
+            return _INF
+        fill_slots = int(admission_fill * capacity)
+        if self._used[position] <= fill_slots or fill_slots == 0:
+            self._admission[position] = 0.0
+            return 0.0
+        utilities: list[float] = []
+        slot = self._srv_head[position]
+        srv_next = self._srv_next
+        next_closest = self._next_closest
+        utility = self._utility
+        while slot != NO_SLOT:
+            utilities.append(_INF if next_closest[slot] == NO_SLOT else utility[slot])
+            slot = srv_next[slot]
+        utilities.sort(reverse=True)
+        boundary_index = min(fill_slots, len(utilities)) - 1
+        threshold = utilities[boundary_index]
+        value = 0.0 if threshold == _INF else max(0.0, threshold)
+        self._admission[position] = value
+        return value
+
+    def eviction_target(self, position: int, eviction_threshold: float) -> int:
+        """Occupancy the proactive eviction pass aims for at ``position``."""
+        capacity = self._capacity[position]
+        if capacity <= 1:
+            return capacity
+        return min(capacity - 1, math.ceil(eviction_threshold * capacity))
+
+    def needs_eviction(self, position: int, eviction_threshold: float) -> bool:
+        """True when occupancy exceeds the proactive eviction target."""
+        if self._capacity[position] == 0:
+            return self._used[position] > 0
+        return self._used[position] > self.eviction_target(position, eviction_threshold)
+
+    def excess_replicas(self, position: int, eviction_threshold: float) -> int:
+        """Replicas to shed at ``position`` to get under the eviction target."""
+        if self._capacity[position] == 0:
+            return self._used[position]
+        return max(0, self._used[position] - self.eviction_target(position, eviction_threshold))
+
+    def eviction_candidate_slots(self, position: int) -> list[int]:
+        """Evictable slots, least useful first (stable on insertion order)."""
+        candidates = [
+            slot
+            for slot in self.iter_position(position)
+            if self.effective_utility(slot) != _INF
+        ]
+        candidates.sort(key=self.effective_utility)
+        return candidates
+
+    # ----------------------------------------------------------- maintenance
+    def advance_all_counters(self, timestamp: float) -> None:
+        """Column sweep: rotate every replica's windows to ``timestamp``."""
+        if self.stats is not None:
+            self.stats.advance_pool(timestamp)
+
+    # ------------------------------------------------------------- integrity
+    def check_integrity(self) -> None:
+        """Validate the chain indexes, counters and free list.
+
+        Raises :class:`~repro.exceptions.StorageError` on the first
+        inconsistency; used by the property tests to audit random churn.
+        """
+        total_slots = len(self._user)
+        seen: set[int] = set()
+        # Position chains: doubly linked, counts match, server column agrees.
+        for position in range(len(self._srv_head)):
+            count = 0
+            previous = NO_SLOT
+            slot = self._srv_head[position]
+            while slot != NO_SLOT:
+                if slot in seen:
+                    raise StorageError(f"slot {slot} linked twice")
+                seen.add(slot)
+                if self._server[slot] != position:
+                    raise StorageError(f"slot {slot} chained under wrong position")
+                if self._srv_prev[slot] != previous:
+                    raise StorageError(f"slot {slot} has a broken prev link")
+                previous = slot
+                slot = self._srv_next[slot]
+                count += 1
+            if self._srv_tail[position] != previous:
+                raise StorageError(f"position {position} has a broken tail")
+            if count != self._used[position]:
+                raise StorageError(
+                    f"position {position} used counter {self._used[position]} != {count}"
+                )
+        if len(seen) != self._active:
+            raise StorageError(f"active counter {self._active} != {len(seen)}")
+        # User chains cover exactly the live slots.
+        covered: set[int] = set()
+        for user, head in self._user_head.items():
+            slot = head
+            if slot == NO_SLOT:
+                raise StorageError(f"user {user} indexed with no replica")
+            while slot != NO_SLOT:
+                if slot in covered:
+                    raise StorageError(f"slot {slot} in two user chains")
+                covered.add(slot)
+                if self._user[slot] != user:
+                    raise StorageError(f"slot {slot} chained under wrong user")
+                slot = self._user_next[slot]
+        if covered != seen:
+            raise StorageError("user chains and position chains disagree")
+        # Free list covers exactly the remaining slots.
+        free: set[int] = set()
+        slot = self._free_head
+        while slot != NO_SLOT:
+            if slot in free or slot in seen:
+                raise StorageError(f"slot {slot} both free and live")
+            if self._server[slot] != NO_SLOT:
+                raise StorageError(f"free slot {slot} still claims a position")
+            free.add(slot)
+            slot = self._user_next[slot]
+        if len(free) + len(seen) != total_slots:
+            raise StorageError(
+                f"slot leak: {len(free)} free + {len(seen)} live != {total_slots}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Handles: the object façade over table slots
+# ---------------------------------------------------------------------------
+class StatsHandle:
+    """``AccessStatistics``-compatible view of one slot's statistics columns."""
+
+    __slots__ = ("table", "slot")
+
+    def __init__(self, table: StatsTable, slot: int) -> None:
+        self.table = table
+        self.slot = slot
+
+    @property
+    def slots(self) -> int:
+        return self.table.slots
+
+    @property
+    def period(self) -> float:
+        return self.table.period
+
+    def record_read(self, origin: int, timestamp: float, amount: float = 1.0) -> None:
+        self.table.record_read(self.slot, origin, timestamp, amount)
+
+    def record_write(self, timestamp: float, amount: float = 1.0) -> None:
+        self.table.record_write(self.slot, timestamp, amount)
+
+    def advance(self, timestamp: float) -> None:
+        self.table.advance_slot(self.slot, timestamp)
+
+    def reads_by_origin(self) -> dict[int, float]:
+        # Fast path: Algorithms 1-3 query the same slot several times per
+        # evaluated request, so serve cache hits without a second hop.
+        table = self.table
+        cached = table._origins_cache.get(self.slot)
+        if cached is not None:
+            return cached
+        return table.reads_by_origin(self.slot)
+
+    def total_reads(self) -> float:
+        return self.table.total_reads(self.slot)
+
+    def total_writes(self) -> float:
+        table = self.table
+        node = table._write_node[self.slot]
+        return table._node_total[node] if node != NO_SLOT else 0.0
+
+    def reads_from(self, origin: int) -> float:
+        return self.table.reads_from(self.slot, origin)
+
+    def reads_since_last_evaluation(self) -> int:
+        return self.table.reads_since_evaluation(self.slot)
+
+    def mark_evaluated(self) -> None:
+        self.table.mark_evaluated(self.slot)
+
+    def copy(self):
+        """Standalone ``AccessStatistics`` deep copy of this slot's windows."""
+        return self.table.export(self.slot)
+
+    def clear(self) -> None:
+        self.table.reset_slot(self.slot)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StatsHandle(slot={self.slot}, reads={self.total_reads():.0f}, "
+            f"writes={self.total_writes():.0f})"
+        )
+
+
+class ReplicaHandle:
+    """``ViewReplica``-compatible view of one replica slot.
+
+    Attribute reads and writes go straight to the table columns, so code
+    written against the object model (the decision algorithms, tests, user
+    code) keeps working on table-backed state.
+    """
+
+    __slots__ = ("table", "slot")
+
+    def __init__(self, table: ReplicaTable, slot: int) -> None:
+        self.table = table
+        self.slot = slot
+
+    # Identity: two handles to the same slot of the same table are equal.
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ReplicaHandle)
+            and other.table is self.table
+            and other.slot == self.slot
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.table), self.slot))
+
+    @property
+    def user(self) -> int:
+        return self.table._user[self.slot]
+
+    @property
+    def server(self) -> int:
+        return self.table._server[self.slot]
+
+    @property
+    def stats(self) -> StatsHandle:
+        stats = self.table.stats
+        if stats is None:
+            raise StorageError("this table does not track statistics")
+        return StatsHandle(stats, self.slot)
+
+    @property
+    def utility(self) -> float:
+        return self.table._utility[self.slot]
+
+    @utility.setter
+    def utility(self, value: float) -> None:
+        self.table._utility[self.slot] = value
+
+    @property
+    def write_proxy_broker(self) -> int | None:
+        value = self.table._write_proxy[self.slot]
+        return None if value == NO_SLOT else value
+
+    @write_proxy_broker.setter
+    def write_proxy_broker(self, value: int | None) -> None:
+        self.table._write_proxy[self.slot] = NO_SLOT if value is None else value
+
+    @property
+    def next_closest_replica(self) -> int | None:
+        value = self.table._next_closest[self.slot]
+        return None if value == NO_SLOT else value
+
+    @next_closest_replica.setter
+    def next_closest_replica(self, value: int | None) -> None:
+        self.table._next_closest[self.slot] = NO_SLOT if value is None else value
+
+    @property
+    def is_sole_replica(self) -> bool:
+        return self.table._next_closest[self.slot] == NO_SLOT
+
+    def effective_utility(self) -> float:
+        return self.table.effective_utility(self.slot)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReplicaHandle(slot={self.slot}, user={self.user}, server={self.server})"
+
+
+__all__ = [
+    "NO_SLOT",
+    "ReplicaHandle",
+    "ReplicaTable",
+    "StatsHandle",
+    "StatsTable",
+    "pick_least_loaded",
+    "rank_by_utilisation",
+]

@@ -1,0 +1,106 @@
+"""Shared harness of the golden parity suite.
+
+Builds matched simulation runs for the table-backed strategies and their
+frozen seed twins (:mod:`repro.legacy`) and canonicalises
+:class:`~repro.simulator.results.SimulationResult`\\ s into bytes so the
+suite can assert **byte-identical** outcomes.  Kept outside the test module
+so the strategy benchmarks can reuse the exact same scenario matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from repro.config import ClusterSpec, DynaSoReConfig, SimulationConfig
+from repro.constants import HOUR
+from repro.legacy import build_legacy_strategy
+
+# Imported from the run registry so a newly registered strategy
+# automatically joins the parity matrix (and fails loudly until it has a
+# legacy twin or an explicit exemption).
+from repro.runtime.spec import STRATEGY_KEYS, build_strategy
+from repro.scenarios import CrashRecoverScenario, DiurnalLoadScenario
+from repro.simulator.engine import ClusterSimulator
+from repro.socialgraph.generators import dataset_preset, generate_social_graph
+from repro.topology.tree import TreeTopology
+from repro.workload.synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+
+#: Scenario factories of the parity matrix (fresh instance per run).
+SCENARIOS = {
+    "plain": lambda: None,
+    "diurnal": lambda: DiurnalLoadScenario(trough_fraction=0.3),
+    "crash": lambda: CrashRecoverScenario(
+        crash_time=2 * HOUR, recover_time=5 * HOUR, count=2
+    ),
+}
+
+
+def parity_cluster() -> tuple[TreeTopology, int]:
+    """Small 2x2x3 tree (12 servers) shared by every parity run."""
+    spec = ClusterSpec(
+        intermediate_switches=2,
+        racks_per_intermediate=2,
+        machines_per_rack=3,
+        brokers_per_rack=1,
+    )
+    return TreeTopology(spec), 12
+
+
+def parity_graph(users: int = 220, seed: int = 7):
+    """Community-structured graph small enough to replay the full matrix."""
+    return generate_social_graph(dataset_preset("facebook", users=users), seed=seed)
+
+
+def parity_stream(graph, days: float = 0.5, seed: int = 7):
+    """Synthetic event stream (reads, writes and graph churn) for one run."""
+    config = SyntheticWorkloadConfig(days=days, seed=seed)
+    return SyntheticWorkloadGenerator(graph, config).stream()
+
+
+def run_strategy(
+    strategy_key: str,
+    scenario_key: str,
+    *,
+    legacy: bool,
+    users: int = 220,
+    extra_memory_pct: float = 60.0,
+    tracked: int = 2,
+):
+    """One simulation run of the parity matrix; returns a SimulationResult."""
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=users)
+    stream = parity_stream(graph)
+    build = build_legacy_strategy if legacy else build_strategy
+    strategy = build(strategy_key, 7, DynaSoReConfig())
+    config = SimulationConfig(extra_memory_pct=extra_memory_pct, seed=7)
+    simulator = ClusterSimulator(
+        topology,
+        graph,
+        strategy,
+        config=config,
+        scenario=SCENARIOS[scenario_key](),
+    )
+    for user in list(graph.users)[:tracked]:
+        simulator.track_view(user)
+    return simulator.run(stream)
+
+
+def canonical_result_bytes(result) -> bytes:
+    """Canonical byte serialisation of a SimulationResult.
+
+    ``pickle`` of the plain-data tree is deterministic here: every container
+    is built in the same order by both paths when their decision sequences
+    match, and all arithmetic is exact (integer-valued floats), so equal
+    behaviour implies equal bytes — and any drift shows up as a diff.
+    """
+    tree = dataclasses.asdict(result)
+    return pickle.dumps(tree, protocol=4)
+
+
+def result_digest(result) -> str:
+    """Short hex digest used in assertion messages."""
+    import hashlib
+
+    return hashlib.sha256(canonical_result_bytes(result)).hexdigest()[:16]

@@ -98,7 +98,7 @@ class TestExecution:
         strategy.execute_read(reader, now=10.0)
         assert accountant.message_count > 0
         target = next(iter(small_graph.following(reader)))
-        position = next(iter(strategy._replica_positions[target]))
+        position = strategy.replica_positions(target)[0]
         replica = strategy.servers[position].replica(target)
         assert replica.stats.total_reads() >= 1
 
@@ -106,7 +106,7 @@ class TestExecution:
         strategy, accountant = bind_dynasore(tree_topology, small_graph)
         user = small_graph.users[0]
         strategy.execute_write(user, now=10.0)
-        for position in strategy._replica_positions[user]:
+        for position in strategy.replica_positions(user):
             assert strategy.servers[position].replica(user).stats.total_writes() >= 1
 
     def test_hot_remote_view_gets_replicated(self, tree_topology, small_graph):

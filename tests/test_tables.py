@@ -1,0 +1,332 @@
+"""Golden parity suite and property tests of the placement tables.
+
+Three layers of protection for the struct-of-arrays refactor:
+
+* **Golden parity** — every placement strategy replays identical workloads
+  through the table-backed path and through the frozen seed object path
+  (:mod:`repro.legacy`), and the resulting
+  :class:`~repro.simulator.results.SimulationResult`\\ s must be
+  **byte-identical** (canonical serialisation), across plain, diurnal-load
+  and crash-recover scenarios with tracked views.
+* **Properties** — random create/remove/migrate churn against a dict/set
+  reference model, with free-list reuse and chain-index integrity audited
+  after every step, plus a windows-arithmetic equivalence check of
+  :class:`~repro.store.tables.StatsTable` against ``AccessStatistics``.
+* **Counter regressions** — crash → evacuate → restore must leave the O(1)
+  per-server counters (``memory_in_use``/``server_utilisations``) exactly
+  consistent with a from-scratch recount.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from parity import (
+    SCENARIOS,
+    STRATEGY_KEYS,
+    canonical_result_bytes,
+    parity_cluster,
+    parity_graph,
+    parity_stream,
+    result_digest,
+    run_strategy,
+)
+from repro.config import DynaSoReConfig, SimulationConfig
+from repro.exceptions import StorageError
+from repro.runtime.spec import build_strategy
+from repro.simulator.engine import ClusterSimulator
+from repro.store.stats import AccessStatistics
+from repro.store.tables import ReplicaTable, StatsTable, pick_least_loaded
+
+
+# ---------------------------------------------------------------------------
+# Golden parity: table path vs frozen seed object path
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+@pytest.mark.parametrize("strategy_key", STRATEGY_KEYS)
+def test_byte_identical_with_seed_object_path(strategy_key, scenario_key):
+    """The flagship guarantee: same workload, byte-identical result."""
+    table_result = run_strategy(strategy_key, scenario_key, legacy=False)
+    legacy_result = run_strategy(strategy_key, scenario_key, legacy=True)
+    assert canonical_result_bytes(table_result) == canonical_result_bytes(
+        legacy_result
+    ), (
+        f"{strategy_key}/{scenario_key}: table path diverged from the seed "
+        f"object path ({result_digest(table_result)} != {result_digest(legacy_result)})"
+    )
+
+
+def test_parity_runs_exercise_dynamic_placement():
+    """Sanity: the parity workload actually replicates and recovers."""
+    result = run_strategy("dynasore_hmetis", "crash", legacy=False)
+    assert result.replication_factor > 1.0
+    assert result.fault_records
+    assert result.unavailable_views == 0
+    assert all(timeline.replica_counts for timeline in result.tracked_views.values())
+
+
+# ---------------------------------------------------------------------------
+# ReplicaTable properties under random churn
+# ---------------------------------------------------------------------------
+class ReferenceModel:
+    """Dict/set shadow of a ReplicaTable, the pre-refactor representation."""
+
+    def __init__(self, positions: int) -> None:
+        self.by_user: dict[int, list[int]] = {}
+        self.by_position: dict[int, list[int]] = {p: [] for p in range(positions)}
+
+    def add(self, user: int, position: int) -> None:
+        self.by_user.setdefault(user, []).append(position)
+        self.by_position[position].append(user)
+
+    def remove(self, user: int, position: int) -> None:
+        self.by_user[user].remove(position)
+        if not self.by_user[user]:
+            del self.by_user[user]
+        self.by_position[position].remove(user)
+
+
+def test_replica_table_random_churn_matches_reference_model():
+    rng = random.Random(20260728)
+    positions = 6
+    table = ReplicaTable(positions=positions, counter_slots=4, counter_period=10.0)
+    model = ReferenceModel(positions)
+    live: list[tuple[int, int]] = []
+
+    for step in range(2000):
+        action = rng.random()
+        if action < 0.5 or not live:
+            user = rng.randrange(40)
+            position = rng.randrange(positions)
+            if table.slot_of(user, position) is not None:
+                continue
+            table.allocate(user, position)
+            model.add(user, position)
+            live.append((user, position))
+        elif action < 0.8:
+            user, position = live.pop(rng.randrange(len(live)))
+            slot = table.slot_of(user, position)
+            assert slot is not None
+            table.free(slot)
+            model.remove(user, position)
+        else:
+            # Migrate: move a replica to a random other position.
+            index = rng.randrange(len(live))
+            user, position = live[index]
+            target = rng.randrange(positions)
+            if target == position or table.slot_of(user, target) is not None:
+                continue
+            table.free(table.slot_of(user, position))
+            model.remove(user, position)
+            table.allocate(user, target)
+            model.add(user, target)
+            live[index] = (user, target)
+
+        if step % 50 == 0:
+            table.check_integrity()
+            assert sorted(map(tuple, (sorted(v) for v in model.by_user.values()))) == sorted(
+                tuple(sorted(table.user_positions(u))) for u in model.by_user
+            )
+    # Final audit: per-user and per-position views agree with the model.
+    table.check_integrity()
+    assert set(table.users()) == set(model.by_user)
+    for user, posns in model.by_user.items():
+        assert sorted(table.user_positions(user)) == sorted(posns)
+    for position, users in model.by_position.items():
+        assert sorted(table.users_at(position)) == sorted(users)
+        assert table.used_of(position) == len(users)
+    assert table.active_count == len(live)
+
+
+def test_free_list_recycles_slots():
+    table = ReplicaTable(positions=2, counter_slots=4, counter_period=10.0)
+    first = table.allocate(1, 0)
+    second = table.allocate(2, 1)
+    table.stats.record_read(first, origin=9, timestamp=1.0)
+    table.stats.record_write(first, 1.0)
+    table.free(first)
+    # The freed slot is reused before the columns grow...
+    reused = table.allocate(3, 0)
+    assert reused == first
+    # ...and comes back with pristine statistics and links.
+    assert table.stats.total_reads(reused) == 0.0
+    assert table.stats.total_writes(reused) == 0.0
+    assert table.stats.reads_by_origin(reused) == {}
+    assert table.stats.reads_since_evaluation(reused) == 0
+    assert table.position_of(reused) == 0
+    assert table.user_of(reused) == 3
+    assert table.slot_of(2, 1) == second
+    table.check_integrity()
+
+
+def test_check_integrity_detects_corruption():
+    table = ReplicaTable(positions=2, counter_slots=4, counter_period=10.0)
+    slot = table.allocate(1, 0)
+    table.allocate(2, 1)
+    table._server[slot] = 1  # corrupt: chained under position 0, claims 1
+    with pytest.raises(StorageError):
+        table.check_integrity()
+
+
+def test_detach_keeps_statistics_until_release():
+    table = ReplicaTable(positions=2, counter_slots=4, counter_period=10.0)
+    slot = table.allocate(1, 0)
+    table.stats.record_read(slot, origin=3, timestamp=1.0)
+    table.detach(slot)
+    assert table.stats.total_reads(slot) == 1.0  # still readable
+    target = table.allocate(1, 1)
+    table.stats.move_slot(slot, target)
+    table.release(slot)
+    assert table.stats.reads_from(target, 3) == 1.0
+    assert table.user_positions(1) == (1,)
+    table.check_integrity()
+
+
+def test_pick_least_loaded_matches_min_semantics():
+    loads = [3, 1, 1, 5]
+    assert pick_least_loaded(loads) == 1  # ties break on the lower position
+    assert pick_least_loaded(loads, down={1}) == 2
+    caps = [4, 2, 8, 8]
+    # Utilisation keys: 3/4, 1/2, 1/8, 5/8 -> position 2.
+    assert pick_least_loaded(loads, capacities=caps) == 2
+    assert pick_least_loaded([2, 2], capacities=[2, 2], skip_full=True) is None
+    assert pick_least_loaded([0, 0], down={0, 1}) is None
+
+
+# ---------------------------------------------------------------------------
+# StatsTable windows == AccessStatistics windows, op for op
+# ---------------------------------------------------------------------------
+def test_stats_table_matches_access_statistics_under_random_ops():
+    rng = random.Random(42)
+    stats_table = StatsTable(slots=4, period=10.0)
+    table_slots = 3
+    for _ in range(table_slots):
+        stats_table.append_slot()
+    objects = [AccessStatistics(slots=4, period=10.0) for _ in range(table_slots)]
+
+    clock = 0.0
+    for _ in range(3000):
+        clock += rng.random() * 7.0
+        slot = rng.randrange(table_slots)
+        op = rng.random()
+        if op < 0.6:
+            origin = rng.randrange(5)
+            stats_table.record_read(slot, origin, clock)
+            objects[slot].record_read(origin, clock)
+        elif op < 0.8:
+            stats_table.record_write(slot, clock)
+            objects[slot].record_write(clock)
+        elif op < 0.95:
+            stats_table.advance_slot(slot, clock)
+            objects[slot].advance(clock)
+        else:
+            stats_table.advance_pool(clock)
+            for obj in objects:
+                obj.advance(clock)
+        assert stats_table.reads_by_origin(slot) == objects[slot].reads_by_origin()
+        assert stats_table.total_reads(slot) == objects[slot].total_reads()
+        assert stats_table.total_writes(slot) == objects[slot].total_writes()
+    for slot in range(table_slots):
+        exported = stats_table.export(slot)
+        assert exported.reads_by_origin() == objects[slot].reads_by_origin()
+        assert exported.total_writes() == objects[slot].total_writes()
+
+
+def test_stats_adopt_round_trips_an_object():
+    stats = AccessStatistics(slots=4, period=10.0)
+    stats.record_read(2, 3.0)
+    stats.record_read(5, 7.0, amount=2.0)
+    stats.record_write(4.0)
+    stats_table = StatsTable(slots=4, period=10.0)
+    stats_table.append_slot()
+    stats_table.adopt(0, stats)
+    assert stats_table.reads_by_origin(0) == stats.reads_by_origin()
+    assert stats_table.total_writes(0) == stats.total_writes()
+    assert stats_table.reads_since_evaluation(0) == stats.reads_since_last_evaluation()
+
+
+# ---------------------------------------------------------------------------
+# Crash -> evacuate -> restore counter consistency (O(1) counters regression)
+# ---------------------------------------------------------------------------
+def _recounted_state(strategy):
+    """Recount occupancy from the authoritative replica locations."""
+    locations = strategy.replica_locations()
+    total = sum(len(devices) for devices in locations.values())
+    per_position = [0] * len(strategy.servers)
+    for devices in locations.values():
+        for device in devices:
+            per_position[strategy._position_of_device[device]] += 1
+    return total, per_position
+
+
+def assert_counters_consistent(strategy):
+    table = strategy.tables
+    total, per_position = _recounted_state(strategy)
+    assert strategy.memory_in_use() == total
+    assert table.active_count == total
+    assert list(table.used) == per_position
+    utilisations = strategy.server_utilisations()
+    for position, used in enumerate(per_position):
+        capacity = table.capacities[position]
+        expected = (used / capacity) if capacity else (1.0 if used else 0.0)
+        assert utilisations[position] == pytest.approx(expected)
+    table.check_integrity()
+
+
+def test_crash_evacuate_restore_leaves_counters_consistent():
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=150)
+    stream = parity_stream(graph, days=0.2)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=SimulationConfig(extra_memory_pct=80.0, seed=7)
+    )
+    simulator.prepare()
+    simulator.run(stream)
+    assert_counters_consistent(strategy)
+
+    crashed = simulator.available_server_positions()[2]
+    simulator.crash_server(crashed, now=1_000_000.0)
+    assert strategy.servers[crashed].capacity == 0
+    assert strategy.tables.used[crashed] == 0
+    assert_counters_consistent(strategy)
+
+    # Traffic while degraded, then the server rejoins empty.
+    for index, user in enumerate(list(graph.users)[:40]):
+        strategy.execute_read(user, now=1_000_100.0 + index)
+        strategy.execute_write(user, now=1_000_100.5 + index)
+    assert_counters_consistent(strategy)
+
+    simulator.restore_server(crashed, now=1_100_000.0)
+    assert strategy.servers[crashed].capacity > 0
+    assert strategy.tables.used[crashed] == 0
+    for index, user in enumerate(list(graph.users)[:40]):
+        strategy.execute_read(user, now=1_100_100.0 + index)
+    strategy.on_tick(1_200_000.0)
+    assert_counters_consistent(strategy)
+    assert simulator._count_unavailable_views() == 0
+
+
+def test_spar_crash_counters_consistent():
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=150)
+    strategy = build_strategy("spar", 7)
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=SimulationConfig(extra_memory_pct=80.0, seed=7)
+    )
+    simulator.prepare()
+    table = strategy.tables
+    before = table.active_count
+    assert strategy.memory_in_use() == before
+
+    crashed = simulator.available_server_positions()[0]
+    simulator.crash_server(crashed, now=10.0)
+    assert table.used[crashed] == 0
+    locations = strategy.replica_locations()
+    assert sum(len(d) for d in locations.values()) == table.active_count
+    assert all(devices for devices in locations.values())
+    table.check_integrity()
+    simulator.restore_server(crashed, now=20.0)
+    table.check_integrity()
