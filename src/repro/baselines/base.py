@@ -7,12 +7,25 @@ is driven by the same trace-driven simulator.  This module defines the
 interface and a base class implementing the common execution logic of the
 static baselines (fixed single-replica placement, proxies on the broker of
 the rack hosting the view).
+
+Request execution is **batch-first**: the simulator segments event streams
+into runs of requests (reads and writes, bounded by graph mutations, faults
+and maintenance ticks) and hands whole runs to
+:meth:`PlacementStrategy.execute_request_batch`; pure runs can also be
+dispatched through :meth:`~PlacementStrategy.execute_read_batch` /
+:meth:`~PlacementStrategy.execute_write_batch`.  The base class implements
+all three as per-event loops over the scalar entry points, so every
+strategy — including user subclasses and the frozen legacy twins — is
+batch-dispatchable by construction; strategies with columnar state override
+``execute_request_batch`` with a fused kernel that produces byte-identical
+results (the static kernel below, the SPAR kernel, the DynaSoRe kernel).
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 from ..exceptions import SimulationError
 from ..persistence.recovery import RecoveryPlan
@@ -22,6 +35,11 @@ from ..store.tables import pick_least_loaded
 from ..topology.base import ClusterTopology
 from ..traffic.accounting import TrafficAccountant
 from ..traffic.messages import MessageKind
+from ..workload.stream import KIND_READ, KIND_WRITE
+
+#: One-byte kind columns the pure-run wrappers tile to the run length.
+_READ_KINDS = bytes([KIND_READ])
+_WRITE_KINDS = bytes([KIND_WRITE])
 
 
 class PlacementStrategy(ABC):
@@ -78,6 +96,43 @@ class PlacementStrategy(ABC):
     @abstractmethod
     def execute_write(self, user: int, now: float) -> None:
         """Execute a write request: update every replica of ``user``'s view."""
+
+    def execute_request_batch(
+        self,
+        kinds: Sequence[int],
+        users: Sequence[int],
+        timestamps: Sequence[float],
+    ) -> None:
+        """Execute a time-ordered run of read/write requests.
+
+        ``kinds`` holds one :data:`~repro.workload.stream.KIND_READ` /
+        :data:`~repro.workload.stream.KIND_WRITE` code per event (the
+        simulator passes a chunk's kind column as ``bytes``).  The default
+        loops over the scalar entry points, so batch dispatch is
+        semantically identical to per-event dispatch for every strategy.
+        Columnar strategies override this with a fused kernel that hoists
+        state lookups out of the loop and aggregates traffic accounting —
+        still byte-identical, just faster.
+        """
+        execute_read = self.execute_read
+        execute_write = self.execute_write
+        for kind, user, now in zip(kinds, users, timestamps):
+            if kind == KIND_READ:
+                execute_read(user, now)
+            else:
+                execute_write(user, now)
+
+    def execute_read_batch(
+        self, users: Sequence[int], timestamps: Sequence[float]
+    ) -> None:
+        """Execute a time-ordered run of read requests (one-kind batch)."""
+        self.execute_request_batch(_READ_KINDS * len(users), users, timestamps)
+
+    def execute_write_batch(
+        self, users: Sequence[int], timestamps: Sequence[float]
+    ) -> None:
+        """Execute a time-ordered run of write requests (one-kind batch)."""
+        self.execute_request_batch(_WRITE_KINDS * len(users), users, timestamps)
 
     def on_tick(self, now: float) -> None:
         """Periodic maintenance hook (counter rotation, thresholds, eviction)."""
@@ -191,6 +246,12 @@ class StaticPlacementStrategy(PlacementStrategy):
         self._load: list[int] = []
         #: server positions currently out of service
         self._down_positions: set[int] = set()
+        #: per-position leaf device / proxy broker columns (batch kernels)
+        self._device_of_position: list[int] = []
+        self._broker_of_position: list[int] = []
+        #: run-local roundtrip aggregators of the batch kernels
+        self._read_run = None
+        self._write_run = None
 
     # ----------------------------------------------------------- assignment
     @abstractmethod
@@ -210,6 +271,19 @@ class StaticPlacementStrategy(PlacementStrategy):
         for position in self._assignment.values():
             if 0 <= position < servers:
                 self._load[position] += 1
+        # Per-position resolution columns and roundtrip aggregators of the
+        # batch kernels (pure functions of the bound topology/accountant).
+        self._device_of_position = [server.index for server in self.topology.servers]
+        self._broker_of_position = [
+            self.topology.proxy_broker_for_server(device)
+            for device in self._device_of_position
+        ]
+        self._read_run = self.accountant.roundtrip_run(
+            MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE
+        )
+        self._write_run = self.accountant.roundtrip_run(
+            MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK
+        )
 
     def assignment(self) -> dict[int, int]:
         """Copy of the user → server-position assignment."""
@@ -307,6 +381,71 @@ class StaticPlacementStrategy(PlacementStrategy):
         self.accountant.record_roundtrip(
             broker, server, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
         )
+
+    # ------------------------------------------------------- batch kernel
+    def execute_request_batch(
+        self,
+        kinds: Sequence[int],
+        users: Sequence[int],
+        timestamps: Sequence[float],
+    ) -> None:
+        """Fused flat-array request kernel of the static baselines.
+
+        One pass over the run with every lookup hoisted: assignments come
+        straight from the flat assignment/load columns (lazy placement in
+        event order, exactly like the scalar path) and read/write
+        roundtrips aggregate into ``(broker, server)`` counts applied once
+        per distinct path and time bucket.
+        """
+        if self._read_run is None:
+            super().execute_request_batch(kinds, users, timestamps)
+            return
+        self.require_bound()
+        graph = self.graph
+        has_user = graph.has_user
+        following = graph.following
+        assignment = self._assignment
+        load = self._load
+        device_of = self._device_of_position
+        broker_of = self._broker_of_position
+        least_loaded = self._least_loaded_position
+        read_run = self._read_run
+        write_run = self._write_run
+        read_counts_for = read_run.counts_for
+        write_counts_for = write_run.counts_for
+        stride = read_run.stride
+        for kind, user, now in zip(kinds, users, timestamps):
+            if kind == KIND_READ:
+                if not has_user(user):
+                    continue
+                position = assignment.get(user)
+                if position is None:
+                    position = least_loaded()
+                    assignment[user] = position
+                    load[position] += 1
+                base = broker_of[position] * stride
+                counts = read_counts_for(now)
+                for target in following(user):
+                    target_position = assignment.get(target)
+                    if target_position is None:
+                        target_position = least_loaded()
+                        assignment[target] = target_position
+                        load[target_position] += 1
+                    key = base + device_of[target_position]
+                    count = counts.get(key)
+                    counts[key] = 1 if count is None else count + 1
+            else:
+                position = assignment.get(user)
+                if position is None:
+                    position = least_loaded()
+                    assignment[user] = position
+                    load[position] += 1
+                key = broker_of[position] * stride + device_of[position]
+                counts = write_counts_for(now)
+                count = counts.get(key)
+                counts[key] = 1 if count is None else count + 1
+        read_run.flush()
+        write_run.flush()
 
     # -------------------------------------------------------- introspection
     def replica_locations(self) -> dict[int, set[int]]:

@@ -31,10 +31,14 @@ every replica of the written view.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+from ..core.routing import RoutingService
 from ..exceptions import SimulationError
 from ..persistence.recovery import RecoveryPlan
-from ..store.tables import ReplicaTable, pick_least_loaded
+from ..store.tables import NO_SLOT, ReplicaTable, pick_least_loaded
 from ..traffic.messages import MessageKind
+from ..workload.stream import KIND_READ
 from .base import PlacementStrategy
 
 
@@ -52,6 +56,15 @@ class SparPlacement(PlacementStrategy):
         self.tables: ReplicaTable | None = None
         #: server positions currently out of service
         self._down_positions: set[int] = set()
+        #: batch-kernel state: per-position resolution columns, the shared
+        #: routing service, run-local aggregators and the closest-replica
+        #: memo (broker -> target -> device), cleared on placement changes
+        self._device_of_position: list[int] = []
+        self._broker_of_position: list[int] = []
+        self.routing: RoutingService | None = None
+        self._read_run = None
+        self._write_run = None
+        self._route_memo: dict[int, dict[int, int]] = {}
 
     # ------------------------------------------------------------- placement
     def build_initial_placement(self) -> None:
@@ -66,6 +79,19 @@ class SparPlacement(PlacementStrategy):
             table.set_capacity(position, capacity)
         self.tables = table
         self._master = {}
+        self._device_of_position = [server.index for server in self.topology.servers]
+        self._broker_of_position = [
+            self.topology.proxy_broker_for_server(device)
+            for device in self._device_of_position
+        ]
+        self.routing = RoutingService(self.topology)
+        self._read_run = self.accountant.roundtrip_run(
+            MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE
+        )
+        self._write_run = self.accountant.roundtrip_run(
+            MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK
+        )
+        self._route_memo = {}
 
         # One master replica per user, least-loaded server first.
         for user in self.graph.users:
@@ -78,6 +104,16 @@ class SparPlacement(PlacementStrategy):
         for follower, followee in edges:
             self._co_locate(follower, followee)
 
+    def _clear_route_memo(self) -> None:
+        """Drop every memoised closest-replica answer (placement changed).
+
+        The per-broker dicts are cleared in place so a running batch kernel
+        that hoisted one keeps observing the (now empty, then repopulating)
+        live memo.
+        """
+        for memo in self._route_memo.values():
+            memo.clear()
+
     def _place_master(self, user: int) -> int:
         """Create the master replica of a user on the least-loaded server."""
         table = self.tables
@@ -86,6 +122,7 @@ class SparPlacement(PlacementStrategy):
             raise SimulationError("no storage server is available")
         self._master[user] = position
         table.allocate(user, position)
+        self._clear_route_memo()
         return position
 
     def _co_locate(self, follower: int, followee: int) -> bool:
@@ -107,6 +144,7 @@ class SparPlacement(PlacementStrategy):
         if table.used[target] >= table.capacities[target]:
             return False
         table.allocate(followee, target)
+        self._clear_route_memo()
         return True
 
     # ------------------------------------------------------------- execution
@@ -151,6 +189,90 @@ class SparPlacement(PlacementStrategy):
             self.accountant.record_roundtrip(
                 broker, server, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
             )
+
+    # ------------------------------------------------------- batch kernel
+    def execute_request_batch(
+        self,
+        kinds: Sequence[int],
+        users: Sequence[int],
+        timestamps: Sequence[float],
+    ) -> None:
+        """Fused SPAR request kernel over the flat replica chains.
+
+        Closest-replica answers are memoised per ``(broker, target)`` —
+        SPAR's placement only changes on graph/fault events, which bound
+        runs and clear the memo in place — and read/write roundtrips
+        aggregate per distinct ``(broker, server)`` path and time bucket.
+        """
+        if self._read_run is None:
+            super().execute_request_batch(kinds, users, timestamps)
+            return
+        self.require_bound()
+        graph = self.graph
+        has_user = graph.has_user
+        following = graph.following
+        master = self._master
+        table = self.tables
+        user_head = table._user_head
+        user_next = table._user_next
+        server_column = table._server
+        device_of = self._device_of_position
+        broker_of = self._broker_of_position
+        route_memo = self._route_memo
+        batch_resolver = self.routing.batch_resolver
+        read_run = self._read_run
+        write_run = self._write_run
+        read_counts_for = read_run.counts_for
+        write_counts_for = write_run.counts_for
+        stride = read_run.stride
+        for kind, user, now in zip(kinds, users, timestamps):
+            if kind == KIND_READ:
+                if not has_user(user):
+                    continue
+                master_position = master.get(user)
+                if master_position is None:
+                    master_position = self._place_master(user)
+                broker = broker_of[master_position]
+                memo = route_memo.get(broker)
+                if memo is None:
+                    memo = route_memo[broker] = {}
+                base = broker * stride
+                counts = read_counts_for(now)
+                resolve = None
+                for target in following(user):
+                    device = memo.get(target)
+                    if device is None:
+                        if target not in master:
+                            self._place_master(target)
+                        slot = user_head[target]
+                        if user_next[slot] == NO_SLOT:
+                            device = device_of[server_column[slot]]
+                        else:
+                            if resolve is None:
+                                resolve = batch_resolver(broker)
+                            devices = []
+                            while slot != NO_SLOT:
+                                devices.append(device_of[server_column[slot]])
+                                slot = user_next[slot]
+                            device = resolve(devices)
+                        memo[target] = device
+                    key = base + device
+                    count = counts.get(key)
+                    counts[key] = 1 if count is None else count + 1
+            else:
+                master_position = master.get(user)
+                if master_position is None:
+                    master_position = self._place_master(user)
+                base = broker_of[master_position] * stride
+                counts = write_counts_for(now)
+                slot = user_head[user]
+                while slot != NO_SLOT:
+                    key = base + device_of[server_column[slot]]
+                    count = counts.get(key)
+                    counts[key] = 1 if count is None else count + 1
+                    slot = user_next[slot]
+        read_run.flush()
+        write_run.flush()
 
     # --------------------------------------------------------- graph changes
     def on_edge_added(self, follower: int, followee: int, now: float) -> None:
@@ -207,11 +329,13 @@ class SparPlacement(PlacementStrategy):
             self.accountant.record(
                 source, target_device, MessageKind.REPLICA_COPY, now
             )
+        self._clear_route_memo()
         return plan
 
     def on_server_up(self, position: int, now: float) -> None:
         """The server rejoins empty; co-location refills it as edges arrive."""
         self._begin_server_up(position, self._down_positions)
+        self._clear_route_memo()
 
     # ----------------------------------------------------------- introspection
     def replica_locations(self) -> dict[int, set[int]]:

@@ -162,6 +162,14 @@ class SimulationConfig:
     measure_from: float = 0.0
     #: Seed for every random decision taken during the simulation.
     seed: int = 7
+    #: Replay event streams through the chunk-native batched dispatch path
+    #: (homogeneous read/write runs handed to the strategy's batch kernels).
+    #: Batched and per-event replay produce byte-identical results; the
+    #: simulator automatically falls back to the per-event loop whenever
+    #: per-event observation is required (post-request hooks, tracked
+    #: views).  ``False`` forces the per-event loop — the reference path of
+    #: the parity tests and the batching benchmark.
+    batch_replay: bool = True
 
     def __post_init__(self) -> None:
         if self.extra_memory_pct < 0:

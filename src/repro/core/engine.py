@@ -55,11 +55,17 @@ from ..store.tables import (
 from ..store.view import INFINITE_UTILITY
 from ..topology.base import ClusterTopology
 from ..traffic.messages import MessageKind
+from ..workload.stream import KIND_READ
 from .migration import MigrationAction, evaluate_replica_migration
 from .proxies import ProxyDirectory, optimal_proxy_broker
 from .replication import EvaluationMemo, evaluate_replica_creation
 from .routing import RoutingService
-from .utility import estimate_profit, estimate_profit_values
+from .utility import (
+    build_pricing,
+    estimate_profit,
+    estimate_profit_values,
+    priced_profit,
+)
 
 #: Signature of an initial-placement function: (graph, topology, seed) -> {user: server position}.
 InitialAssignment = Callable[[SocialGraph, ClusterTopology, int], dict[int, int]]
@@ -212,6 +218,38 @@ class DynaSoRe(PlacementStrategy):
         self._stats_scratch: StatsHandle | None = None
         #: reusable replica view for Algorithm 2/3 evaluations
         self._replica_scratch: _ScratchReplica | None = None
+        #: recycled scratch containers of the fused (batch-path) decision
+        #: kernel — Algorithms 2 and 3 run once per evaluated read, and
+        #: reusing these avoids per-evaluation allocations
+        self._eval_candidates: list[tuple[int, int, int]] = []
+        self._eval_triples: list = []
+        self._eval_triples_migration: list = []
+        self._eval_profits: dict[int, float] = {}
+        self._eval_profits_migration: dict[int, float] = {}
+        #: batch-kernel state: closest-replica memo (broker -> target ->
+        #: (slot, position, device)), cleared in place on every placement
+        #: change; origin memo (broker -> device -> origin label), a pure
+        #: topology function, never cleared; run-local traffic aggregators
+        self._route_memo: dict[int, dict[int, tuple[int, int, int]]] = {}
+        self._origin_memo: dict[int, dict[int, int]] = {}
+        self._read_run = None
+        self._write_run = None
+        #: execution epoch: bumped on every placement or graph change, it
+        #: versions the proxy-stay memos below.  A read/write whose proxy
+        #: decision came out "stay" records ``epoch * stride + broker``;
+        #: while that code still matches, re-executions skip the transfer
+        #: aggregation and the proxy-placement search entirely (the search
+        #: is a pure function of placement + graph state, so the skipped
+        #: computation could only conclude "stay" again).
+        self._exec_epoch = 0
+        self._read_stay: dict[int, int] = {}
+        self._write_stay: dict[int, int] = {}
+        #: per-slot candidate memo of the decision kernel: slot ->
+        #: (origins dict object, epoch, candidates tuple).  The candidate
+        #: list is a pure function of the origin *keys* (the dict object is
+        #: rebuilt whenever they change) and of placement occupancy (the
+        #: epoch); while both match, the ranked-server scan is skipped.
+        self._candidate_memo: dict[int, tuple] = {}
         self.counters = EngineCounters()
 
     # =====================================================================
@@ -262,6 +300,18 @@ class DynaSoRe(PlacementStrategy):
             table.allocate(user, position, write_proxy_broker=broker)
             self.proxies.place_both(user, broker)
         self._origin_rank_cache.clear()
+        self._route_memo = {}
+        self._origin_memo = {}
+        self._exec_epoch = 0
+        self._read_stay = {}
+        self._write_stay = {}
+        self._candidate_memo = {}
+        self._read_run = self.accountant.roundtrip_run(
+            MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE
+        )
+        self._write_run = self.accountant.roundtrip_run(
+            MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK
+        )
 
     def _build_switch_index(self) -> None:
         """Pre-compute the storage-server positions under every switch."""
@@ -289,10 +339,18 @@ class DynaSoRe(PlacementStrategy):
         self._origins_above = [tuple(origins) for origins in above]
 
     def _invalidate_ranks(self, position: int) -> None:
-        """Drop the cached rankings of every origin covering ``position``."""
+        """Drop the cached rankings of every origin covering ``position``.
+
+        Every placement change funnels through here (or through the fault
+        handlers), so it also clears the batch kernels' closest-replica
+        memo — the memo answers are only valid between placement changes.
+        """
         cache = self._origin_rank_cache
         for origin in self._origins_above[position]:
             cache.pop(origin, None)
+        for memo in self._route_memo.values():
+            memo.clear()
+        self._exec_epoch += 1
 
     def _require_tables(self) -> ReplicaTable:
         if self.tables is None:
@@ -520,6 +578,385 @@ class DynaSoRe(PlacementStrategy):
                 self.counters.write_proxy_migrations += 1
 
     # =====================================================================
+    # Batch kernel (chunk-native request execution)
+    # =====================================================================
+    def execute_request_batch(self, kinds, users, timestamps) -> None:
+        """Fused request kernel over the replica and statistics columns.
+
+        Executes a time-ordered run of reads and writes with byte-identical
+        semantics to the per-event :meth:`execute_read` /
+        :meth:`execute_write` pair, replacing their per-event costs with
+        run-level state:
+
+        * closest-replica resolutions are memoised per ``(broker, target)``
+          in :attr:`_route_memo`; every placement change clears the memo in
+          place (see :meth:`_invalidate_ranks`), so decisions triggered
+          mid-run observe exactly the state a per-event resolution would;
+        * origin labels (a pure topology function of ``(device, broker)``)
+          are memoised permanently;
+        * request/response roundtrips aggregate into per-path counts
+          applied with one multiplied accountant update per distinct path
+          and time bucket (warm-up messages only bump the message counter);
+        * statistics recording is inlined on the counter-node columns.
+
+        Replication checks (Algorithm 2/3 via :meth:`_consider_replication`)
+        still fire per recorded read — the decision sequence is semantics,
+        not overhead — and rare protocol messages (proxy migrations,
+        replica control/copy, routing updates) are recorded directly.
+        """
+        read_run = self._read_run
+        if read_run is None:
+            # Not deployed through build_initial_placement (defensive).
+            super().execute_request_batch(kinds, users, timestamps)
+            return
+        self.require_bound()
+        topology = self.topology
+        graph = self.graph
+        has_user = graph.has_user
+        following = graph.following
+        table = self.tables
+        stats = table.stats
+        config = self.config
+        check_interval = config.replication_check_interval
+        proxy_migration = config.enable_proxy_migration
+        accountant = self.accountant
+        write_run = self._write_run
+        read_counts_for = read_run.counts_for
+        write_counts_for = write_run.counts_for
+        stride = read_run.stride
+        read_proxy = self.proxies.read_proxy
+        write_proxy = self.proxies.write_proxy
+        device_of_position = self._device_of_position
+        distance_row = topology.distance_row
+        origin_of = topology.origin_of
+        proxy_broker_for_server = topology.proxy_broker_for_server
+        route_memo = self._route_memo
+        origin_memo = self._origin_memo
+        ensure_user = self._ensure_user
+        decide_with_candidates = self._decide_with_candidates
+        counters = self.counters
+        enable_view_migration = config.enable_view_migration
+        least_loaded_server_under = self.least_loaded_server_under
+        remove_replica = self._remove_replica
+        reads_by_origin = stats.reads_by_origin
+        eval_candidates = self._eval_candidates
+        candidate_memo = self._candidate_memo
+        origin_rank_cache = self._origin_rank_cache
+        down_positions = self._down_positions
+        user_head = table._user_head
+        user_next = table._user_next
+        server_column = table._server
+        next_closest_column = table._next_closest
+        write_proxy_column = table._write_proxy
+        read_head = stats._read_head
+        write_node = stats._write_node
+        node_next = stats._node_next
+        node_origin = stats._node_origin
+        node_period = stats._node_period
+        node_total = stats._node_total
+        node_buckets = stats._node_buckets
+        counter_slots = stats.slots
+        counter_period = stats.period
+        origins_cache = stats._origins_cache
+        reads_since_eval = stats._reads_since_eval
+        alloc_node = stats._alloc_node
+        advance_node = stats._advance_node
+        read_stay = self._read_stay
+        write_stay = self._write_stay
+        #: scratch: serving devices of the current read, in target order
+        #: (the transfers dict is only materialised when the proxy search
+        #: actually runs — on stay-memo hits it never is)
+        transfer_devices: list[int] = []
+        #: scratch: slots of the current write's replica chain (collected
+        #: only while its proxy search may run)
+        write_slots_scratch: list[int] = []
+        KIND_READ_ = KIND_READ
+
+        for kind, user, now in zip(kinds, users, timestamps):
+            if kind == KIND_READ_:
+                # ---------------------------------------------- read event
+                if not has_user(user):
+                    continue
+                if user not in user_head:
+                    ensure_user(user)
+                broker = read_proxy.get(user)
+                if broker is None:
+                    first_position = server_column[user_head[user]]
+                    broker = proxy_broker_for_server(
+                        device_of_position[first_position]
+                    )
+                    read_proxy[user] = broker
+                memo = route_memo.get(broker)
+                if memo is None:
+                    memo = route_memo[broker] = {}
+                origins = origin_memo.get(broker)
+                if origins is None:
+                    origins = origin_memo[broker] = {}
+                base = broker * stride
+                counts = read_counts_for(now)
+                period_index = int(now // counter_period)
+                if proxy_migration:
+                    # Proxy-stay memo: when this user's last proxy search
+                    # concluded "stay" and the epoch still matches at the
+                    # end of the read, the search is provably "stay" again
+                    # (same placement + same fan-out => same transfers)
+                    # and is skipped.  Serving devices are still collected
+                    # (a replication decision can mutate placement
+                    # mid-read, in which case the search must run on the
+                    # actual multiset exactly like the per-event path),
+                    # but only into a flat scratch list — the transfers
+                    # dict is materialised only when the search runs.
+                    stay_code = self._exec_epoch * stride + broker
+                    known_stay = read_stay.get(user) == stay_code
+                    transfer_devices.clear()
+                    collect_transfers = True
+                else:
+                    stay_code = 0
+                    known_stay = False
+                    collect_transfers = False
+                for target in following(user):
+                    entry = memo.get(target)
+                    if entry is None:
+                        slot = user_head.get(target, NO_SLOT)
+                        if slot == NO_SLOT:
+                            ensure_user(target)
+                            slot = user_head[target]
+                        if user_next[slot] == NO_SLOT:
+                            position = server_column[slot]
+                        else:
+                            # Replicated view: closest replica to the
+                            # broker, ties on the device index (the
+                            # routing policy).
+                            distances = distance_row(broker)
+                            best_distance = best_device = float("inf")
+                            position = -1
+                            walk = slot
+                            while walk != NO_SLOT:
+                                walk_position = server_column[walk]
+                                device = device_of_position[walk_position]
+                                distance = distances[device]
+                                if distance < best_distance or (
+                                    distance == best_distance
+                                    and device < best_device
+                                ):
+                                    best_distance = distance
+                                    best_device = device
+                                    slot_found = walk
+                                    position = walk_position
+                                walk = user_next[walk]
+                            slot = slot_found
+                        device = device_of_position[position]
+                        memo[target] = (slot, position, device)
+                    else:
+                        slot, position, device = entry
+                    key = base + device
+                    count = counts.get(key)
+                    counts[key] = 1 if count is None else count + 1
+                    if collect_transfers:
+                        transfer_devices.append(device)
+                    origin = origins.get(device)
+                    if origin is None:
+                        origin = origins[device] = origin_of(device, broker)
+                    # Inlined ``StatsTable.record_read`` on the node columns.
+                    node = read_head[slot]
+                    last = NO_SLOT
+                    while node != NO_SLOT and node_origin[node] != origin:
+                        last = node
+                        node = node_next[node]
+                    if node == NO_SLOT:
+                        node = alloc_node(origin, period_index)
+                        if last == NO_SLOT:
+                            read_head[slot] = node
+                        else:
+                            node_next[last] = node
+                    elif period_index > node_period[node]:
+                        advance_node(node, period_index)
+                    node_buckets[
+                        node * counter_slots + node_period[node] % counter_slots
+                    ] += 1.0
+                    total = node_total[node] + 1.0
+                    node_total[node] = total
+                    cached = origins_cache.get(slot)
+                    if cached is not None:
+                        if origin in cached:
+                            cached[origin] = total
+                        else:
+                            del origins_cache[slot]
+                    evals = reads_since_eval[slot] + 1
+                    if evals >= check_interval:
+                        reads_since_eval[slot] = 0
+                        # Inlined candidate resolution of Algorithms 2+3.
+                        # The common steady-state case — no origin offers a
+                        # placement candidate because the view already sits
+                        # where its readers are — short-circuits: creation
+                        # is impossible and migration reduces to the
+                        # stay-or-remove check, which for a sole replica is
+                        # unconditionally "stay" (the discarded profit is
+                        # never computed).  With candidates, the fused
+                        # decision method prices the prebuilt list.
+                        origins_d = origins_cache.get(slot)
+                        if origins_d is None:
+                            origins_d = reads_by_origin(slot)
+                        epoch = self._exec_epoch
+                        memo_entry = candidate_memo.get(slot)
+                        if (
+                            memo_entry is not None
+                            and memo_entry[0] is origins_d
+                            and memo_entry[1] == epoch
+                        ):
+                            candidates = memo_entry[2]
+                        else:
+                            eval_candidates.clear()
+                            for read_origin in origins_d:
+                                # Inlined rank-cache hit path of
+                                # ``least_loaded_server_under``.
+                                ranked = origin_rank_cache.get(read_origin)
+                                if ranked is None:
+                                    found = least_loaded_server_under(
+                                        read_origin, target
+                                    )
+                                else:
+                                    found = None
+                                    for ranked_position in ranked:
+                                        if ranked_position in down_positions:
+                                            continue
+                                        chain = user_head[target]
+                                        while (
+                                            chain != NO_SLOT
+                                            and server_column[chain]
+                                            != ranked_position
+                                        ):
+                                            chain = user_next[chain]
+                                        if chain == NO_SLOT:
+                                            found = ranked_position
+                                            break
+                                if found is None:
+                                    continue
+                                found_device = device_of_position[found]
+                                if found_device != device:
+                                    eval_candidates.append(
+                                        (read_origin, found, found_device)
+                                    )
+                            candidates = tuple(eval_candidates)
+                            candidate_memo[slot] = (origins_d, epoch, candidates)
+                        if candidates:
+                            decide_with_candidates(
+                                slot, position, now, target, origins_d, candidates
+                            )
+                        elif enable_view_migration:
+                            next_closest = next_closest_column[slot]
+                            if next_closest != NO_SLOT:
+                                # Zero-write fast path: the clamp in the
+                                # profit estimate guarantees the read term
+                                # is never negative, so a view with no
+                                # priced write cost can never price below
+                                # zero — the stay-or-remove check is
+                                # "stay" without pricing anything.
+                                stats_node = write_node[slot]
+                                if (
+                                    stats_node != NO_SLOT
+                                    and node_total[stats_node] > 0.0
+                                    and write_proxy.get(target) is not None
+                                ):
+                                    stay_profit = estimate_profit_values(
+                                        topology,
+                                        origins_d,
+                                        node_total[stats_node],
+                                        device,
+                                        next_closest,
+                                        write_proxy.get(target),
+                                    )
+                                    if stay_profit < 0:
+                                        remove_replica(target, position, now)
+                    else:
+                        reads_since_eval[slot] = evals
+                if transfer_devices and (
+                    not known_stay
+                    or self._exec_epoch * stride + broker != stay_code
+                ):
+                    transfers: dict[int, float] = {}
+                    for transfer_device in transfer_devices:
+                        seen = transfers.get(transfer_device)
+                        transfers[transfer_device] = (
+                            1.0 if seen is None else seen + 1.0
+                        )
+                    best = optimal_proxy_broker(topology, transfers, broker)
+                    if best != broker:
+                        accountant.record(
+                            broker, best, MessageKind.PROXY_MIGRATION, now
+                        )
+                        read_proxy[user] = best
+                        counters.read_proxy_migrations += 1
+                    elif self._exec_epoch * stride + broker == stay_code:
+                        # No mid-read placement change: the "stay" answer
+                        # stays valid until the next epoch bump.
+                        read_stay[user] = stay_code
+            else:
+                # --------------------------------------------- write event
+                if user not in user_head:
+                    ensure_user(user)
+                broker = write_proxy.get(user)
+                if broker is None:
+                    first_position = server_column[user_head[user]]
+                    broker = proxy_broker_for_server(
+                        device_of_position[first_position]
+                    )
+                    write_proxy[user] = broker
+                base = broker * stride
+                counts = write_counts_for(now)
+                period_index = int(now // counter_period)
+                if proxy_migration:
+                    stay_code = self._exec_epoch * stride + broker
+                    transfers = None if write_stay.get(user) == stay_code else {}
+                else:
+                    stay_code = 0
+                    transfers = None
+                if transfers is not None:
+                    # Only the (rare) migration branch walks the slots
+                    # again; skip collecting them when it cannot run.
+                    slots = write_slots_scratch
+                    slots.clear()
+                else:
+                    slots = None
+                slot = user_head[user]
+                while slot != NO_SLOT:
+                    device = device_of_position[server_column[slot]]
+                    key = base + device
+                    count = counts.get(key)
+                    counts[key] = 1 if count is None else count + 1
+                    if transfers is not None:
+                        slots.append(slot)
+                        seen = transfers.get(device)
+                        transfers[device] = 1.0 if seen is None else seen + 1.0
+                    # Inlined ``StatsTable.record_write`` on the node columns.
+                    node = write_node[slot]
+                    if node == NO_SLOT:
+                        node = alloc_node(NO_SLOT, 0)
+                        write_node[slot] = node
+                    if period_index > node_period[node]:
+                        advance_node(node, period_index)
+                    node_buckets[
+                        node * counter_slots + node_period[node] % counter_slots
+                    ] += 1.0
+                    node_total[node] += 1.0
+                    slot = user_next[slot]
+                if transfers:
+                    best = optimal_proxy_broker(topology, transfers, broker)
+                    if best != broker:
+                        for slot in slots:
+                            device = device_of_position[server_column[slot]]
+                            accountant.record(
+                                broker, device, MessageKind.PROXY_MIGRATION, now
+                            )
+                            write_proxy_column[slot] = best
+                        write_proxy[user] = best
+                        counters.write_proxy_migrations += 1
+                    elif self._exec_epoch * stride + broker == stay_code:
+                        write_stay[user] = stay_code
+        read_run.flush()
+        write_run.flush()
+
+    # =====================================================================
     # Replication, migration, eviction
     # =====================================================================
     def _consider_replication(self, slot: int, position: int, now: float) -> None:
@@ -605,6 +1042,146 @@ class DynaSoRe(PlacementStrategy):
             )
             if created:
                 self._remove_replica(replica.user, position, now)
+                self.counters.replicas_migrated += 1
+
+    def _decide_with_candidates(
+        self,
+        slot: int,
+        position: int,
+        now: float,
+        user: int,
+        origins: dict[int, float],
+        candidates,
+    ) -> None:
+        """Fused Algorithms 2+3 of the batch kernel (allocation-free).
+
+        Behaviourally identical to :meth:`_consider_replication` — the same
+        pricing arithmetic in the same per-origin order and the same
+        decision application — but running on recycled scratch containers
+        with no closure, memo-object or decision-object allocation per
+        evaluation.  The caller (the request kernel) has already resolved
+        the per-origin ``candidates`` (non-empty, possibly served from the
+        per-slot candidate memo) and handles the no-candidate cases inline;
+        the per-event path keeps the shared :mod:`~repro.core.replication`
+        / :mod:`~repro.core.migration` implementations, which the parity
+        suite holds byte-identical to this kernel.
+        """
+        table = self.tables
+        stats = table.stats
+        topology = self.topology
+        replica_device = self._device_of_position[position]
+        admission_threshold_under = self.admission_threshold_under
+        write_broker = self.proxies.write_proxy.get(user)
+
+        # Algorithm 2: price a new replica against the current server.
+        best_profit = 0.0
+        best_position = None
+        triples = self._eval_triples
+        profits = self._eval_profits
+        profits.clear()
+        nearest, priced_writes, write_distances = build_pricing(
+            topology,
+            origins,
+            stats.total_writes(slot),
+            replica_device,
+            write_broker,
+            triples,
+        )
+        for origin, candidate_position, candidate_device in candidates:
+            profit = profits.get(candidate_device)
+            if profit is None:
+                profit = priced_profit(
+                    topology,
+                    triples,
+                    nearest,
+                    priced_writes,
+                    write_distances,
+                    replica_device,
+                    candidate_device,
+                )
+                profits[candidate_device] = profit
+            threshold = admission_threshold_under(origin)
+            if profit > threshold and profit > best_profit:
+                best_position = candidate_position
+                best_profit = profit
+        if best_position is not None:
+            self._create_replica(
+                user,
+                best_position,
+                now,
+                requesting_position=position,
+                incoming_profit=best_profit,
+            )
+            return
+        if not self.config.enable_view_migration:
+            return
+
+        # Algorithm 3: migrate (or remove) this replica.  A sole replica is
+        # priced against its own server — exactly Algorithm 2's reference,
+        # so its pricing state and per-device profits are reused verbatim.
+        next_closest = table._next_closest[slot]
+        sole = next_closest == NO_SLOT
+        reference = replica_device if sole else next_closest
+        if sole:
+            # Pricing the replica's own server against itself: candidate
+            # and reference costs come from the same row, so the clamped
+            # read terms cancel exactly and only the write cost remains.
+            if write_distances is not None:
+                stay_profit = 0.0 - priced_writes * write_distances[replica_device]
+            else:
+                stay_profit = 0.0
+        else:
+            triples = self._eval_triples_migration
+            profits = self._eval_profits_migration
+            profits.clear()
+            nearest, priced_writes, write_distances = build_pricing(
+                topology,
+                origins,
+                stats.total_writes(slot),
+                reference,
+                write_broker,
+                triples,
+            )
+            stay_profit = priced_profit(
+                topology,
+                triples,
+                nearest,
+                priced_writes,
+                write_distances,
+                reference,
+                replica_device,
+            )
+        best_profit = stay_profit
+        best_position = None
+        for origin, candidate_position, candidate_device in candidates:
+            profit = profits.get(candidate_device)
+            if profit is None:
+                profit = priced_profit(
+                    topology,
+                    triples,
+                    nearest,
+                    priced_writes,
+                    write_distances,
+                    reference,
+                    candidate_device,
+                )
+                profits[candidate_device] = profit
+            threshold = admission_threshold_under(origin)
+            if profit > best_profit and profit > threshold:
+                best_position = candidate_position
+                best_profit = profit
+        if best_profit < 0 and not sole:
+            self._remove_replica(user, position, now)
+        elif best_position is not None and best_profit > stay_profit:
+            created = self._create_replica(
+                user,
+                best_position,
+                now,
+                requesting_position=position,
+                incoming_profit=best_profit,
+            )
+            if created:
+                self._remove_replica(user, position, now)
                 self.counters.replicas_migrated += 1
 
     def _create_replica(
@@ -891,9 +1468,14 @@ class DynaSoRe(PlacementStrategy):
         """New social connection: make sure both users exist in the store."""
         self._ensure_user(follower)
         self._ensure_user(followee)
+        # The follower's read fan-out changed: proxy-stay memos are stale.
+        self._exec_epoch += 1
 
     def on_edge_removed(self, follower: int, followee: int, now: float) -> None:
-        """Removed connection: nothing to do, statistics decay naturally."""
+        """Removed connection: nothing to do, statistics decay naturally —
+        but the follower's read fan-out changed, so proxy-stay memos are
+        stale."""
+        self._exec_epoch += 1
 
     # =====================================================================
     # Server failures and elastic capacity
@@ -978,6 +1560,9 @@ class DynaSoRe(PlacementStrategy):
         table.admission_thresholds[position] = INFINITE_UTILITY
         self._threshold_cache.clear()
         self._origin_rank_cache.clear()
+        for memo in self._route_memo.values():
+            memo.clear()
+        self._exec_epoch += 1
         return plan
 
     def on_server_up(self, position: int, now: float) -> None:
@@ -993,6 +1578,9 @@ class DynaSoRe(PlacementStrategy):
         table.admission_thresholds[position] = 0.0
         self._threshold_cache.clear()
         self._origin_rank_cache.clear()
+        for memo in self._route_memo.values():
+            memo.clear()
+        self._exec_epoch += 1
 
     def _recovery_target(self) -> int:
         """Least-loaded in-service server, preferring ones with free slots.

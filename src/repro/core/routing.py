@@ -60,6 +60,48 @@ class RoutingService:
             if devices
         }
 
+    # ----------------------------------------------------- batch resolution
+    def batch_resolver(self, broker: int):
+        """Closest-replica resolver with the broker's distance row hoisted.
+
+        The batched execution kernels resolve many views against the same
+        broker per run; sharing one distance-row fetch across all of them
+        removes the per-resolution topology hop.  The returned callable
+        reads the **live** distance row, so resolutions interleaved with
+        replication or migration decisions observe exactly the state a
+        per-event resolution at the same point would — batching changes
+        when the row is fetched, never what it contains (rows are immutable
+        per topology).
+        """
+        distances = self.topology.distance_row(broker)
+
+        def resolve(replica_devices) -> int:
+            if not replica_devices:
+                raise RoutingError("view has no replica to route to")
+            best_device = _INFINITY
+            best_distance = _INFINITY
+            for device in replica_devices:
+                distance = distances[device]
+                if distance < best_distance or (
+                    distance == best_distance and device < best_device
+                ):
+                    best_distance = distance
+                    best_device = device
+            return best_device
+
+        return resolve
+
+    def closest_replica_batch(
+        self, broker: int, replica_sets
+    ) -> list[int]:
+        """Resolve many replica sets against one broker in a single pass.
+
+        Equivalent to ``[closest_replica(broker, s) for s in replica_sets]``
+        with the distance row fetched once.
+        """
+        resolve = self.batch_resolver(broker)
+        return [resolve(devices) for devices in replica_sets]
+
     # ------------------------------------------------------------- fan-out
     def affected_brokers(
         self,

@@ -107,6 +107,78 @@ def estimate_profit_values(
     return nearest_read_cost - server_read_cost - server_write_cost
 
 
+def build_pricing(
+    topology: ClusterTopology,
+    reads_by_origin: dict[int, float],
+    writes: float,
+    reference_server: int,
+    write_broker: int | None,
+    triples: list,
+) -> tuple[float, float, list | None]:
+    """Resolve the reference-side pricing state of :func:`profit_estimator`.
+
+    The allocation-free twin of the estimator's setup phase: fills the
+    caller-supplied ``triples`` scratch list with ``(origin, reads,
+    reference_cost)`` rows (``None`` cost marks slow-path origins) and
+    returns ``(nearest_read_cost, priced_writes, write_distances)``.
+    Together with :func:`priced_profit` it computes bit-for-bit the same
+    profits as the closure-based estimator — the batched decision kernel
+    uses the pair to avoid one closure and one list allocation per
+    evaluated read.
+    """
+    triples.clear()
+    nearest_read_cost = 0.0
+    if reads_by_origin:
+        reference_costs = topology.cost_row(reference_server)
+        cost_from_origin = topology.cost_from_origin
+        for origin, reads in reads_by_origin.items():
+            reference_cost = reference_costs[origin]
+            if reference_cost is None:
+                nearest_read_cost += reads * cost_from_origin(origin, reference_server)
+                triples.append((origin, reads, None))
+            else:
+                nearest_read_cost += reads * reference_cost
+                triples.append((origin, reads, reference_cost))
+    priced_writes = writes if write_broker is not None else 0.0
+    write_distances = topology.distance_row(write_broker) if priced_writes else None
+    return nearest_read_cost, priced_writes, write_distances
+
+
+def priced_profit(
+    topology: ClusterTopology,
+    triples: list,
+    nearest_read_cost: float,
+    priced_writes: float,
+    write_distances,
+    reference_server: int,
+    candidate_server: int,
+) -> float:
+    """One candidate evaluation over :func:`build_pricing` state.
+
+    Mirrors the estimator closure of :func:`profit_estimator` exactly,
+    including the deterministic-routing clamp and the per-origin
+    accumulation order, so the computed floats are identical.
+    """
+    server_read_cost = 0.0
+    if triples:
+        candidate_costs = topology.cost_row(candidate_server)
+        cost_from_origin = topology.cost_from_origin
+        for origin, reads, reference_cost in triples:
+            candidate_cost = candidate_costs[origin]
+            if candidate_cost is None or reference_cost is None:
+                candidate_cost = cost_from_origin(origin, candidate_server)
+                reference_cost = cost_from_origin(origin, reference_server)
+            if candidate_cost < reference_cost:
+                server_read_cost += reads * candidate_cost
+            else:
+                server_read_cost += reads * reference_cost
+    if write_distances is not None:
+        server_write_cost = priced_writes * write_distances[candidate_server]
+    else:
+        server_write_cost = 0.0
+    return nearest_read_cost - server_read_cost - server_write_cost
+
+
 def profit_estimator(
     topology: ClusterTopology,
     stats,
@@ -187,8 +259,10 @@ def replica_utility(
 
 
 __all__ = [
+    "build_pricing",
     "estimate_profit",
     "estimate_profit_values",
+    "priced_profit",
     "profit_estimator",
     "replica_utility",
 ]

@@ -17,6 +17,20 @@ Workloads arrive in one of two shapes and replay byte-identically:
   kept as a thin compatibility adapter for hand-built logs and older
   callers, replayed by the original type-dispatched object loop.
 
+Stream replay itself is **batch-first**: each chunk is segmented into
+runs of requests bounded by the next fault and maintenance-tick
+timestamps and by edge-mutation events, and whole runs are dispatched
+through the strategy's ``execute_request_batch`` kernel (run boundaries
+are found at C speed — a timestamp bisect plus byte scans per run).
+Whenever per-event observation is required — post-request hooks (even
+ones registered mid-run by a pre-tick hook), tracked views, or
+``batch_replay=False`` in the config — the simulator replays per event;
+while a persistent store is active, write runs are replayed per event too
+(each write is mirrored into the store in order) but read runs stay
+batched.  Both dispatch shapes drive the identical sequence of
+strategy/store state transitions, so batched and per-event replay produce
+byte-identical results.
+
 On top of the benign replay the simulator hosts the *scenario* layer
 (:mod:`repro.scenarios`): an attached scenario may reshape the workload
 (diurnal load, flash crowds — chunk-level stream transforms) and inject
@@ -36,6 +50,8 @@ let tests and experiments observe a run without subclassing.
 from __future__ import annotations
 
 import math
+import os
+from bisect import bisect_left
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
@@ -55,6 +71,8 @@ from ..workload.stream import (
     KIND_EDGE_REMOVE,
     KIND_READ,
     KIND_WRITE,
+    kind_run_end,
+    request_run_end,
     row_to_request,
 )
 from .clock import SimulationClock
@@ -124,6 +142,12 @@ class ClusterSimulator:
         }
         self._reads_executed = 0
         self._writes_executed = 0
+        #: Opt-in auditing mode: with ``REPRO_CHECK_TABLES=1`` in the
+        #: environment, the placement tables of table-backed strategies are
+        #: integrity-checked after every maintenance tick and fault burst.
+        self._check_tables = os.environ.get(
+            "REPRO_CHECK_TABLES", ""
+        ).strip().lower() not in ("", "0", "false", "no", "off")
 
     # ------------------------------------------------------------------ setup
     def prepare(self) -> None:
@@ -279,7 +303,176 @@ class ClusterSimulator:
     def _replay_stream(
         self, stream: EventStream, clock: SimulationClock
     ) -> tuple[int, float, float]:
-        """The columnar loop: replay chunk columns with no per-event objects.
+        """Replay a stream: batched run dispatch, or per event when needed.
+
+        The batched loop requires that no per-event observer is attached:
+        post-request hooks see one request object per event and tracked
+        views count individual reads, so either forces the per-event loop
+        (as does ``batch_replay=False``).  Both loops drive the identical
+        sequence of strategy, store and hook calls, so they produce
+        byte-identical results.
+        """
+        if (
+            self.config.batch_replay
+            and not self._post_request_hooks
+            and not self._tracked_views
+        ):
+            return self._replay_stream_batched(stream, clock)
+        return self._replay_stream_events(stream, clock)
+
+    def _replay_stream_batched(
+        self, stream: EventStream, clock: SimulationClock
+    ) -> tuple[int, float, float]:
+        """The chunk-native loop: segment chunks into dispatchable runs.
+
+        A run is the longest span of read/write events that reaches neither
+        the next fault/tick timestamp (one bisect on the timestamp column)
+        nor an edge-mutation event (two C-speed byte scans); whole runs go
+        through the strategy's ``execute_request_batch`` kernel, and edge
+        mutations are applied per event — they re-shape the graph the next
+        run executes against.  While a persistent store is active, the
+        chunk is instead segmented into homogeneous kind runs: read runs
+        stay batched (reads never touch the store), write runs are
+        replayed per event so every write is mirrored into the store in
+        order.
+        """
+        strategy = self.strategy
+        execute_read = strategy.execute_read
+        execute_write = strategy.execute_write
+        execute_read_batch = strategy.execute_read_batch
+        execute_request_batch = strategy.execute_request_batch
+        fault_events = self._fault_events
+        next_fault_time = (
+            fault_events[self._next_fault].timestamp
+            if self._next_fault < len(fault_events)
+            else math.inf
+        )
+        next_tick = clock.pending_tick()
+        store = self.persistent_store
+
+        executed = 0
+        reads = 0
+        writes = 0
+        first_time = 0.0
+        last_time = 0.0
+        for chunk in stream.chunks():
+            times = chunk.timestamps
+            n = len(times)
+            if n == 0:
+                continue
+            if executed == 0:
+                first_time = times[0]
+            kinds = chunk.kinds.tobytes()
+            users = chunk.users
+            aux = chunk.aux
+            index = 0
+            while index < n:
+                timestamp = times[index]
+                if timestamp >= next_fault_time:
+                    self._apply_due_faults(clock, timestamp)
+                    next_fault_time = (
+                        fault_events[self._next_fault].timestamp
+                        if self._next_fault < len(fault_events)
+                        else math.inf
+                    )
+                    next_tick = clock.pending_tick()
+                    store = self.persistent_store
+                if timestamp >= next_tick:
+                    self._advance_ticks(clock, timestamp)
+                    next_tick = clock.pending_tick()
+                    store = self.persistent_store
+                kind = kinds[index]
+                post_hooks = self._post_request_hooks
+                if post_hooks:
+                    # A post-request hook appeared mid-run (registered by a
+                    # pre-tick hook): from here on every event is replayed
+                    # with per-event semantics so the hook sees the same
+                    # request objects the per-event loop would deliver.
+                    user = users[index]
+                    other = aux[index]
+                    if kind == KIND_READ:
+                        execute_read(user, timestamp)
+                        reads += 1
+                    elif kind == KIND_WRITE:
+                        execute_write(user, timestamp)
+                        writes += 1
+                        if store is not None:
+                            store.process_write(user, timestamp)
+                    elif kind == KIND_EDGE_ADD:
+                        self._edge_added(timestamp, user, other)
+                    elif kind == KIND_EDGE_REMOVE:
+                        self._edge_removed(timestamp, user, other)
+                    else:  # pragma: no cover - defensive
+                        raise SimulationError(f"unknown event kind {kind}")
+                    request = row_to_request(kind, timestamp, user, other)
+                    for hook in post_hooks:
+                        hook(request)
+                    store = self.persistent_store
+                    index += 1
+                    continue
+                if kind == KIND_READ or kind == KIND_WRITE:
+                    boundary = (
+                        next_fault_time if next_fault_time < next_tick else next_tick
+                    )
+                    end = (
+                        bisect_left(times, boundary, index + 1, n)
+                        if times[n - 1] >= boundary
+                        else n
+                    )
+                    if store is None:
+                        end = request_run_end(kinds, index, end)
+                        if end - index == 1:
+                            if kind == KIND_READ:
+                                execute_read(users[index], timestamp)
+                                reads += 1
+                            else:
+                                execute_write(users[index], timestamp)
+                                writes += 1
+                        else:
+                            execute_request_batch(
+                                kinds[index:end], users[index:end], times[index:end]
+                            )
+                            span = kinds.count(KIND_READ, index, end)
+                            reads += span
+                            writes += end - index - span
+                    else:
+                        end = kind_run_end(kinds, index, end)
+                        if kind == KIND_READ:
+                            if end - index == 1:
+                                execute_read(users[index], timestamp)
+                            else:
+                                execute_read_batch(
+                                    users[index:end], times[index:end]
+                                )
+                            reads += end - index
+                        else:
+                            # Durability path: mirror every write into the
+                            # WAL-backed store in event order.
+                            process_write = store.process_write
+                            for position in range(index, end):
+                                now = times[position]
+                                execute_write(users[position], now)
+                                process_write(users[position], now)
+                            writes += end - index
+                    index = end
+                elif kind == KIND_EDGE_ADD:
+                    self._edge_added(timestamp, users[index], aux[index])
+                    index += 1
+                elif kind == KIND_EDGE_REMOVE:
+                    self._edge_removed(timestamp, users[index], aux[index])
+                    index += 1
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {kind}")
+            executed += n
+            last_time = times[n - 1]
+        self._reads_executed += reads
+        self._writes_executed += writes
+        return executed, first_time, last_time
+
+    def _replay_stream_events(
+        self, stream: EventStream, clock: SimulationClock
+    ) -> tuple[int, float, float]:
+        """The per-event columnar loop (hooks, tracking, reference path).
 
         Maintenance ticks, due faults and tracked-view sampling are guarded
         by inlined timestamp comparisons — the guarded calls are exact
@@ -491,6 +684,7 @@ class ClusterSimulator:
         Maintenance ticks due before a fault fire first, so the ordering of
         ticks, faults and requests follows simulated time exactly.
         """
+        applied = False
         while (
             self._next_fault < len(self._fault_events)
             and self._fault_events[self._next_fault].timestamp <= until
@@ -499,11 +693,32 @@ class ClusterSimulator:
             self._next_fault += 1
             self._advance_ticks(clock, event.timestamp)
             event.apply(self)
+            applied = True
+        if applied and self._check_tables:
+            self._audit_placement_tables()
 
     def _advance_ticks(self, clock: SimulationClock, until: float) -> None:
+        ticked = False
         for tick_time in clock.advance_to(until):
             self._fire_pre_tick(tick_time)
             self.strategy.on_tick(tick_time)
+            ticked = True
+        if ticked and self._check_tables:
+            self._audit_placement_tables()
+
+    def _audit_placement_tables(self) -> None:
+        """Integrity-check the strategy's placement tables (opt-in).
+
+        Enabled by the ``REPRO_CHECK_TABLES`` environment flag; runs the
+        :meth:`~repro.store.tables.ReplicaTable.check_integrity` auditor
+        after maintenance ticks and fault bursts — the two moments bulk
+        state transitions (counter sweeps, evictions, evacuations) could
+        corrupt the chain indexes.  Strategies without a ``tables``
+        attribute (custom or legacy object-path strategies) are skipped.
+        """
+        tables = getattr(self.strategy, "tables", None)
+        if tables is not None and hasattr(tables, "check_integrity"):
+            tables.check_integrity()
 
     def _fire_pre_tick(self, tick_time: float) -> None:
         for hook in self._pre_tick_hooks:

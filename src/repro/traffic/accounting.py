@@ -10,10 +10,34 @@ between them.  The accountant keeps, per device:
 
 It also aggregates traffic per switch *level* (top, intermediate, rack) since
 Tables 2 and 3 of the paper report average per-level traffic.
+
+Two recording granularities coexist:
+
+* the per-message entry points (:meth:`TrafficAccountant.record` /
+  :meth:`~TrafficAccountant.record_roundtrip`) used by the per-event replay
+  path and by rare protocol messages (replica copies, routing updates);
+* the batch entry points (:meth:`~TrafficAccountant.record_batch` /
+  :meth:`~TrafficAccountant.record_roundtrip_batch`) used by the chunk-native
+  execution kernels: a run accumulates ``(source, destination) -> count``
+  aggregates and applies them with **one multiplied update per distinct
+  path**.  All traffic amounts are integer-valued floats, so the multiplied
+  updates are bit-for-bit identical to repeating the per-message additions.
+
+:class:`RoundtripRun` packages the aggregation discipline (bucket segments,
+warm-up separation, flush) so every strategy kernel shares one correct
+implementation.
+
+Per-device totals live in flat ``array('d')`` columns indexed by device id.
+The out-of-range contract is explicit: :meth:`~TrafficAccountant.device_traffic`
+raises :class:`~repro.exceptions.SimulationError` for indices outside the
+topology (it used to raise ``IndexError`` for large indices but silently
+*wrap* for negative ones), while the level queries return 0.0 for levels no
+switch belongs to (a level name is a label, not an index).
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -64,9 +88,9 @@ class TrafficAccountant:
         #: the messages themselves still count towards ``message_count``.
         self.measure_from = float(measure_from)
         device_count = len(topology.devices)
-        self._total = [0.0] * device_count
-        self._application = [0.0] * device_count
-        self._system = [0.0] * device_count
+        self._total = array("d", bytes(8 * device_count))
+        self._application = array("d", bytes(8 * device_count))
+        self._system = array("d", bytes(8 * device_count))
         self._level = {d.index: topology.level_of(d.index) for d in topology.switches}
         # bucket index -> {"application": x, "system": y} aggregated over the
         # *top switch only* plus per-level dictionaries; the paper's time
@@ -202,6 +226,125 @@ class TrafficAccountant:
                 self._top_series_sys[bucket] += response_size
         return len(path)
 
+    # ------------------------------------------------------- batch recording
+    @property
+    def device_count(self) -> int:
+        """Number of devices in the bound topology (the batch-key stride)."""
+        return len(self._total)
+
+    def count_messages(self, count: int) -> None:
+        """Add ``count`` messages to the counter without recording traffic.
+
+        The batch path's warm-up flush: messages offered before
+        ``measure_from`` count towards :attr:`message_count` but leave no
+        traffic, exactly like the per-message entry points.
+        """
+        if count < 0:
+            raise SimulationError("message count cannot be negative")
+        self._messages += count
+
+    def record_batch(
+        self,
+        source: int,
+        destination: int,
+        kind: MessageKind,
+        count: int,
+        bucket: int,
+    ) -> int:
+        """Record ``count`` identical messages with one multiplied update.
+
+        All aggregated messages share the same time ``bucket``
+        (``int(timestamp // bucket_width)``) and lie past ``measure_from`` —
+        callers route warm-up messages through :meth:`count_messages`
+        instead.  Returns the number of switches each message crossed.
+        """
+        if count <= 0:
+            if count == 0:
+                return 0
+            raise SimulationError("message count cannot be negative")
+        self._messages += count
+        path = self._resolve_path(source, destination)
+        if not path:
+            return 0
+        default_size, is_application = self._kind_info[kind]
+        volume = default_size * count
+        total = self._total
+        split = self._application if is_application else self._system
+        for switch in path:
+            total[switch] += volume
+            split[switch] += volume
+        if self._top_index in path:
+            series = self._top_series_app if is_application else self._top_series_sys
+            series[bucket] += volume
+        return len(path)
+
+    def record_roundtrip_batch(
+        self,
+        counts: dict[int, int],
+        request_kind: MessageKind,
+        response_kind: MessageKind,
+        bucket: int,
+    ) -> None:
+        """Apply aggregated roundtrips: one multiplied update per path.
+
+        ``counts`` maps ``source * device_count + destination`` (the
+        flat-key encoding of a leaf pair) to the number of roundtrips that
+        crossed it.  All aggregated roundtrips share the same time bucket
+        and lie past ``measure_from``; strategy kernels maintain those
+        invariants through :class:`RoundtripRun`.
+        """
+        if not counts:
+            return
+        stride = len(self._total)
+        kind_info = self._kind_info
+        request_size, request_app = kind_info[request_kind]
+        response_size, response_app = kind_info[response_kind]
+        combined = request_size + response_size
+        total = self._total
+        application = self._application
+        system = self._system
+        top_index = self._top_index
+        messages = 0
+        for key, count in counts.items():
+            messages += count
+            source, destination = divmod(key, stride)
+            path = self._resolve_path(source, destination)
+            if not path:
+                continue
+            volume = combined * count
+            if request_app is response_app:
+                split = application if request_app else system
+                for switch in path:
+                    total[switch] += volume
+                    split[switch] += volume
+            else:
+                request_volume = request_size * count
+                response_volume = response_size * count
+                for switch in path:
+                    total[switch] += volume
+                    application[switch] += (
+                        request_volume if request_app else response_volume
+                    )
+                    system[switch] += (
+                        response_volume if request_app else request_volume
+                    )
+            if top_index in path:
+                if request_app:
+                    self._top_series_app[bucket] += request_size * count
+                else:
+                    self._top_series_sys[bucket] += request_size * count
+                if response_app:
+                    self._top_series_app[bucket] += response_size * count
+                else:
+                    self._top_series_sys[bucket] += response_size * count
+        self._messages += 2 * messages
+
+    def roundtrip_run(
+        self, request_kind: MessageKind, response_kind: MessageKind
+    ) -> "RoundtripRun":
+        """A reusable run-local aggregator for one roundtrip kind pair."""
+        return RoundtripRun(self, request_kind, response_kind)
+
     # --------------------------------------------------------------- queries
     @property
     def message_count(self) -> int:
@@ -215,7 +358,20 @@ class TrafficAccountant:
         return self._messages
 
     def device_traffic(self, device: int) -> float:
-        """Total traffic recorded at a device."""
+        """Total traffic recorded at a device.
+
+        The out-of-range contract is explicit: a device index outside the
+        bound topology raises :class:`~repro.exceptions.SimulationError`.
+        (The dict-era behaviour was inconsistent — large indices raised
+        ``IndexError`` while negative ones silently wrapped around to a real
+        device's counter.)  Level queries, by contrast, return 0.0 for
+        levels no switch belongs to: a level is a label, not an index.
+        """
+        if not 0 <= device < len(self._total):
+            raise SimulationError(
+                f"unknown device index {device} (topology has "
+                f"{len(self._total)} devices)"
+            )
         return self._total[device]
 
     def top_switch_traffic(self) -> float:
@@ -223,7 +379,10 @@ class TrafficAccountant:
         return self._total[self.topology.top_switch.index]
 
     def level_traffic(self, level: str) -> float:
-        """Total traffic summed over all switches of a level."""
+        """Total traffic summed over all switches of a level.
+
+        Levels with no switches (including unknown level names) sum to 0.0.
+        """
         return sum(self._total[idx] for idx, lvl in self._level.items() if lvl == level)
 
     def level_average_traffic(self, level: str) -> float:
@@ -254,8 +413,22 @@ class TrafficAccountant:
         )
 
     def top_switch_series(self) -> tuple[dict[int, float], dict[int, float]]:
-        """Time-bucketed (application, system) traffic series at the top switch."""
-        return dict(self._top_series_app), dict(self._top_series_sys)
+        """Time-bucketed (application, system) traffic series at the top switch.
+
+        Buckets are emitted in ascending order.  Per-message recording
+        already inserts them chronologically (timestamps are
+        non-decreasing), but the batched path's per-kind aggregators may
+        first *touch* buckets out of order when a single run spans a
+        bucket boundary — sorting here keeps the exported series, and with
+        it the byte-identity of :class:`SimulationResult`\\ s, independent
+        of the recording granularity.
+        """
+        application = self._top_series_app
+        system = self._top_series_sys
+        return (
+            {bucket: application[bucket] for bucket in sorted(application)},
+            {bucket: system[bucket] for bucket in sorted(system)},
+        )
 
     def reset(self) -> None:
         """Clear every counter (used between warm-up and measurement phases)."""
@@ -268,4 +441,77 @@ class TrafficAccountant:
         self._messages = 0
 
 
-__all__ = ["TrafficAccountant", "TrafficSnapshot"]
+class RoundtripRun:
+    """Run-local roundtrip aggregation for one ``(request, response)`` pair.
+
+    The execution kernels drive it with two calls:
+
+    * :meth:`counts_for` **once per event** returns the live aggregation
+      dict; the kernel bumps ``counts[source * stride + destination]`` once
+      per roundtrip.  The method transparently separates warm-up events
+      (before ``measure_from`` — message counting only) from measured ones
+      and flushes whenever the event's time bucket changes, so every dict
+      it hands out only ever aggregates messages that share one bucket;
+    * :meth:`flush` at the end of the run applies whatever is pending.
+
+    Timestamps must be non-decreasing (event streams are time ordered).
+    A run object is reusable across runs — :meth:`flush` leaves it empty.
+    """
+
+    __slots__ = (
+        "stride",
+        "_accountant",
+        "_request_kind",
+        "_response_kind",
+        "_counts",
+        "_warm",
+        "_bucket",
+        "_measure_from",
+        "_bucket_width",
+    )
+
+    def __init__(
+        self,
+        accountant: TrafficAccountant,
+        request_kind: MessageKind,
+        response_kind: MessageKind,
+    ) -> None:
+        self._accountant = accountant
+        self._request_kind = request_kind
+        self._response_kind = response_kind
+        #: Flat-key stride: keys encode ``source * stride + destination``.
+        self.stride = accountant.device_count
+        self._counts: dict[int, int] = {}
+        self._warm: dict[int, int] = {}
+        self._bucket: int | None = None
+        self._measure_from = accountant.measure_from
+        self._bucket_width = accountant.bucket_width
+
+    def counts_for(self, timestamp: float) -> dict[int, int]:
+        """The aggregation dict the event at ``timestamp`` must bump."""
+        if timestamp < self._measure_from:
+            return self._warm
+        bucket = int(timestamp // self._bucket_width)
+        if bucket != self._bucket:
+            if self._counts:
+                self._accountant.record_roundtrip_batch(
+                    self._counts, self._request_kind, self._response_kind, self._bucket
+                )
+                self._counts.clear()
+            self._bucket = bucket
+        return self._counts
+
+    def flush(self) -> None:
+        """Apply all pending aggregates to the accountant."""
+        if self._warm:
+            self._accountant.count_messages(2 * sum(self._warm.values()))
+            self._warm.clear()
+        if self._counts:
+            self._accountant.record_roundtrip_batch(
+                self._counts, self._request_kind, self._response_kind, self._bucket
+            )
+            self._counts.clear()
+        self._bucket = None
+
+
+__all__ = ["RoundtripRun", "TrafficAccountant", "TrafficSnapshot"]

@@ -1,0 +1,488 @@
+"""Batched vs per-event replay parity (the chunk-native dispatch layer).
+
+The simulator's batched loop segments event streams into request runs and
+drives the strategies' fused kernels; the contract is that batched and
+per-event replay are **byte-identical** — same :class:`SimulationResult`,
+same :class:`TrafficSnapshot` — for every strategy, scenario and
+observation mode.  This suite pins that contract:
+
+* the full strategy × scenario matrix (no per-event observers, so the
+  batched path actually batches);
+* property tests over random interleavings of faults, maintenance ticks,
+  tracked-view sampling and post-request hooks (the observers force the
+  documented per-event fallback — which must itself stay byte-identical);
+* unit coverage of the run segmentation helpers and of the batch kernels'
+  fallback paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from parity import SCENARIOS, canonical_result_bytes, parity_cluster, parity_graph, parity_stream
+from repro.config import ClusterSpec, DynaSoReConfig, SimulationConfig
+from repro.constants import HOUR, MINUTE
+from repro.runtime.spec import STRATEGY_KEYS, build_strategy
+from repro.scenarios.base import Scenario
+from repro.scenarios.events import NodeLeave, ServerCrash, ServerRecovery
+from repro.simulator.engine import ClusterSimulator
+from repro.topology.tree import TreeTopology
+from repro.workload.stream import (
+    EventChunk,
+    EventStream,
+    KIND_EDGE_ADD,
+    KIND_EDGE_REMOVE,
+    KIND_READ,
+    KIND_WRITE,
+    kind_run_end,
+    request_run_end,
+)
+
+
+def _run_matrix(strategy_key: str, scenario_key: str, batch: bool, tracked: int = 0):
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=120)
+    stream = parity_stream(graph, days=0.25)
+    strategy = build_strategy(strategy_key, 7, DynaSoReConfig())
+    config = SimulationConfig(extra_memory_pct=60.0, seed=7, batch_replay=batch)
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=config, scenario=SCENARIOS[scenario_key]()
+    )
+    for user in list(graph.users)[:tracked]:
+        simulator.track_view(user)
+    return simulator.run(stream)
+
+
+@pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+@pytest.mark.parametrize("strategy_key", STRATEGY_KEYS)
+def test_batched_replay_byte_identical(strategy_key, scenario_key):
+    """Batched dispatch must not change a single byte of the result."""
+    batched = _run_matrix(strategy_key, scenario_key, batch=True)
+    per_event = _run_matrix(strategy_key, scenario_key, batch=False)
+    assert canonical_result_bytes(batched) == canonical_result_bytes(per_event)
+
+
+def test_batched_replay_actually_batches():
+    """The matrix runs above exercise the batch kernels, not the fallback."""
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=120)
+    stream = parity_stream(graph, days=0.25)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=SimulationConfig(seed=7)
+    )
+    calls = []
+    original = strategy.execute_request_batch
+
+    def spy(kinds, users, timestamps):
+        calls.append(len(users))
+        return original(kinds, users, timestamps)
+
+    strategy.execute_request_batch = spy
+    simulator.run(stream)
+    # The parity workload sprinkles edge-churn events, so runs are bounded;
+    # what matters is that multi-event runs reach the kernel at all.
+    assert calls and max(calls) > 10
+
+
+# ---------------------------------------------------------------------------
+# Random interleavings: faults x ticks x sampling x hooks
+# ---------------------------------------------------------------------------
+class _RandomFaultScenario(Scenario):
+    """Random crash/drain/restore schedule over a fixed horizon."""
+
+    name = "random-faults"
+
+    def __init__(self, seed: int, horizon: float, servers: int) -> None:
+        self.seed = seed
+        self.horizon = horizon
+        self.servers = servers
+
+    def fault_events(self, context):
+        rng = random.Random(self.seed)
+        events = []
+        down: list[int] = []
+        up = list(range(self.servers))
+        for _ in range(rng.randint(1, 4)):
+            timestamp = rng.uniform(0.0, self.horizon)
+            if down and rng.random() < 0.4:
+                position = down.pop(rng.randrange(len(down)))
+                events.append(ServerRecovery(timestamp=timestamp, position=position))
+                up.append(position)
+            elif len(up) > 2:
+                position = up.pop(rng.randrange(len(up)))
+                maker = ServerCrash if rng.random() < 0.5 else NodeLeave
+                events.append(maker(timestamp=timestamp, position=position))
+                down.append(position)
+        # Events are applied in timestamp order, but a random draw may
+        # schedule a recovery before its outage; sort first, then drop
+        # recoveries that would precede the outage.
+        events.sort(key=lambda event: event.timestamp)
+        seen_down: set[int] = set()
+        valid = []
+        for event in events:
+            if isinstance(event, ServerRecovery):
+                if event.position not in seen_down:
+                    continue
+                seen_down.discard(event.position)
+            else:
+                if event.position in seen_down:
+                    continue
+                seen_down.add(event.position)
+            valid.append(event)
+        return valid
+
+
+def _random_stream(rng: random.Random, users: int, horizon: float) -> EventStream:
+    """Random read/write/edge interleaving, timestamps sorted."""
+    rows = []
+    for _ in range(rng.randint(200, 600)):
+        timestamp = rng.uniform(0.0, horizon)
+        draw = rng.random()
+        user = rng.randrange(users)
+        if draw < 0.6:
+            rows.append((KIND_READ, timestamp, user, -1))
+        elif draw < 0.85:
+            rows.append((KIND_WRITE, timestamp, user, -1))
+        else:
+            other = rng.randrange(users)
+            if other != user:
+                kind = KIND_EDGE_ADD if rng.random() < 0.8 else KIND_EDGE_REMOVE
+                rows.append((kind, timestamp, user, other))
+    rows.sort(key=lambda row: row[1])
+    chunk = EventChunk()
+    for row in rows:
+        chunk.append(*row)
+    return EventStream.from_chunks([chunk])
+
+
+def _interleaving_run(seed: int, batch: bool):
+    rng = random.Random(seed)
+    spec = ClusterSpec(
+        intermediate_switches=2,
+        racks_per_intermediate=2,
+        machines_per_rack=3,
+        brokers_per_rack=1,
+    )
+    topology = TreeTopology(spec)
+    graph = parity_graph(users=80, seed=seed)
+    horizon = rng.uniform(4 * HOUR, 14 * HOUR)
+    stream = _random_stream(rng, users=80, horizon=horizon)
+    strategy_key = rng.choice(STRATEGY_KEYS)
+    strategy = build_strategy(strategy_key, 7, DynaSoReConfig())
+    config = SimulationConfig(
+        extra_memory_pct=rng.choice([40.0, 60.0, 100.0]),
+        tick_period=rng.choice([HOUR / 2, HOUR, 2 * HOUR]),
+        bucket_width=rng.choice([HOUR / 2, HOUR]),
+        measure_from=rng.choice([0.0, HOUR]),
+        seed=7,
+        batch_replay=batch,
+    )
+    scenario = _RandomFaultScenario(
+        seed=seed, horizon=horizon, servers=len(topology.servers)
+    )
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=config, scenario=scenario
+    )
+    hook_log: list[tuple] = []
+    if rng.random() < 0.4:
+        for user in list(graph.users)[: rng.randint(1, 3)]:
+            simulator.track_view(user)
+    if rng.random() < 0.4:
+        simulator.add_post_request_hook(
+            lambda request: hook_log.append((type(request).__name__, request.timestamp))
+        )
+    if rng.random() < 0.4:
+        simulator.add_pre_tick_hook(lambda now: hook_log.append(("tick", now)))
+    result = simulator.run(stream)
+    snapshot = simulator.accountant.snapshot()
+    return result, snapshot, hook_log
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_interleavings_byte_identical(seed):
+    """Faults, ticks, sampling and hooks interleave identically on both paths.
+
+    Each seed draws a random strategy, workload (reads/writes/edge churn),
+    fault schedule, tick/bucket configuration and observer set; the batched
+    and per-event runs must produce byte-identical results, byte-identical
+    traffic snapshots and identical hook transcripts (observers force the
+    per-event fallback, which is part of the contract under test).
+    """
+    result_a, snapshot_a, hooks_a = _interleaving_run(seed, batch=True)
+    result_b, snapshot_b, hooks_b = _interleaving_run(seed, batch=False)
+    assert canonical_result_bytes(result_a) == canonical_result_bytes(result_b)
+    assert snapshot_a == snapshot_b
+    assert hooks_a == hooks_b
+
+
+def test_post_request_hooks_force_per_event_fallback():
+    """With a hook attached, every event goes through the scalar path."""
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=60)
+    stream = parity_stream(graph, days=0.1)
+    strategy = build_strategy("random", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(topology, graph, strategy, config=SimulationConfig(seed=7))
+    seen = []
+    simulator.add_post_request_hook(lambda request: seen.append(request))
+    batch_calls = []
+    original = strategy.execute_request_batch
+
+    def spy(kinds, users, timestamps):
+        batch_calls.append(len(users))
+        return original(kinds, users, timestamps)
+
+    strategy.execute_request_batch = spy
+    result = simulator.run(stream)
+    assert not batch_calls
+    assert len(seen) == result.requests_executed
+
+
+def test_batch_replay_disabled_matches_default():
+    """``batch_replay=False`` is the reference path and changes nothing."""
+    on = _run_matrix("spar", "plain", batch=True)
+    off = _run_matrix("spar", "plain", batch=False)
+    assert canonical_result_bytes(on) == canonical_result_bytes(off)
+
+
+# ---------------------------------------------------------------------------
+# Segmentation helpers
+# ---------------------------------------------------------------------------
+def test_kind_run_end_finds_first_change():
+    kinds = bytes([KIND_READ, KIND_READ, KIND_WRITE, KIND_READ])
+    assert kind_run_end(kinds, 0, len(kinds)) == 2
+    assert kind_run_end(kinds, 2, len(kinds)) == 3
+    assert kind_run_end(kinds, 3, len(kinds)) == 4
+
+
+def test_request_run_end_only_breaks_on_edges():
+    kinds = bytes(
+        [KIND_READ, KIND_WRITE, KIND_READ, KIND_EDGE_ADD, KIND_WRITE, KIND_EDGE_REMOVE]
+    )
+    assert request_run_end(kinds, 0, len(kinds)) == 3
+    assert request_run_end(kinds, 4, len(kinds)) == 5
+
+
+def test_run_helpers_respect_end_bound():
+    kinds = bytes([KIND_READ] * 10)
+    assert kind_run_end(kinds, 0, 4) == 4
+    assert request_run_end(kinds, 2, 7) == 7
+
+
+# ---------------------------------------------------------------------------
+# Batch-kernel entry points (strategy API level)
+# ---------------------------------------------------------------------------
+def _bound_strategy(key: str):
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=60)
+    strategy = build_strategy(key, 7, DynaSoReConfig())
+    simulator = ClusterSimulator(topology, graph, strategy, config=SimulationConfig(seed=7))
+    simulator.prepare()
+    return strategy, simulator
+
+
+@pytest.mark.parametrize("key", ["random", "spar", "dynasore_random"])
+def test_pure_run_wrappers_match_scalar_calls(key):
+    """``execute_read_batch``/``execute_write_batch`` equal scalar loops."""
+    strategy_a, sim_a = _bound_strategy(key)
+    strategy_b, sim_b = _bound_strategy(key)
+    users = [user for user in list(sim_a.graph.users)[:12]]
+    times = [float(i) * MINUTE for i in range(len(users))]
+    strategy_a.execute_read_batch(users, times)
+    strategy_a.execute_write_batch(users, times)
+    for user, now in zip(users, times):
+        strategy_b.execute_read(user, now)
+    for user, now in zip(users, times):
+        strategy_b.execute_write(user, now)
+    assert sim_a.accountant.snapshot() == sim_b.accountant.snapshot()
+
+
+def test_unbuilt_strategy_falls_back_to_scalar_loop():
+    """Kernels guard against running before ``build_initial_placement``."""
+    strategy = build_strategy("random", 7, DynaSoReConfig())
+    with pytest.raises(Exception):
+        strategy.execute_read_batch([1], [0.0])
+
+
+# ---------------------------------------------------------------------------
+# Opt-in placement-table auditing (REPRO_CHECK_TABLES)
+# ---------------------------------------------------------------------------
+def test_table_audit_runs_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_TABLES", "1")
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=80)
+    stream = parity_stream(graph, days=0.25)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology,
+        graph,
+        strategy,
+        config=SimulationConfig(seed=7),
+        scenario=SCENARIOS["crash"](),
+    )
+    assert simulator._check_tables
+    result = simulator.run(stream)
+    assert result.requests_executed > 0
+
+
+def test_table_audit_detects_corruption(monkeypatch):
+    from repro.exceptions import StorageError
+
+    monkeypatch.setenv("REPRO_CHECK_TABLES", "1")
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=80)
+    stream = parity_stream(graph, days=0.25)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(topology, graph, strategy, config=SimulationConfig(seed=7))
+
+    def corrupt(now):
+        strategy.tables._used[0] += 1  # desynchronise the occupancy counter
+
+    simulator.add_pre_tick_hook(corrupt)
+    with pytest.raises(StorageError):
+        simulator.run(stream)
+
+
+def test_table_audit_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK_TABLES", raising=False)
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=60)
+    strategy = build_strategy("random", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(topology, graph, strategy, config=SimulationConfig(seed=7))
+    assert not simulator._check_tables
+
+
+# ---------------------------------------------------------------------------
+# Routing batch resolution
+# ---------------------------------------------------------------------------
+def test_routing_batch_resolver_matches_scalar():
+    from repro.core.routing import RoutingService
+
+    topology, _ = parity_cluster()
+    routing = RoutingService(topology)
+    servers = [server.index for server in topology.servers]
+    broker = topology.brokers[0].index
+    sets = [
+        {servers[0]},
+        {servers[0], servers[-1]},
+        set(servers[:5]),
+        tuple(servers[3:7]),
+    ]
+    batch = routing.closest_replica_batch(broker, sets)
+    scalar = [routing.closest_replica(broker, devices) for devices in sets]
+    assert batch == scalar
+    resolve = routing.batch_resolver(broker)
+    assert [resolve(devices) for devices in sets] == scalar
+
+
+def test_routing_batch_resolver_rejects_empty():
+    from repro.core.routing import RoutingService
+    from repro.exceptions import RoutingError
+
+    topology, _ = parity_cluster()
+    routing = RoutingService(topology)
+    resolve = routing.batch_resolver(topology.brokers[0].index)
+    with pytest.raises(RoutingError):
+        resolve(())
+
+
+def test_hook_registered_mid_run_is_honoured():
+    """A post-request hook registered by a pre-tick hook mid-run fires for
+    every subsequent request, exactly as on the per-event path."""
+
+    def run(batch: bool):
+        topology, _ = parity_cluster()
+        graph = parity_graph(users=100)
+        stream = parity_stream(graph, days=0.25)
+        strategy = build_strategy("random", 7, DynaSoReConfig())
+        simulator = ClusterSimulator(
+            topology,
+            graph,
+            strategy,
+            config=SimulationConfig(seed=7, batch_replay=batch),
+        )
+        seen: list[tuple[str, float]] = []
+
+        def late_hook(request):
+            seen.append((type(request).__name__, request.timestamp))
+
+        registered = []
+
+        def on_tick(now):
+            if not registered:
+                simulator.add_post_request_hook(late_hook)
+                registered.append(now)
+
+        simulator.add_pre_tick_hook(on_tick)
+        result = simulator.run(stream)
+        return result, seen
+
+    result_batched, seen_batched = run(True)
+    result_per_event, seen_per_event = run(False)
+    assert seen_batched  # the hook did observe the tail of the run
+    assert seen_batched == seen_per_event
+    assert canonical_result_bytes(result_batched) == canonical_result_bytes(
+        result_per_event
+    )
+
+
+def test_check_tables_env_accepts_falsey_spellings(monkeypatch):
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=60)
+    strategy = build_strategy("random", 7, DynaSoReConfig())
+    for value, expected in (
+        ("1", True),
+        ("true", True),
+        ("0", False),
+        ("false", False),
+        ("No", False),
+        ("off", False),
+        ("", False),
+    ):
+        monkeypatch.setenv("REPRO_CHECK_TABLES", value)
+        simulator = ClusterSimulator(
+            topology, graph, strategy, config=SimulationConfig(seed=7)
+        )
+        assert simulator._check_tables is expected, value
+
+
+def test_run_spanning_bucket_boundary_keeps_series_order():
+    """A single run crossing a traffic-bucket boundary with writes in one
+    bucket and reads in the next must still export byte-identical series
+    (the per-kind aggregators may touch the buckets out of order)."""
+
+    def run(batch: bool):
+        topology, _ = parity_cluster()
+        graph = parity_graph(users=40)
+        rows = []
+        users = list(graph.users)
+        for index in range(6):  # writes in bucket 0
+            rows.append((KIND_WRITE, 10.0 + index * 10.0, users[index], -1))
+        for index in range(4):  # reads in bucket 1
+            rows.append((KIND_READ, 150.0 + index * 10.0, users[index], -1))
+        chunk = EventChunk()
+        for row in rows:
+            chunk.append(*row)
+        stream = EventStream.from_chunks([chunk])
+        strategy = build_strategy("spar", 7, DynaSoReConfig())
+        simulator = ClusterSimulator(
+            topology,
+            graph,
+            strategy,
+            config=SimulationConfig(
+                seed=7,
+                bucket_width=100.0,
+                tick_period=100000.0,
+                batch_replay=batch,
+            ),
+        )
+        return simulator.run(stream)
+
+    batched = run(True)
+    per_event = run(False)
+    assert list(batched.top_series_application) == sorted(
+        batched.top_series_application
+    )
+    assert canonical_result_bytes(batched) == canonical_result_bytes(per_event)

@@ -208,3 +208,157 @@ class TestTrafficAccountant:
             accountant.record(server, 9999, MessageKind.READ_REQUEST, 0.0)
         with pytest.raises(TopologyError):
             accountant.record(-1, server, MessageKind.READ_REQUEST, 0.0)
+
+
+class TestDeviceTrafficContract:
+    """The explicit out-of-range contract of the flat-column rewrite."""
+
+    def test_device_traffic_known_device(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, 0.0)
+        assert accountant.device_traffic(tree_topology.top_switch.index) > 0
+        assert accountant.device_traffic(a) == 0.0  # leaves record nothing
+
+    def test_device_traffic_rejects_out_of_range(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        with pytest.raises(SimulationError):
+            accountant.device_traffic(len(tree_topology.devices))
+        with pytest.raises(SimulationError):
+            accountant.device_traffic(9999)
+
+    def test_device_traffic_rejects_negative_indices(self, tree_topology: TreeTopology):
+        """Negative indices used to wrap around to a real device's counter."""
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, 0.0)
+        with pytest.raises(SimulationError):
+            accountant.device_traffic(-1)
+
+    def test_level_traffic_unknown_level_is_zero(self, tree_topology: TreeTopology):
+        """Levels are labels, not indices: unknown names sum to 0.0."""
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, 0.0)
+        assert accountant.level_traffic("no-such-level") == 0.0
+        assert accountant.level_average_traffic("no-such-level") == 0.0
+        assert accountant.level_traffic("top") > 0.0
+
+
+class TestBatchRecording:
+    """Batch entry points are byte-identical to repeated per-message calls."""
+
+    def test_record_batch_matches_repeated_records(self, tree_topology: TreeTopology):
+        batched = TrafficAccountant(tree_topology, bucket_width=3600.0)
+        scalar = TrafficAccountant(tree_topology, bucket_width=3600.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        for _ in range(7):
+            scalar.record(a, b, MessageKind.READ_REQUEST, 100.0)
+        batched.record_batch(a, b, MessageKind.READ_REQUEST, 7, bucket=0)
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.top_switch_series() == scalar.top_switch_series()
+
+    def test_record_roundtrip_batch_matches_repeated_roundtrips(
+        self, tree_topology: TreeTopology
+    ):
+        import random
+
+        batched = TrafficAccountant(tree_topology, bucket_width=3600.0)
+        scalar = TrafficAccountant(tree_topology, bucket_width=3600.0)
+        servers = [server.index for server in tree_topology.servers]
+        rng = random.Random(3)
+        stride = batched.device_count
+        counts: dict[int, int] = {}
+        for _ in range(200):
+            source, destination = rng.choice(servers), rng.choice(servers)
+            scalar.record_roundtrip(
+                source,
+                destination,
+                MessageKind.READ_REQUEST,
+                MessageKind.READ_RESPONSE,
+                50.0,
+            )
+            key = source * stride + destination
+            counts[key] = counts.get(key, 0) + 1
+        batched.record_roundtrip_batch(
+            counts, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, bucket=0
+        )
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.top_switch_series() == scalar.top_switch_series()
+
+    def test_mixed_class_roundtrip_batch_split(self, tree_topology: TreeTopology):
+        """Application/system splits survive the multiplied update."""
+        batched = TrafficAccountant(tree_topology)
+        scalar = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        for _ in range(5):
+            scalar.record_roundtrip(
+                a, b, MessageKind.READ_REQUEST, MessageKind.REPLICA_CONTROL, 10.0
+            )
+        batched.record_roundtrip_batch(
+            {a * batched.device_count + b: 5},
+            MessageKind.READ_REQUEST,
+            MessageKind.REPLICA_CONTROL,
+            bucket=0,
+        )
+        assert batched.snapshot() == scalar.snapshot()
+
+    def test_count_messages_only_counts(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        accountant.count_messages(6)
+        assert accountant.message_count == 6
+        snapshot = accountant.snapshot()
+        assert all(value == 0.0 for value in snapshot.total_by_level.values())
+        with pytest.raises(SimulationError):
+            accountant.count_messages(-1)
+
+    def test_record_batch_zero_count_is_noop(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        assert accountant.record_batch(a, b, MessageKind.READ_REQUEST, 0, bucket=0) == 0
+        assert accountant.message_count == 0
+        with pytest.raises(SimulationError):
+            accountant.record_batch(a, b, MessageKind.READ_REQUEST, -2, bucket=0)
+
+
+class TestRoundtripRun:
+    """The run-local aggregator of the strategy kernels."""
+
+    def test_bucket_segments_and_warmup(self, tree_topology: TreeTopology):
+        batched = TrafficAccountant(tree_topology, bucket_width=100.0, measure_from=50.0)
+        scalar = TrafficAccountant(tree_topology, bucket_width=100.0, measure_from=50.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        run = batched.roundtrip_run(MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE)
+        key = a * run.stride + b
+        # Warm-up (t < 50), then two distinct buckets (t=60, t=260).
+        for timestamp in (10.0, 20.0, 60.0, 60.0, 260.0):
+            counts = run.counts_for(timestamp)
+            counts[key] = counts.get(key, 0) + 1
+            scalar.record_roundtrip(
+                a, b, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, timestamp
+            )
+        run.flush()
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.top_switch_series() == scalar.top_switch_series()
+        assert batched.message_count == scalar.message_count == 10
+
+    def test_flush_resets_for_reuse(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology, bucket_width=100.0)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        run = accountant.roundtrip_run(MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK)
+        key = a * run.stride + b
+        for _ in range(2):
+            counts = run.counts_for(0.0)
+            counts[key] = counts.get(key, 0) + 1
+            run.flush()
+        assert accountant.message_count == 4
+        run.flush()  # idempotent when empty
+        assert accountant.message_count == 4
