@@ -48,6 +48,14 @@ class PlacementStrategy(ABC):
     #: Human-readable name used in experiment reports.
     name: str = "strategy"
 
+    #: Whether :meth:`on_tick` may run through a batched column sweep where
+    #: one exists (DynaSoRe's fused rotation/utility/threshold passes).
+    #: Set from ``SimulationConfig.batch_tick`` by the simulator's
+    #: ``prepare``; ``False`` forces the per-slot reference tick.  Both
+    #: paths are byte-identical — strategies without a batched tick ignore
+    #: the flag.
+    batch_tick: bool = True
+
     def __init__(self) -> None:
         self.topology: ClusterTopology | None = None
         self.graph: SocialGraph | None = None

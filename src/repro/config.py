@@ -170,6 +170,12 @@ class SimulationConfig:
     #: views).  ``False`` forces the per-event loop — the reference path of
     #: the parity tests and the batching benchmark.
     batch_replay: bool = True
+    #: Run the maintenance tick through the strategy's batched column sweep
+    #: (fused counter rotation + utility refresh with dirty-set tracking;
+    #: see ``DynaSoRe.on_tick``).  Batched and per-slot ticks produce
+    #: byte-identical results; ``False`` forces the per-slot reference path
+    #: — the baseline of the tick parity tests and the tick benchmark.
+    batch_tick: bool = True
 
     def __post_init__(self) -> None:
         if self.extra_memory_pct < 0:

@@ -63,9 +63,14 @@ from .routing import RoutingService
 from .utility import (
     build_pricing,
     estimate_profit,
+    estimate_profit_pairs,
     estimate_profit_values,
     priced_profit,
 )
+
+#: "No expiring window" sentinel of the tick sweep's per-position expiry
+#: tracking (larger than any reachable rotation period index).
+_NEVER_EXPIRES = 1 << 62
 
 #: Signature of an initial-placement function: (graph, topology, seed) -> {user: server position}.
 InitialAssignment = Callable[[SocialGraph, ClusterTopology, int], dict[int, int]]
@@ -250,6 +255,15 @@ class DynaSoRe(PlacementStrategy):
         #: rebuilt whenever they change) and of placement occupancy (the
         #: epoch); while both match, the ranked-server scan is skipped.
         self._candidate_memo: dict[int, tuple] = {}
+        #: batched-tick dirty-set companions (see ``_on_tick_batched``):
+        #: the earliest rotation period at which any counter of a position
+        #: drops non-zero history, and whether the last sweep left the
+        #: position with a negative-utility replica (drives the removal
+        #: pass of skipped positions); plus the reusable (origin, reads)
+        #: scratch of the pairwise pricing.
+        self._tick_next_expiry: list[int] = []
+        self._tick_has_negative: list[bool] = []
+        self._tick_pairs: list[tuple[int, float]] = []
         self.counters = EngineCounters()
 
     # =====================================================================
@@ -306,6 +320,12 @@ class DynaSoRe(PlacementStrategy):
         self._read_stay = {}
         self._write_stay = {}
         self._candidate_memo = {}
+        # Every position starts dirty (expiry 0 = "must sweep"), so the
+        # first batched tick prices the initial placement exactly like the
+        # per-slot reference does.
+        self._tick_next_expiry = [0] * table.num_positions
+        self._tick_has_negative = [False] * table.num_positions
+        self._tick_pairs = []
         self._read_run = self.accountant.roundtrip_run(
             MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE
         )
@@ -490,6 +510,7 @@ class DynaSoRe(PlacementStrategy):
         stats = table.stats
         record_read = stats.record_read
         reads_since_eval = stats._reads_since_eval
+        tick_dirty = table._tick_dirty
         check_interval = self.config.replication_check_interval
         for target in targets:
             slot = user_head.get(target, NO_SLOT)
@@ -527,6 +548,7 @@ class DynaSoRe(PlacementStrategy):
 
             origin = origin_of(device, broker)
             record_read(slot, origin, now)
+            tick_dirty[position] = True
 
             if reads_since_eval[slot] >= check_interval:
                 reads_since_eval[slot] = 0
@@ -556,14 +578,17 @@ class DynaSoRe(PlacementStrategy):
         transfers: dict[int, float] = {}
         device_of_position = self._device_of_position
         record_write = table.stats.record_write
+        tick_dirty = table._tick_dirty
         slots = list(table.user_slots(user))
         for slot in slots:
-            device = device_of_position[table._server[slot]]
+            position = table._server[slot]
+            device = device_of_position[position]
             self.accountant.record_roundtrip(
                 broker, device, MessageKind.WRITE_UPDATE, MessageKind.WRITE_ACK, now
             )
             transfers[device] = transfers.get(device, 0.0) + 1.0
             record_write(slot, now)
+            tick_dirty[position] = True
 
         if self.config.enable_proxy_migration and transfers:
             best = optimal_proxy_broker(self.topology, transfers, broker)
@@ -663,6 +688,7 @@ class DynaSoRe(PlacementStrategy):
         advance_node = stats._advance_node
         read_stay = self._read_stay
         write_stay = self._write_stay
+        tick_dirty = table._tick_dirty
         #: scratch: serving devices of the current read, in target order
         #: (the transfers dict is only materialised when the proxy search
         #: actually runs — on stay-memo hits it never is)
@@ -776,6 +802,7 @@ class DynaSoRe(PlacementStrategy):
                     ] += 1.0
                     total = node_total[node] + 1.0
                     node_total[node] = total
+                    tick_dirty[position] = True
                     cached = origins_cache.get(slot)
                     if cached is not None:
                         if origin in cached:
@@ -920,10 +947,12 @@ class DynaSoRe(PlacementStrategy):
                     slots = None
                 slot = user_head[user]
                 while slot != NO_SLOT:
-                    device = device_of_position[server_column[slot]]
+                    position = server_column[slot]
+                    device = device_of_position[position]
                     key = base + device
                     count = counts.get(key)
                     counts[key] = 1 if count is None else count + 1
+                    tick_dirty[position] = True
                     if transfers is not None:
                         slots.append(slot)
                         seen = transfers.get(device)
@@ -1351,6 +1380,11 @@ class DynaSoRe(PlacementStrategy):
         slots = table.user_slots(user)
         next_closest = table._next_closest
         server_column = table._server
+        # A next-closest change re-prices every replica of the view at the
+        # next tick (the pointer is Algorithm 1's reference replica).
+        tick_dirty = table._tick_dirty
+        for slot in slots:
+            tick_dirty[server_column[slot]] = True
         if len(slots) == 1:
             next_closest[slots[0]] = NO_SLOT
             return
@@ -1372,7 +1406,23 @@ class DynaSoRe(PlacementStrategy):
     # =====================================================================
     def on_tick(self, now: float) -> None:
         """Hourly maintenance: rotate counters, refresh utilities and
-        thresholds, evict, and run the migration sweep (Algorithm 3)."""
+        thresholds, evict, and run the migration sweep (Algorithm 3).
+
+        Dispatches to the fused column sweep (the default) or to the
+        per-slot reference path; the two produce byte-identical simulation
+        results (tick parity tests pin this for every strategy and
+        scenario).
+        """
+        if self.batch_tick:
+            self._on_tick_batched(now)
+        else:
+            self._on_tick_reference(now)
+
+    def _on_tick_reference(self, now: float) -> None:
+        """Per-slot reference tick: wholesale counter rotation, then a
+        utility walk per position.  Kept verbatim as the baseline of the
+        tick parity tests and the tick benchmark
+        (``SimulationConfig(batch_tick=False)``)."""
         self.require_bound()
         assert self.topology is not None
         self._last_tick = now
@@ -1434,6 +1484,240 @@ class DynaSoRe(PlacementStrategy):
         # Views with negative utility are removed regardless of memory
         # pressure (their write cost exceeds their read benefit).
         for position in range(table.num_positions):
+            for slot in table.position_slots(position):
+                if table.effective_utility(slot) < 0:
+                    self._remove_replica(user_column[slot], position, now)
+
+    def _on_tick_batched(self, now: float) -> None:
+        """Fused maintenance sweep over the placement and statistics columns.
+
+        One chain walk per *dirty* position does everything the reference
+        tick does in three passes: rotates each replica's counter windows
+        (the per-node arithmetic of ``StatsTable.advance_pool``), gathers
+        the surviving ``(origin, reads)`` pairs straight off the node
+        columns, prices the replica with
+        :func:`~repro.core.utility.estimate_profit_pairs` (no per-slot dict
+        materialisation), and recomputes the admission threshold once the
+        chain is done.
+
+        Positions are skipped entirely — no rotation, no pricing, no
+        threshold — when nothing that feeds Algorithm 1 changed since their
+        last sweep:
+
+        * ``ReplicaTable._tick_dirty`` is raised by reads, writes, placement
+          changes (allocate/detach/capacity), next-closest refreshes and
+          write-proxy migrations touching the position;
+        * ``_tick_next_expiry`` bounds the first rotation period at which
+          any counter of the position drops non-zero history.  Until then,
+          deferring the rotation only skips zero-subtractions, so windows,
+          utilities and thresholds are provably unchanged — records landing
+          later advance their node lazily from the stale period with
+          identical results (amounts are non-negative, so the skipped
+          buckets are exactly the zero ones).
+
+        The expiry bound is computed *lazily*: a position swept because it
+        is dirty publishes the trivial bound 0 ("sweep again next tick") and
+        skips the oldest-bucket probes entirely — steady traffic re-dirties
+        it before the bound would ever be consulted, so the probes would be
+        pure waste.  Only a sweep of a *clean* position (one re-priced
+        because its previous bound expired) pays for the exact scan; that
+        is precisely the moment the position may go quiet and the bound
+        starts earning its keep.  Net effect: quiet positions pay one extra
+        no-op sweep on their first silent tick, busy positions never probe
+        buckets at all.  Under-estimating the bound is always safe — it
+        only schedules extra sweeps, and sweeping re-derives every value
+        the reference path would compute.
+
+        Unlike the reference path's wholesale ``_origins_cache.clear()``,
+        the sweep invalidates the per-slot origin dicts *precisely*: only
+        when a rotation actually changed a read window.  Untouched dicts
+        stay value- and order-identical to a rebuild (first-record chain
+        order), which keeps the decision kernel's candidate memos hot
+        across ticks.  The eviction pass is unchanged (its ``needs_eviction``
+        gate is O(1)); the negative-utility pass only scans positions whose
+        last sweep actually produced a negative utility (eviction removals
+        can only *raise* effective utilities, never create negatives).
+
+        Byte-identical to :meth:`_on_tick_reference` by construction: same
+        per-origin accumulation order, same rotation arithmetic, same
+        removal order.
+        """
+        self.require_bound()
+        assert self.topology is not None
+        self._last_tick = now
+        self._threshold_cache.clear()
+
+        table = self._require_tables()
+        stats = table.stats
+        admission_fill = self.config.admission_fill
+        period_index = int(now // stats.period)
+        counter_slots = stats.slots
+
+        srv_head = table._srv_head
+        srv_next = table._srv_next
+        next_closest = table._next_closest
+        utility = table._utility
+        user_column = table._user
+        tick_dirty = table._tick_dirty
+        read_head = stats._read_head
+        write_node = stats._write_node
+        node_next = stats._node_next
+        node_origin = stats._node_origin
+        node_period = stats._node_period
+        node_total = stats._node_total
+        node_buckets = stats._node_buckets
+        origins_cache = stats._origins_cache
+        device_of_position = self._device_of_position
+        write_broker_of = self.proxies.write_proxy.get
+        topology = self.topology
+        pairs = self._tick_pairs
+        next_expiry = self._tick_next_expiry
+        has_negative = self._tick_has_negative
+        num_positions = table.num_positions
+        # Positions added after deployment start dirty, like the initial ones.
+        while len(next_expiry) < num_positions:
+            next_expiry.append(0)
+            has_negative.append(False)
+
+        for position in range(num_positions):
+            if tick_dirty[position]:
+                tick_dirty[position] = False
+                # Dirty sweep: publish the trivial bound and skip the
+                # oldest-bucket probes (see the docstring).
+                want_expiry = False
+                expiry = 0
+            elif period_index < next_expiry[position]:
+                continue
+            else:
+                # Expiry-triggered sweep of a clean position: compute the
+                # exact bound so it can start skipping ticks.
+                want_expiry = True
+                expiry = _NEVER_EXPIRES
+            negative = False
+            position_device = device_of_position[position]
+            slot = srv_head[position]
+            while slot != NO_SLOT:
+                pairs.clear()
+                changed = False
+                node = read_head[slot]
+                while node != NO_SLOT:
+                    total = node_total[node]
+                    current = node_period[node]
+                    if current < period_index:
+                        # Inlined ``advance_pool`` per-node rotation; a zero
+                        # window total means every bucket is already zero.
+                        if total:
+                            base = node * counter_slots
+                            elapsed = period_index - current
+                            if elapsed >= counter_slots:
+                                for index in range(base, base + counter_slots):
+                                    node_buckets[index] = 0.0
+                                node_total[node] = 0.0
+                                total = 0.0
+                                changed = True
+                            else:
+                                before = total
+                                for step in range(1, elapsed + 1):
+                                    index = base + (current + step) % counter_slots
+                                    total -= node_buckets[index]
+                                    node_buckets[index] = 0.0
+                                node_total[node] = total
+                                if total != before:
+                                    changed = True
+                        node_period[node] = period_index
+                    if total > 0.0:
+                        pairs.append((node_origin[node], total))
+                        # Oldest surviving bucket bounds the next rotation
+                        # at which this window drops history.  Ages past
+                        # ``period_index`` name periods before the epoch
+                        # (physically zero buckets); skipping them and the
+                        # scan itself once the bound is already minimal
+                        # keeps this probe O(1) amortised.
+                        if want_expiry and expiry > period_index + 1:
+                            base = node * counter_slots
+                            for age in range(min(counter_slots - 1, period_index), -1, -1):
+                                if node_buckets[base + (period_index - age) % counter_slots]:
+                                    drop = period_index - age + counter_slots
+                                    if drop < expiry:
+                                        expiry = drop
+                                    break
+                    node = node_next[node]
+                if changed:
+                    # Precise invalidation: the cached origin dict only
+                    # mirrors read-window totals, so it survives rotations
+                    # that drop nothing.
+                    origins_cache.pop(slot, None)
+                wtotal = 0.0
+                wnode = write_node[slot]
+                if wnode != NO_SLOT:
+                    wtotal = node_total[wnode]
+                    current = node_period[wnode]
+                    if current < period_index:
+                        if wtotal:
+                            base = wnode * counter_slots
+                            elapsed = period_index - current
+                            if elapsed >= counter_slots:
+                                for index in range(base, base + counter_slots):
+                                    node_buckets[index] = 0.0
+                                node_total[wnode] = 0.0
+                                wtotal = 0.0
+                            else:
+                                for step in range(1, elapsed + 1):
+                                    index = base + (current + step) % counter_slots
+                                    wtotal -= node_buckets[index]
+                                    node_buckets[index] = 0.0
+                                node_total[wnode] = wtotal
+                        node_period[wnode] = period_index
+                    if wtotal > 0.0 and want_expiry and expiry > period_index + 1:
+                        base = wnode * counter_slots
+                        for age in range(min(counter_slots - 1, period_index), -1, -1):
+                            if node_buckets[base + (period_index - age) % counter_slots]:
+                                drop = period_index - age + counter_slots
+                                if drop < expiry:
+                                    expiry = drop
+                                break
+                nearest = next_closest[slot]
+                if nearest == NO_SLOT:
+                    utility[slot] = INFINITE_UTILITY
+                else:
+                    value = estimate_profit_pairs(
+                        topology,
+                        pairs,
+                        wtotal,
+                        position_device,
+                        nearest,
+                        write_broker_of(user_column[slot]),
+                    )
+                    utility[slot] = value
+                    if value < 0.0:
+                        negative = True
+                slot = srv_next[slot]
+            next_expiry[position] = expiry
+            has_negative[position] = negative
+            table.update_admission_threshold(position, admission_fill)
+
+        # Proactive eviction, exactly as the reference path (the
+        # needs_eviction gate is already O(1) per position).
+        eviction_threshold = self.config.eviction_threshold
+        for position in range(num_positions):
+            if not table.needs_eviction(position, eviction_threshold):
+                continue
+            excess = table.excess_replicas(position, eviction_threshold)
+            for slot in table.eviction_candidate_slots(position):
+                if excess <= 0:
+                    break
+                if self._remove_replica(user_column[slot], position, now):
+                    excess -= 1
+
+        # Negative-utility removal, gated on the sweep's verdict: eviction
+        # removals only detach slots (utilities and effective utilities of
+        # the survivors can only move towards +inf when a sibling leaves),
+        # so a position whose sweep saw no negative utility cannot grow one
+        # by the time this pass runs.  Refused removals (min_replicas) keep
+        # the flag raised and are retried next tick, like the reference.
+        for position in range(num_positions):
+            if not has_negative[position]:
+                continue
             for slot in table.position_slots(position):
                 if table.effective_utility(slot) < 0:
                     self._remove_replica(user_column[slot], position, now)

@@ -107,6 +107,53 @@ def estimate_profit_values(
     return nearest_read_cost - server_read_cost - server_write_cost
 
 
+def estimate_profit_pairs(
+    topology: ClusterTopology,
+    pairs: list,
+    writes: float,
+    candidate_server: int,
+    reference_server: int,
+    write_broker: int | None,
+) -> float:
+    """:func:`estimate_profit_values` over ``(origin, reads)`` pairs.
+
+    The batched maintenance sweep prices every replica of a position
+    straight off the statistics columns: it gathers each replica's
+    first-record-order origin chain into a reusable ``pairs`` scratch list
+    and prices it here, with no per-slot dict materialisation.  The loop
+    body is the same as :func:`estimate_profit_values` — same per-origin
+    order (the origins cache is built in chain order, so iterating the
+    chain and iterating the dict accumulate identical float sequences),
+    same cost-row fallback, same deterministic-routing clamp — so the two
+    produce bit-for-bit equal profits; like :func:`build_pricing` /
+    :func:`priced_profit`, the non-``None`` cost-row entries are the cached
+    ``cost_from_origin`` values, keeping every accumulation path exact.
+    """
+    server_read_cost = 0.0
+    nearest_read_cost = 0.0
+    if pairs:
+        candidate_costs = topology.cost_row(candidate_server)
+        reference_costs = topology.cost_row(reference_server)
+        cost_from_origin = topology.cost_from_origin
+        for origin, reads in pairs:
+            candidate_cost = candidate_costs[origin]
+            reference_cost = reference_costs[origin]
+            if candidate_cost is None or reference_cost is None:
+                candidate_cost = cost_from_origin(origin, candidate_server)
+                reference_cost = cost_from_origin(origin, reference_server)
+            # Deterministic-routing clamp, exactly as estimate_profit_values.
+            if candidate_cost < reference_cost:
+                server_read_cost += reads * candidate_cost
+            else:
+                server_read_cost += reads * reference_cost
+            nearest_read_cost += reads * reference_cost
+    if writes and write_broker is not None:
+        server_write_cost = writes * topology.distance_row(write_broker)[candidate_server]
+    else:
+        server_write_cost = 0.0
+    return nearest_read_cost - server_read_cost - server_write_cost
+
+
 def build_pricing(
     topology: ClusterTopology,
     reads_by_origin: dict[int, float],
@@ -261,6 +308,7 @@ def replica_utility(
 __all__ = [
     "build_pricing",
     "estimate_profit",
+    "estimate_profit_pairs",
     "estimate_profit_values",
     "priced_profit",
     "profit_estimator",

@@ -157,6 +157,7 @@ class ClusterSimulator:
         self.strategy.bind(
             self.topology, self.graph, self.accountant, self.budget, seed=self.config.seed
         )
+        self.strategy.batch_tick = self.config.batch_tick
         self.strategy.build_initial_placement()
         self._prepared = True
 

@@ -73,6 +73,14 @@ class AccessStatistics:
         """Read counts over the sliding window, keyed by origin label.
 
         The returned dict is a shared cache — treat it as read-only.
+        Mutating it corrupts every later query until the next
+        invalidation (reads, rotations, clears), and the decision
+        kernels memoise on its identity, so aliasing bugs surface far
+        from their cause.  The array-backed twin
+        (:meth:`repro.store.tables.StatsTable.reads_by_origin`) enforces
+        the same contract with a :class:`types.MappingProxyType` view
+        when ``REPRO_CHECK_TABLES=1``; this object path keeps the plain
+        dict for speed but callers must honour the identical rule.
         """
         cached = self._origins_cache
         if cached is None:

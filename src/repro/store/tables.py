@@ -61,9 +61,13 @@ algorithms in :mod:`repro.core` and user code keep working unchanged.
 
 from __future__ import annotations
 
+import heapq
 import math
+import os
 from array import array
 from collections.abc import Iterator, Sequence
+from operator import itemgetter
+from types import MappingProxyType
 
 from ..constants import DEFAULT_COUNTER_PERIOD, DEFAULT_COUNTER_SLOTS
 from ..exceptions import StorageError
@@ -73,6 +77,30 @@ _INF = math.inf
 
 #: Sentinel for "no slot / no node / no value" in the int64 link columns.
 NO_SLOT = -1
+
+#: Utility sort key of the eviction candidate scan.  Sorting the ``(utility,
+#: slot)`` pairs on the utility *alone* keeps the sort stable on chain
+#: insertion order — slot ids are recycled through the free list, so they
+#: are not monotone in insertion order and must never act as a tie-breaker.
+_UTILITY_KEY = itemgetter(0)
+
+
+def _audit_views_enabled() -> bool:
+    """True when ``REPRO_CHECK_TABLES`` asks for read-only statistics views.
+
+    The same opt-in flag that enables the simulator's table audits also
+    hardens the shared ``reads_by_origin`` cache: query paths then receive
+    immutable mapping proxies, so any caller mutating the cache in place —
+    the aliasing hazard of handing a live cache dict to the pricing
+    functions — fails loudly instead of corrupting the statistics.
+    """
+    return os.environ.get("REPRO_CHECK_TABLES", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -160,9 +188,11 @@ class StatsTable:
         "_node_period",
         "_node_total",
         "_node_buckets",
+        "_node_alloc",
         "_node_free",
         "_node_count",
         "_origins_cache",
+        "_readonly_views",
     )
 
     def __init__(
@@ -190,12 +220,19 @@ class StatsTable:
         self._node_period: list[int] = []
         self._node_total: list[float] = []
         self._node_buckets = array("d")
+        # Allocation bitmap of the node pool: pool sweeps must skip free
+        # nodes (their windows are zeroed, and ``_alloc_node`` re-stamps the
+        # period on reuse, so touching them is pure waste).
+        self._node_alloc = bytearray()
         self._node_free = NO_SLOT
         self._node_count = 0
         # slot -> {origin: window total > 0} in first-record order, built
         # lazily and invalidated by reads, rotations and resets (the same
         # cache discipline AccessStatistics uses).
         self._origins_cache: dict[int, dict[int, float]] = {}
+        # Audit mode: serve immutable views of the shared origins cache so
+        # read-only-contract violations raise instead of corrupting state.
+        self._readonly_views = _audit_views_enabled()
 
     # ------------------------------------------------------------- lifecycle
     def append_slot(self) -> None:
@@ -250,6 +287,8 @@ class StatsTable:
             self._node_period.append(0)
             self._node_total.append(0.0)
             self._node_buckets.extend([0.0] * self.slots)
+            self._node_alloc.append(0)
+        self._node_alloc[node] = 1
         self._node_origin[node] = origin
         self._node_next[node] = NO_SLOT
         self._node_period[node] = period_index
@@ -264,6 +303,7 @@ class StatsTable:
         for index in range(base, base + self.slots):
             buckets[index] = 0.0
         self._node_total[node] = 0.0
+        self._node_alloc[node] = 0
         self._node_next[node] = self._node_free
         self._node_free = node
         self._node_count -= 1
@@ -366,15 +406,19 @@ class StatsTable:
 
         The maintenance tick's replacement for per-replica ``advance``
         calls: one flat pass over the node columns, no chain walks.  Free
-        nodes are zeroed when recycled, so fast-forwarding their (empty)
-        windows is a no-op beyond stamping the period.
+        nodes are skipped through the allocation bitmap — their windows are
+        zeroed on recycling and ``_alloc_node`` re-stamps the period on
+        reuse, so even stamping them here would be wasted work.
         """
         period_index = int(timestamp // self.period)
         slots = self.slots
         nperiod = self._node_period
         ntotal = self._node_total
         buckets = self._node_buckets
+        nalloc = self._node_alloc
         for node in range(len(nperiod)):
+            if not nalloc[node]:
+                continue
             current = nperiod[node]
             if current >= period_index:
                 continue
@@ -401,7 +445,13 @@ class StatsTable:
     def reads_by_origin(self, slot: int) -> dict[int, float]:
         """Window read totals keyed by origin, in first-record order.
 
-        The returned dict is a shared cache — treat it as read-only.
+        The returned dict is a shared cache — treat it as read-only.  The
+        cache owner (:meth:`record_read` and the engine's fused kernels)
+        updates it in place through the raw ``_origins_cache`` dicts; every
+        *query* path goes through here, so with ``REPRO_CHECK_TABLES``
+        enabled the result is wrapped in an immutable mapping proxy and any
+        caller violating the read-only contract raises a ``TypeError``
+        instead of silently corrupting the statistics.
         """
         cached = self._origins_cache.get(slot)
         if cached is None:
@@ -416,6 +466,8 @@ class StatsTable:
                     cached[norigin[node]] = total
                 node = nnext[node]
             self._origins_cache[slot] = cached
+        if self._readonly_views:
+            return MappingProxyType(cached)
         return cached
 
     def total_reads(self, slot: int) -> float:
@@ -551,6 +603,15 @@ class ReplicaTable:
         self._used: list[int] = [0] * positions
         self._capacity: list[int] = [0] * positions
         self._admission: list[float] = [0.0] * positions
+        # Per-position tick-dirty flags: set by every placement or capacity
+        # change here (statistics records and next-closest refreshes mark
+        # through the engine, which knows the touched position), cleared by
+        # the batched maintenance sweep when it re-prices a position.  A
+        # clean position is one whose pricing inputs are untouched since its
+        # last sweep, so the sweep may skip it (see ``DynaSoRe.on_tick``).
+        self._tick_dirty: list[bool] = [True] * positions
+        # Reusable scratch heap of the admission-threshold top-k selection.
+        self._threshold_scratch: list[float] = []
         self._free_head = NO_SLOT
         self._active = 0
         self.stats: StatsTable | None = (
@@ -572,6 +633,7 @@ class ReplicaTable:
         self._used.append(0)
         self._capacity.append(capacity)
         self._admission.append(0.0)
+        self._tick_dirty.append(True)
         return len(self._srv_head) - 1
 
     def ensure_position(self, position: int) -> None:
@@ -584,6 +646,11 @@ class ReplicaTable:
         if capacity < 0:
             raise StorageError("server capacity cannot be negative")
         self._capacity[position] = capacity
+        self._tick_dirty[position] = True
+
+    def mark_tick_dirty(self, position: int) -> None:
+        """Flag a position's pricing inputs as changed since its last sweep."""
+        self._tick_dirty[position] = True
 
     def capacity_of(self, position: int) -> int:
         """Nominal capacity of a position in views."""
@@ -664,6 +731,7 @@ class ReplicaTable:
         self._srv_tail[position] = slot
         self._used[position] += 1
         self._active += 1
+        self._tick_dirty[position] = True
         return slot
 
     def detach(self, slot: int) -> None:
@@ -702,6 +770,7 @@ class ReplicaTable:
         self._srv_next[slot] = NO_SLOT
         self._used[position] -= 1
         self._active -= 1
+        self._tick_dirty[position] = True
 
     def release(self, slot: int) -> None:
         """Recycle a detached slot through the free list."""
@@ -801,26 +870,52 @@ class ReplicaTable:
 
     # ------------------------------------------------- thresholds/eviction
     def update_admission_threshold(self, position: int, admission_fill: float) -> float:
-        """Recompute a position's admission threshold (paper section 3.2)."""
+        """Recompute a position's admission threshold (paper section 3.2).
+
+        The threshold is the utility of the replica sitting at the
+        admission-fill boundary: the ``fill_slots``-th most useful replica
+        of the position.  Instead of materialising and fully sorting every
+        utility, the boundary value — the maximum of the ``used -
+        fill_slots + 1`` *least* useful replicas — is selected in one chain
+        pass over a reusable bounded heap (the admission fill factor keeps
+        that heap at ~10% of the chain length).  Selection is value-
+        identical to the historical sort-and-index implementation.
+        """
         capacity = self._capacity[position]
         if capacity == 0:
             self._admission[position] = _INF
             return _INF
         fill_slots = int(admission_fill * capacity)
-        if self._used[position] <= fill_slots or fill_slots == 0:
+        used = self._used[position]
+        if used <= fill_slots or fill_slots == 0:
             self._admission[position] = 0.0
             return 0.0
-        utilities: list[float] = []
+        # Max-heap (negated min-heap) of the (used - fill_slots + 1) lowest
+        # effective utilities; its maximum is the boundary utility.
+        heap = self._threshold_scratch
+        heap.clear()
+        keep = used - fill_slots + 1
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
         slot = self._srv_head[position]
         srv_next = self._srv_next
         next_closest = self._next_closest
         utility = self._utility
         while slot != NO_SLOT:
-            utilities.append(_INF if next_closest[slot] == NO_SLOT else utility[slot])
+            negated = -_INF if next_closest[slot] == NO_SLOT else -utility[slot]
+            if len(heap) < keep:
+                heappush(heap, negated)
+            elif negated > heap[0]:
+                heapreplace(heap, negated)
             slot = srv_next[slot]
-        utilities.sort(reverse=True)
-        boundary_index = min(fill_slots, len(utilities)) - 1
-        threshold = utilities[boundary_index]
+        threshold = -heap[0]
+        # Boundary on a sole replica: the infinite threshold collapses to
+        # 0.0 (admit everything).  This mirrors ``repro.legacy`` — the seed
+        # implementation of paper section 3.2 — byte for byte; the golden
+        # parity suite pins the legacy twin, so the collapse is kept as the
+        # reference semantics rather than "fixed" (see the boundary
+        # regression tests in tests/test_tables.py, which cover both the
+        # collapsing and the finite branch).
         value = 0.0 if threshold == _INF else max(0.0, threshold)
         self._admission[position] = value
         return value
@@ -845,14 +940,27 @@ class ReplicaTable:
         return max(0, self._used[position] - self.eviction_target(position, eviction_threshold))
 
     def eviction_candidate_slots(self, position: int) -> list[int]:
-        """Evictable slots, least useful first (stable on insertion order)."""
-        candidates = [
-            slot
-            for slot in self.iter_position(position)
-            if self.effective_utility(slot) != _INF
-        ]
-        candidates.sort(key=self.effective_utility)
-        return candidates
+        """Evictable slots, least useful first (stable on insertion order).
+
+        One chain pass computing each effective utility exactly once; the
+        pairs are sorted on the utility alone (never the slot id — recycled
+        ids are not monotone in insertion order), so ``list.sort`` stability
+        preserves the chain insertion order between equal utilities, the
+        historical tie-breaking the proactive eviction pass relies on.
+        """
+        pairs: list[tuple[float, int]] = []
+        slot = self._srv_head[position]
+        srv_next = self._srv_next
+        next_closest = self._next_closest
+        utility = self._utility
+        while slot != NO_SLOT:
+            if next_closest[slot] != NO_SLOT:
+                value = utility[slot]
+                if value != _INF:
+                    pairs.append((value, slot))
+            slot = srv_next[slot]
+        pairs.sort(key=_UTILITY_KEY)
+        return [pair[1] for pair in pairs]
 
     # ----------------------------------------------------------- maintenance
     def advance_all_counters(self, timestamp: float) -> None:
@@ -922,6 +1030,35 @@ class ReplicaTable:
             raise StorageError(
                 f"slot leak: {len(free)} free + {len(seen)} live != {total_slots}"
             )
+        if len(self._tick_dirty) != len(self._srv_head):
+            raise StorageError("tick-dirty column out of step with positions")
+        # Statistics node pool: the free list and the allocation bitmap must
+        # partition the pool, and free nodes must hold zeroed windows (the
+        # invariant the batched tick sweep and ``advance_pool`` rely on to
+        # skip them).
+        stats = self.stats
+        if stats is not None:
+            free_nodes: set[int] = set()
+            node = stats._node_free
+            while node != NO_SLOT:
+                if node in free_nodes:
+                    raise StorageError(f"node {node} linked twice in the free list")
+                if stats._node_alloc[node]:
+                    raise StorageError(f"free node {node} flagged as allocated")
+                if stats._node_total[node] != 0.0:
+                    raise StorageError(f"free node {node} holds a nonzero total")
+                free_nodes.add(node)
+                node = stats._node_next[node]
+            allocated = sum(stats._node_alloc)
+            if allocated != stats._node_count:
+                raise StorageError(
+                    f"node count {stats._node_count} != bitmap total {allocated}"
+                )
+            if allocated + len(free_nodes) != len(stats._node_origin):
+                raise StorageError(
+                    f"node leak: {allocated} allocated + {len(free_nodes)} free "
+                    f"!= {len(stats._node_origin)}"
+                )
 
 
 # ---------------------------------------------------------------------------
@@ -955,11 +1092,14 @@ class StatsHandle:
 
     def reads_by_origin(self) -> dict[int, float]:
         # Fast path: Algorithms 1-3 query the same slot several times per
-        # evaluated request, so serve cache hits without a second hop.
+        # evaluated request, so serve cache hits without a second hop.  In
+        # audit mode the table wraps results in an immutable proxy, so the
+        # raw-dict shortcut must not bypass it.
         table = self.table
-        cached = table._origins_cache.get(self.slot)
-        if cached is not None:
-            return cached
+        if not table._readonly_views:
+            cached = table._origins_cache.get(self.slot)
+            if cached is not None:
+                return cached
         return table.reads_by_origin(self.slot)
 
     def total_reads(self) -> float:
@@ -1039,7 +1179,9 @@ class ReplicaHandle:
 
     @utility.setter
     def utility(self, value: float) -> None:
-        self.table._utility[self.slot] = value
+        table = self.table
+        table._utility[self.slot] = value
+        table._tick_dirty[table._server[self.slot]] = True
 
     @property
     def write_proxy_broker(self) -> int | None:
@@ -1048,7 +1190,9 @@ class ReplicaHandle:
 
     @write_proxy_broker.setter
     def write_proxy_broker(self, value: int | None) -> None:
-        self.table._write_proxy[self.slot] = NO_SLOT if value is None else value
+        table = self.table
+        table._write_proxy[self.slot] = NO_SLOT if value is None else value
+        table._tick_dirty[table._server[self.slot]] = True
 
     @property
     def next_closest_replica(self) -> int | None:
@@ -1057,7 +1201,9 @@ class ReplicaHandle:
 
     @next_closest_replica.setter
     def next_closest_replica(self, value: int | None) -> None:
-        self.table._next_closest[self.slot] = NO_SLOT if value is None else value
+        table = self.table
+        table._next_closest[self.slot] = NO_SLOT if value is None else value
+        table._tick_dirty[table._server[self.slot]] = True
 
     @property
     def is_sole_replica(self) -> bool:

@@ -19,6 +19,7 @@ Three layers of protection for the struct-of-arrays refactor:
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
@@ -330,3 +331,174 @@ def test_spar_crash_counters_consistent():
     table.check_integrity()
     simulator.restore_server(crashed, now=20.0)
     table.check_integrity()
+
+
+# ---------------------------------------------------------------------------
+# Maintenance-tick primitives: pool rotation, thresholds, eviction ordering
+# ---------------------------------------------------------------------------
+def _churned_stats_pair(seed: int):
+    """Two StatsTables driven through identical record/alloc/free churn."""
+    rng = random.Random(seed)
+    pooled = StatsTable(slots=6, period=10.0)
+    scalar = StatsTable(slots=6, period=10.0)
+    live: list[int] = []
+    cleared: list[int] = []
+    total_slots = 0
+    clock = 0.0
+    for _ in range(400):
+        clock += rng.random() * 9.0
+        op = rng.random()
+        if op < 0.15 or not live:
+            pooled.append_slot()
+            scalar.append_slot()
+            live.append(total_slots)
+            total_slots += 1
+        elif op < 0.25 and len(live) > 1:
+            # Free a slot mid-stream: its counter nodes go to the free list
+            # (the pool sweep must skip them via the allocation bitmap).
+            slot = live.pop(rng.randrange(len(live)))
+            pooled.reset_slot(slot)
+            scalar.reset_slot(slot)
+            cleared.append(slot)
+        elif op < 0.35 and cleared:
+            # Revive a cleared slot so freed nodes get recycled too.
+            slot = cleared.pop()
+            live.append(slot)
+        elif op < 0.75:
+            slot = rng.choice(live)
+            origin = rng.randrange(5)
+            pooled.record_read(slot, origin, clock)
+            scalar.record_read(slot, origin, clock)
+        else:
+            slot = rng.choice(live)
+            pooled.record_write(slot, clock)
+            scalar.record_write(slot, clock)
+    return pooled, scalar, total_slots, clock
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_advance_pool_equals_per_slot_advance_after_churn(seed):
+    """Pool rotation == per-slot rotation on every column, after churn.
+
+    Regression for the pool sweep walking recycled (free-listed) counter
+    nodes: after random record/alloc/free churn, ``advance_pool`` must
+    leave byte-identical node columns to advancing every slot through
+    ``advance_slot`` — including the windows of freed nodes, which neither
+    path may touch.
+    """
+    rng = random.Random(1000 + seed)
+    pooled, scalar, total_slots, clock = _churned_stats_pair(seed)
+    horizon = clock + rng.random() * 130.0
+    pooled.advance_pool(horizon)
+    for slot in range(total_slots):
+        scalar.advance_slot(slot, horizon)
+    assert list(pooled._node_period) == list(scalar._node_period)
+    assert list(pooled._node_total) == list(scalar._node_total)
+    assert list(pooled._node_buckets) == list(scalar._node_buckets)
+    assert list(pooled._node_alloc) == list(scalar._node_alloc)
+    for slot in range(total_slots):
+        assert list(pooled.reads_by_origin(slot).items()) == list(
+            scalar.reads_by_origin(slot).items()
+        )
+        assert pooled.total_writes(slot) == scalar.total_writes(slot)
+
+
+def _threshold_fixture(utilities):
+    """Matched legacy server and replica table holding ``utilities``.
+
+    Each entry is ``(utility, sole)``; sole replicas have no next-closest
+    sibling and price as infinitely useful at the admission boundary.
+    """
+    from repro.legacy.server import LegacyStorageServer
+
+    legacy = LegacyStorageServer(
+        server_index=0, capacity=3, admission_fill=0.67
+    )
+    table = ReplicaTable(positions=1)
+    table.set_capacity(0, 3)
+    for user, (utility, sole) in enumerate(utilities):
+        replica = legacy.add_replica(user)
+        slot = table.allocate(user, 0)
+        if sole:
+            replica.next_closest_replica = None
+        else:
+            replica.next_closest_replica = 7
+            replica.utility = utility
+            table._next_closest[slot] = 7
+            table._utility[slot] = utility
+    return legacy, table
+
+
+@pytest.mark.parametrize(
+    "utilities, expected",
+    [
+        # Fill boundary (capacity 3, fill 0.67 -> 2nd most useful) lands on
+        # a sole replica: the infinite threshold collapses to 0.0 ("admit
+        # everything").  Pinned as the legacy reference semantics of paper
+        # section 3.2 rather than fixed: the boundary replica cannot be
+        # displaced anyway, so a 0.0 threshold only ever under-filters, and
+        # the golden parity suite holds the seed behaviour byte for byte.
+        ([(0.0, True), (0.0, True), (5.0, False)], 0.0),
+        # Finite boundary: plain 2nd-largest utility.
+        ([(0.0, True), (7.0, False), (5.0, False)], 7.0),
+        ([(9.0, False), (7.0, False), (5.0, False)], 7.0),
+        # Negative boundary clamps at zero.
+        ([(0.0, True), (-3.0, False), (-5.0, False)], 0.0),
+    ],
+)
+def test_admission_threshold_boundary_matches_legacy(utilities, expected):
+    """Top-k selection == legacy sort-and-index, including the collapse."""
+    legacy, table = _threshold_fixture(utilities)
+    legacy_value = legacy.update_admission_threshold()
+    table_value = table.update_admission_threshold(0, admission_fill=0.67)
+    assert legacy_value == expected
+    assert table_value == expected
+    assert table.admission_thresholds[0] == expected
+
+
+def test_admission_threshold_under_fill_and_zero_capacity():
+    table = ReplicaTable(positions=1)
+    # Zero capacity (a crashed server): infinite threshold, admit nothing.
+    assert table.update_admission_threshold(0, admission_fill=0.9) == math.inf
+    # Below the fill boundary: threshold 0, admit everything.
+    table.set_capacity(0, 3)
+    table.allocate(1, 0)
+    assert table.update_admission_threshold(0, admission_fill=0.9) == 0.0
+
+
+def test_eviction_candidates_stable_on_insertion_order_with_recycled_slots():
+    """Equal utilities keep chain insertion order, not slot-id order.
+
+    Recycled slot ids are not monotone in insertion order, so the sort key
+    must never tie-break on the slot: after freeing and re-allocating the
+    middle slot, the chain reads [0, 2, 1] and the candidate list must too.
+    """
+    table = ReplicaTable(positions=1)
+    table.set_capacity(0, 4)
+    slots = [table.allocate(user, 0) for user in (10, 11, 12)]
+    table.free(slots[1])
+    recycled = table.allocate(13, 0)  # reuses slot id 1, chained at the tail
+    assert recycled == slots[1]
+    chain = table.position_slots(0)
+    assert chain == [slots[0], slots[2], recycled]
+    for slot in chain:
+        table._next_closest[slot] = 7
+        table._utility[slot] = 3.0
+    assert table.eviction_candidate_slots(0) == chain
+    # Sole replicas and infinite utilities never become candidates.
+    table._next_closest[slots[2]] = -1
+    assert table.eviction_candidate_slots(0) == [slots[0], recycled]
+    table._utility[recycled] = math.inf
+    assert table.eviction_candidate_slots(0) == [slots[0]]
+
+
+def test_eviction_candidates_sort_on_utility_first():
+    table = ReplicaTable(positions=1)
+    table.set_capacity(0, 4)
+    values = {20: 5.0, 21: -2.0, 22: 1.0}
+    for user, value in values.items():
+        slot = table.allocate(user, 0)
+        table._next_closest[slot] = 9
+        table._utility[slot] = value
+    ordered = [table.user_of(slot) for slot in table.eviction_candidate_slots(0)]
+    assert ordered == [21, 22, 20]

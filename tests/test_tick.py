@@ -1,0 +1,343 @@
+"""Batched vs per-slot maintenance tick parity (the fused column sweep).
+
+``DynaSoRe.on_tick`` dispatches between the fused column sweep (rotation +
+utility refresh + threshold recompute in one chain walk per dirty position)
+and the per-slot reference path; the contract is that both produce
+**byte-identical** :class:`SimulationResult`\\ s for every strategy,
+scenario and fault/tick interleaving.  This suite pins that contract, plus
+the dirty-set tracking the sweep relies on:
+
+* the full strategy × scenario matrix with ``batch_tick`` toggled;
+* property tests over random interleavings of faults, maintenance ticks and
+  replay modes (``batch_replay`` is drawn at random so the tick sweep is
+  exercised against both request paths);
+* convergence: positions untouched between ticks are skipped outright (no
+  pricing, no threshold recompute) until a counter window expires;
+* the negative-utility removal pass and the proactive eviction pass
+  interact deterministically across both tick paths;
+* the read-only origin views handed out under ``REPRO_CHECK_TABLES=1``
+  (the shared ``_origins_cache`` dict must not leak mutable on the pricing
+  path), and a full audited run through the batched sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from parity import SCENARIOS, canonical_result_bytes, parity_cluster, parity_graph, parity_stream
+from repro.config import ClusterSpec, DynaSoReConfig, SimulationConfig
+from repro.constants import HOUR
+from repro.runtime.spec import STRATEGY_KEYS, build_strategy
+from repro.simulator.engine import ClusterSimulator
+from repro.store.tables import NO_SLOT
+from repro.topology.tree import TreeTopology
+
+from test_batching import _RandomFaultScenario, _random_stream
+
+
+def _run_tick_matrix(strategy_key: str, scenario_key: str, batch_tick: bool):
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=120)
+    stream = parity_stream(graph, days=0.25)
+    strategy = build_strategy(strategy_key, 7, DynaSoReConfig())
+    config = SimulationConfig(extra_memory_pct=60.0, seed=7, batch_tick=batch_tick)
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=config, scenario=SCENARIOS[scenario_key]()
+    )
+    return simulator.run(stream)
+
+
+@pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+@pytest.mark.parametrize("strategy_key", STRATEGY_KEYS)
+def test_batched_tick_byte_identical(strategy_key, scenario_key):
+    """The fused sweep must not change a single byte of the result."""
+    batched = _run_tick_matrix(strategy_key, scenario_key, batch_tick=True)
+    per_slot = _run_tick_matrix(strategy_key, scenario_key, batch_tick=False)
+    assert canonical_result_bytes(batched) == canonical_result_bytes(per_slot)
+
+
+def _interleaving_run(seed: int, batch_tick: bool):
+    """Random workload, faults, tick cadence and replay mode; tick toggled."""
+    rng = random.Random(seed)
+    spec = ClusterSpec(
+        intermediate_switches=2,
+        racks_per_intermediate=2,
+        machines_per_rack=3,
+        brokers_per_rack=1,
+    )
+    topology = TreeTopology(spec)
+    graph = parity_graph(users=80, seed=seed)
+    horizon = rng.uniform(4 * HOUR, 30 * HOUR)
+    stream = _random_stream(rng, users=80, horizon=horizon)
+    strategy_key = rng.choice(STRATEGY_KEYS)
+    strategy = build_strategy(strategy_key, 7, DynaSoReConfig())
+    config = SimulationConfig(
+        extra_memory_pct=rng.choice([40.0, 60.0, 100.0]),
+        tick_period=rng.choice([HOUR / 2, HOUR, 2 * HOUR]),
+        measure_from=rng.choice([0.0, HOUR]),
+        seed=7,
+        batch_replay=rng.random() < 0.5,
+        batch_tick=batch_tick,
+    )
+    scenario = _RandomFaultScenario(
+        seed=seed, horizon=horizon, servers=len(topology.servers)
+    )
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=config, scenario=scenario
+    )
+    result = simulator.run(stream)
+    return result, simulator.accountant.snapshot()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_tick_interleavings_byte_identical(seed):
+    """Faults, tick cadence and replay mode never separate the two ticks.
+
+    Each seed draws a random strategy, workload, fault schedule, tick
+    period and replay mode (batched or per-event); flipping only
+    ``batch_tick`` must leave the result and the traffic snapshot
+    byte-identical.
+    """
+    result_a, snapshot_a = _interleaving_run(seed, batch_tick=True)
+    result_b, snapshot_b = _interleaving_run(seed, batch_tick=False)
+    assert canonical_result_bytes(result_a) == canonical_result_bytes(result_b)
+    assert snapshot_a == snapshot_b
+
+
+def test_batch_tick_disabled_matches_default():
+    """``batch_tick=False`` is the reference path and changes nothing."""
+    on = _run_tick_matrix("dynasore_hmetis", "plain", batch_tick=True)
+    off = _run_tick_matrix("dynasore_hmetis", "plain", batch_tick=False)
+    assert canonical_result_bytes(on) == canonical_result_bytes(off)
+
+
+# ---------------------------------------------------------------------------
+# Dirty-set tracking: converged positions skip the sweep
+# ---------------------------------------------------------------------------
+def test_converged_positions_skip_sweep():
+    """With no traffic between ticks, the sweep prices nothing at all.
+
+    After one sweep every position is clean; until a counter window is due
+    to drop history (24 hours after the last record), subsequent ticks must
+    skip pricing and threshold recomputation entirely.
+    """
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=80)
+    stream = parity_stream(graph, days=0.1)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=SimulationConfig(seed=7)
+    )
+    simulator.run(stream)
+
+    table = strategy.tables
+    # The run's final tick may still evict (evictions re-dirty the touched
+    # positions); one quiet settling tick later the placement is converged.
+    # Dirty sweeps publish the lazy "sweep again next tick" bound, so a
+    # second quiet tick is needed before the exact expiry bounds exist.
+    strategy.on_tick(strategy._last_tick + HOUR)
+    assert not any(table._tick_dirty)
+    strategy.on_tick(strategy._last_tick + HOUR)
+    assert not any(table._tick_dirty)
+
+    threshold_calls: list[int] = []
+    original = table.update_admission_threshold
+
+    def spy(position, admission_fill):
+        threshold_calls.append(position)
+        return original(position, admission_fill)
+
+    table.update_admission_threshold = spy
+    try:
+        # No position is dirty and no window is near expiry (the workload
+        # spans ~2.4 hours, windows hold 24): the sweep must skip them all.
+        strategy.on_tick(strategy._last_tick + 2 * HOUR)
+    finally:
+        del table.update_admission_threshold
+    assert threshold_calls == []
+    assert not any(table._tick_dirty)
+
+
+def test_sweep_reprices_after_traffic():
+    """A read between ticks re-dirties exactly the touched positions."""
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=80)
+    stream = parity_stream(graph, days=0.1)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology, graph, strategy, config=SimulationConfig(seed=7)
+    )
+    simulator.run(stream)
+    table = strategy.tables
+    quiet = strategy._last_tick + HOUR
+    strategy.on_tick(quiet)
+    assert not any(table._tick_dirty)
+    reader = next(iter(graph.users))
+    strategy.execute_read(reader, quiet + 60.0)
+    touched = {
+        position for position, dirty in enumerate(table._tick_dirty) if dirty
+    }
+    assert touched
+
+    swept: list[int] = []
+    original = table.update_admission_threshold
+
+    def spy(position, admission_fill):
+        swept.append(position)
+        return original(position, admission_fill)
+
+    table.update_admission_threshold = spy
+    try:
+        strategy.on_tick(quiet + HOUR)
+    finally:
+        del table.update_admission_threshold
+    # Every position the read touched was re-priced; the sweep never
+    # reprices more than the dirty set (the read may cascade into
+    # placement changes, which dirty further positions for the next tick).
+    assert touched <= set(swept)
+
+
+# ---------------------------------------------------------------------------
+# Negative-utility removal x proactive eviction, across both tick paths
+# ---------------------------------------------------------------------------
+def _placement_fingerprint(strategy):
+    table = strategy.tables
+    return (
+        [(user, table.user_positions(user)) for user in sorted(table.users())],
+        list(table.admission_thresholds),
+        [table._utility[slot] for slot in range(len(table._utility))
+         if table._server[slot] != NO_SLOT],
+    )
+
+
+def _negative_utility_course(batch_tick: bool):
+    """Drive a replica from creation to negative-utility removal by hand.
+
+    A remote reader's traffic replicates an author's view near the reader;
+    the reads then stop while the author keeps writing, so once the read
+    windows rotate out, the replica's upkeep cost exceeds its benefit and
+    the tick's negative-utility pass must drop it — at the same tick on
+    both paths.
+    """
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=40)
+    strategy = build_strategy("dynasore_random", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology,
+        graph,
+        strategy,
+        config=SimulationConfig(
+            extra_memory_pct=200.0, seed=7, batch_tick=batch_tick
+        ),
+    )
+    simulator.prepare()
+    table = strategy.tables
+    users = list(graph.users)
+    # Find a reader whose proxy sits away from the author's replica, so the
+    # read traffic actually motivates a second replica (Algorithm 2).
+    author = None
+    for candidate_author in users:
+        for candidate_reader in users:
+            if candidate_reader == candidate_author:
+                continue
+            for step in range(6):
+                strategy.execute_read(
+                    candidate_reader, 60.0 * step, targets=(candidate_author,)
+                )
+            if table.user_replica_count(candidate_author) > 1:
+                author = candidate_author
+                break
+        if author is not None:
+            break
+    assert author is not None, "no read pattern produced a replication"
+
+    course = [_placement_fingerprint(strategy)]
+    for hour in range(1, 30):
+        now = hour * HOUR
+        # Steady writes keep the upkeep cost alive while the reads decay.
+        for burst in range(5):
+            strategy.execute_write(author, now - 1800.0 + burst * 60.0)
+        strategy.on_tick(now)
+        course.append(_placement_fingerprint(strategy))
+    return course, table.user_replica_count(author)
+
+
+def test_negative_removal_and_eviction_interact_deterministically():
+    """Both tick paths walk the same removal course, tick for tick."""
+    course_batched, final_batched = _negative_utility_course(batch_tick=True)
+    course_reference, final_reference = _negative_utility_course(batch_tick=False)
+    assert course_batched == course_reference
+    # The decayed replica was actually removed by the negative pass.
+    assert final_batched == 1
+    assert final_reference == 1
+
+
+# ---------------------------------------------------------------------------
+# Read-only origin views under REPRO_CHECK_TABLES (shared-cache aliasing)
+# ---------------------------------------------------------------------------
+def test_audit_mode_serves_readonly_origin_views(monkeypatch):
+    from types import MappingProxyType
+
+    from repro.store.tables import ReplicaTable
+
+    monkeypatch.setenv("REPRO_CHECK_TABLES", "1")
+    table = ReplicaTable(positions=2)
+    slot = table.allocate(1, 0)
+    table.stats.record_read(slot, origin=3, timestamp=0.0)
+    table.stats.record_read(slot, origin=5, timestamp=10.0)
+    view = table.stats.reads_by_origin(slot)
+    assert isinstance(view, MappingProxyType)
+    assert dict(view) == {3: 1.0, 5: 1.0}
+    with pytest.raises(TypeError):
+        view[3] = 99.0
+    # The underlying cache stays writable for its owner (the record path).
+    table.stats.record_read(slot, origin=3, timestamp=20.0)
+    assert dict(table.stats.reads_by_origin(slot)) == {3: 2.0, 5: 1.0}
+
+
+def test_default_mode_serves_raw_cache_dict(monkeypatch):
+    from repro.store.tables import ReplicaTable
+
+    monkeypatch.delenv("REPRO_CHECK_TABLES", raising=False)
+    table = ReplicaTable(positions=1)
+    slot = table.allocate(1, 0)
+    table.stats.record_read(slot, origin=2, timestamp=0.0)
+    view = table.stats.reads_by_origin(slot)
+    assert isinstance(view, dict)
+    # Shared cache: same object on the next query (the fast path the
+    # decision kernel's candidate memo keys on).
+    assert table.stats.reads_by_origin(slot) is view
+
+
+def test_audit_mode_prices_through_readonly_views(monkeypatch):
+    """Algorithm 1 works unchanged on the immutable origin views."""
+    monkeypatch.setenv("REPRO_CHECK_TABLES", "1")
+    topology, _ = parity_cluster()
+    graph = parity_graph(users=80)
+    stream = parity_stream(graph, days=0.25)
+    strategy = build_strategy("dynasore_hmetis", 7, DynaSoReConfig())
+    simulator = ClusterSimulator(
+        topology,
+        graph,
+        strategy,
+        config=SimulationConfig(seed=7, batch_tick=True),
+        scenario=SCENARIOS["crash"](),
+    )
+    assert simulator._check_tables
+    result = simulator.run(stream)
+    assert result.requests_executed > 0
+
+
+def test_audited_batched_tick_matches_unaudited(monkeypatch):
+    """The audit views are observation-only: results stay byte-identical."""
+
+    def run(audit: bool):
+        if audit:
+            monkeypatch.setenv("REPRO_CHECK_TABLES", "1")
+        else:
+            monkeypatch.delenv("REPRO_CHECK_TABLES", raising=False)
+        return _run_tick_matrix("dynasore_metis", "plain", batch_tick=True)
+
+    assert canonical_result_bytes(run(True)) == canonical_result_bytes(run(False))
