@@ -56,6 +56,17 @@ class PlacementStrategy(ABC):
     #: the flag.
     batch_tick: bool = True
 
+    #: Whether request execution is a *pure measurement* over placement
+    #: state that only system events (edges, faults, ticks) mutate.  Pure
+    #: strategies may have their request stream partitioned across shard
+    #: workers: each worker replays every system event (keeping placement
+    #: replicated and identical) but only its owned requests, and the merged
+    #: traffic is byte-identical to the single-process run.  ``False`` (the
+    #: safe default) means reads/writes feed back into placement decisions —
+    #: DynaSoRe's per-replica statistics and Algorithms 2/3 — so the sharded
+    #: runner degrades to replicated execution for exactness.
+    shard_requests_pure: bool = False
+
     def __init__(self) -> None:
         self.topology: ClusterTopology | None = None
         self.graph: SocialGraph | None = None
@@ -242,7 +253,15 @@ class StaticPlacementStrategy(PlacementStrategy):
     A static strategy stores exactly one replica per view, never changes the
     placement during the run, and deploys both proxies of a user on the
     broker associated with the server holding her view (paper section 4.1).
+
+    Requests are pure measurements here: every initial graph user is
+    assigned up front by ``build_initial_placement`` and reads/writes never
+    move replicas, so the sharded runner may partition the request stream
+    (lazy placement only fires for users *outside* the initial graph, which
+    the shard workers' closed-universe guard excludes).
     """
+
+    shard_requests_pure = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -47,6 +47,11 @@ class SparPlacement(PlacementStrategy):
 
     name = "spar"
 
+    #: SPAR moves replicas on *edge* events (co-location) and faults, never
+    #: on reads or writes — requests are pure measurements, so the sharded
+    #: runner may partition the request stream across workers.
+    shard_requests_pure = True
+
     def __init__(self, seed: int = 7) -> None:
         super().__init__()
         self.seed = seed

@@ -9,11 +9,14 @@ from .hierarchical import (
 from .kway import PartitionResult, partition_kway, random_partition
 from .quality import balance_ratio, edge_cut, part_weights, validate_partition
 from .refine import rebalance_partition, refine_partition
+from .sharding import ShardAssignment, assign_user_shards
 
 __all__ = [
     "CoarseGraph",
     "HierarchicalPartitionResult",
     "PartitionResult",
+    "ShardAssignment",
+    "assign_user_shards",
     "balance_ratio",
     "coarsen_once",
     "coarsen_to_size",

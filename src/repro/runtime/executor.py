@@ -20,7 +20,7 @@ import pickle
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from ..simulator.results import SimulationResult
@@ -62,7 +62,7 @@ def run_materialised(
     return simulator.run(log)
 
 
-def execute_spec(spec: RunSpec) -> SimulationResult:
+def execute_spec(spec: RunSpec, shard_progress=None) -> SimulationResult:
     """Run one spec from scratch and return its result.
 
     Everything is rebuilt from the spec (topology, graph, stream, strategy),
@@ -70,7 +70,17 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     property that makes both caching and process-level parallelism safe.
     The workload is consumed as a lazy chunk stream: a worker never holds
     more than one chunk of events in memory.
+
+    A spec with ``shards > 1`` replays through the sharded engine
+    (:func:`repro.simulator.shard.run_spec_sharded`) — byte-identical to the
+    single-process path by contract, so both routes share one cache entry.
+    ``shard_progress`` (optional) receives the workers'
+    :class:`~repro.simulator.shard.ShardHeartbeat` liveness reports.
     """
+    if spec.shards > 1:
+        from ..simulator.shard import run_spec_sharded
+
+        return run_spec_sharded(spec, spec.shards, progress=shard_progress)
     topology = spec.topology.build()
     graph = spec.graph.build()
     stream, workload_tracked = spec.workload.build_stream(graph)
@@ -143,12 +153,19 @@ class Progress:
     elapsed: float
     #: Estimated seconds remaining (None until one run has finished live).
     eta: float | None
+    #: Optional free-text detail — e.g. a per-shard heartbeat line while a
+    #: sharded run is in flight.
+    note: str | None = None
 
     def describe(self) -> str:
         """Human-readable one-liner for progress displays."""
         eta = f", eta {self.eta:.0f}s" if self.eta is not None else ""
         cached = f" ({self.cached} cached)" if self.cached else ""
-        return f"{self.completed}/{self.total} runs{cached}, {self.elapsed:.0f}s elapsed{eta}"
+        note = f" — {self.note}" if self.note else ""
+        return (
+            f"{self.completed}/{self.total} runs{cached}, "
+            f"{self.elapsed:.0f}s elapsed{eta}{note}"
+        )
 
 
 ProgressCallback = Callable[[Progress], None]
@@ -167,7 +184,14 @@ class RuntimeExecutor:
         live result is written back.
     progress:
         Optional callback invoked with a :class:`Progress` after every
-        completed run.
+        completed run, and (serial backend only) whenever a shard worker
+        of an in-flight sharded run reports a heartbeat.
+    shards:
+        Intra-run parallelism: rewrite every spec to replay across this many
+        shard worker processes (see :mod:`repro.simulator.shard`).  Results
+        are byte-identical to ``shards=1``, so the cache is shared across
+        shard counts.  Composes with ``jobs`` — each pool worker may itself
+        fan out — but ``jobs=1`` with ``shards=N`` is the intended pairing.
     """
 
     def __init__(
@@ -175,17 +199,26 @@ class RuntimeExecutor:
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
+        shards: int = 1,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.shards = shards
 
     # ------------------------------------------------------------------ runs
     def run(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
         """Execute every spec and return results in spec order."""
         specs = list(specs)
+        if self.shards > 1:
+            specs = [
+                spec if spec.shards == self.shards else replace(spec, shards=self.shards)
+                for spec in specs
+            ]
         results: list[SimulationResult | None] = [None] * len(specs)
         started = time.perf_counter()
         cached = 0
@@ -227,7 +260,12 @@ class RuntimeExecutor:
         live_time = 0.0
         for index in pending:
             t0 = time.perf_counter()
-            result = execute_spec(specs[index])
+            result = execute_spec(
+                specs[index],
+                shard_progress=self._shard_heartbeat(
+                    len(specs) - len(pending) + live_done, len(specs), cached, started
+                ),
+            )
             live_time += time.perf_counter() - t0
             live_done += 1
             results[index] = result
@@ -274,6 +312,29 @@ class RuntimeExecutor:
                     )
 
     # -------------------------------------------------------------- progress
+    def _shard_heartbeat(self, completed, total, cached, started):
+        """Adapter turning shard worker heartbeats into :class:`Progress`.
+
+        Returns None when no progress callback is installed so the shard
+        coordinator skips heartbeat plumbing entirely.
+        """
+        if self.progress is None:
+            return None
+
+        def forward(beat) -> None:
+            self.progress(
+                Progress(
+                    completed=completed,
+                    total=total,
+                    cached=cached,
+                    elapsed=time.perf_counter() - started,
+                    eta=None,
+                    note=beat.describe(),
+                )
+            )
+
+        return forward
+
     def _report(
         self,
         completed: int,

@@ -4,15 +4,31 @@ from .clock import SimulationClock
 from .engine import ClusterSimulator
 from .results import FaultRecord, ReplicaTimeline, SimulationResult
 from .runner import StrategyFactory, normalise_results, run_comparison, run_simulation
+from .shard import (
+    ShardHeartbeat,
+    ShardMaterials,
+    ShardRunReport,
+    materials_from_spec,
+    run_sharded,
+    run_sharded_detailed,
+    run_spec_sharded,
+)
 
 __all__ = [
     "ClusterSimulator",
     "FaultRecord",
     "ReplicaTimeline",
+    "ShardHeartbeat",
+    "ShardMaterials",
+    "ShardRunReport",
     "SimulationClock",
     "SimulationResult",
     "StrategyFactory",
+    "materials_from_spec",
     "normalise_results",
     "run_comparison",
+    "run_sharded",
+    "run_sharded_detailed",
+    "run_spec_sharded",
     "run_simulation",
 ]

@@ -53,11 +53,12 @@ import math
 import os
 from bisect import bisect_left
 from collections.abc import Callable
+from itertools import compress
 from typing import TYPE_CHECKING
 
 from ..config import SimulationConfig
 from ..constants import MINUTE
-from ..exceptions import SimulationError
+from ..exceptions import ShardFallbackError, SimulationError
 from ..baselines.base import PlacementStrategy
 from ..persistence.backend import PersistentStore
 from ..socialgraph.graph import SocialGraph
@@ -81,6 +82,13 @@ from .results import FaultRecord, ReplicaTimeline, SimulationResult
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scenarios.base import Scenario
     from ..scenarios.events import FaultEvent
+    from .shard import ShardContext
+
+#: Owner-map byte marking a user id outside the initial social graph.  The
+#: partitioned replay loop treats any event touching such a user as an
+#: open-universe violation and falls back to replicated execution, so the
+#: sentinel bounds partitioned runs to 255 shards.
+UNOWNED = 0xFF
 
 
 class ClusterSimulator:
@@ -94,6 +102,7 @@ class ClusterSimulator:
         config: SimulationConfig | None = None,
         scenario: "Scenario | None" = None,
         persistent_store: PersistentStore | None = None,
+        shard_context: "ShardContext | None" = None,
     ) -> None:
         self.topology = topology
         self.graph = graph
@@ -142,6 +151,25 @@ class ClusterSimulator:
         }
         self._reads_executed = 0
         self._writes_executed = 0
+        #: Sharded-replay context (``repro.simulator.shard``): ownership map
+        #: for partitioned request execution plus the worker's heartbeat.
+        self._shard_context = shard_context
+        #: Per-chunk progress callback ``(events_done, sim_time)`` — served
+        #: by both the batched and the partitioned loop, so replicated-mode
+        #: shard workers report liveness through the standard path too.
+        self._chunk_callback = (
+            shard_context.heartbeat if shard_context is not None else None
+        )
+        #: In a partitioned run every worker replays the full system-event
+        #: stream (faults, ticks, edge mutations) to keep placement state
+        #: replicated, but only shard 0 may *account* for it — the others
+        #: mute the accountant around those sections so the merged traffic
+        #: counts each system message exactly once.
+        self._shard_system_mute = (
+            shard_context is not None
+            and shard_context.partitioned
+            and shard_context.shard_id != 0
+        )
         #: Opt-in auditing mode: with ``REPRO_CHECK_TABLES=1`` in the
         #: environment, the placement tables of table-backed strategies are
         #: integrity-checked after every maintenance tick and fault burst.
@@ -154,11 +182,20 @@ class ClusterSimulator:
         """Bind the strategy to the cluster and build the initial placement."""
         if self._prepared:
             return
-        self.strategy.bind(
-            self.topology, self.graph, self.accountant, self.budget, seed=self.config.seed
-        )
-        self.strategy.batch_tick = self.config.batch_tick
-        self.strategy.build_initial_placement()
+        if self._shard_system_mute:
+            # Initial placement is deterministic construction, not traffic,
+            # but mute it anyway on non-primary shards: a strategy that did
+            # record here would otherwise be counted once per worker.
+            self.accountant.push_mute()
+        try:
+            self.strategy.bind(
+                self.topology, self.graph, self.accountant, self.budget, seed=self.config.seed
+            )
+            self.strategy.batch_tick = self.config.batch_tick
+            self.strategy.build_initial_placement()
+        finally:
+            if self._shard_system_mute:
+                self.accountant.pop_mute()
         self._prepared = True
 
     def track_view(self, user: int) -> None:
@@ -313,6 +350,18 @@ class ClusterSimulator:
         sequence of strategy, store and hook calls, so they produce
         byte-identical results.
         """
+        context = self._shard_context
+        if context is not None and context.partitioned:
+            if (
+                not self.config.batch_replay
+                or self._post_request_hooks
+                or self._tracked_views
+            ):
+                raise SimulationError(
+                    "partitioned shard replay requires the batched path: no "
+                    "post-request hooks, no tracked views, batch_replay=True"
+                )
+            return self._replay_stream_sharded(stream, clock, context)
         if (
             self.config.batch_replay
             and not self._post_request_hooks
@@ -466,6 +515,234 @@ class ClusterSimulator:
                     raise SimulationError(f"unknown event kind {kind}")
             executed += n
             last_time = times[n - 1]
+            if self._chunk_callback is not None:
+                self._chunk_callback(executed, last_time)
+        self._reads_executed += reads
+        self._writes_executed += writes
+        return executed, first_time, last_time
+
+    def _replay_stream_sharded(
+        self, stream: EventStream, clock: SimulationClock, context: "ShardContext"
+    ) -> tuple[int, float, float]:
+        """Partitioned replay: full system stream, owned requests only.
+
+        The decision plane is *replicated*: every worker applies every edge
+        mutation, fault burst and maintenance tick, so placement state
+        evolves identically in all workers (the coordinator audits this with
+        placement digests).  The measurement plane is *partitioned*: each
+        read/write run is filtered down to the events owned by this shard —
+        a 256-byte ``translate`` turns the per-event owner bytes into a
+        selector, and ``itertools.compress`` gathers the owned columns at C
+        speed — and dispatched through the same kernels as the batched loop,
+        one call per gathered run.  Runs fully owned by this shard take the
+        batched loop's exact dispatch; runs with no owned events are
+        skipped.
+
+        Exactness rests on the strategy being ``shard_requests_pure`` (the
+        coordinator checks) and on a **closed user universe**: an event
+        touching a user outside the initial graph could trigger lazy
+        placement, which partitioned request streams would replay in a
+        different order.  The guard is per chunk and C-speed — unknown
+        owners surface as the :data:`UNOWNED` sentinel in the owner bytes,
+        edge endpoints are checked with ``bytes.find`` loops over the rare
+        edge kinds — and raises :class:`ShardFallbackError` *before* any
+        event of the offending chunk executes, so the coordinator can
+        restart in replicated mode from unchanged inputs.
+        """
+        strategy = self.strategy
+        execute_read = strategy.execute_read
+        execute_write = strategy.execute_write
+        execute_read_batch = strategy.execute_read_batch
+        execute_request_batch = strategy.execute_request_batch
+        accountant = self.accountant
+        fault_events = self._fault_events
+        next_fault_time = (
+            fault_events[self._next_fault].timestamp
+            if self._next_fault < len(fault_events)
+            else math.inf
+        )
+        next_tick = clock.pending_tick()
+        store = self.persistent_store
+
+        shard_id = context.shard_id
+        owner_map = context.owner_map
+        owner_map_get = owner_map.__getitem__
+        # owner byte -> selector byte (1 = owned by this shard).
+        selector_table = bytes(
+            1 if value == shard_id else 0 for value in range(256)
+        )
+        heartbeat = self._chunk_callback
+
+        executed = 0
+        reads = 0
+        writes = 0
+        first_time = 0.0
+        last_time = 0.0
+        for chunk in stream.chunks():
+            times = chunk.timestamps
+            n = len(times)
+            if n == 0:
+                continue
+            if executed == 0:
+                first_time = times[0]
+            kinds = chunk.kinds.tobytes()
+            users = chunk.users
+            aux = chunk.aux
+            # Closed-universe guard (nothing of this chunk has executed yet).
+            try:
+                owners = bytes(map(owner_map_get, users))
+            except IndexError:
+                raise ShardFallbackError(
+                    "event references a user id beyond the initial graph"
+                ) from None
+            if owners.find(UNOWNED) != -1:
+                raise ShardFallbackError(
+                    "event references a user outside the initial graph"
+                )
+            for edge_kind in (KIND_EDGE_ADD, KIND_EDGE_REMOVE):
+                position = kinds.find(edge_kind)
+                while position != -1:
+                    endpoint = aux[position]
+                    if (
+                        not 0 <= endpoint < len(owner_map)
+                        or owner_map[endpoint] == UNOWNED
+                    ):
+                        raise ShardFallbackError(
+                            "edge event endpoint outside the initial graph"
+                        )
+                    position = kinds.find(edge_kind, position + 1)
+            selector = owners.translate(selector_table)
+
+            index = 0
+            while index < n:
+                timestamp = times[index]
+                if timestamp >= next_fault_time:
+                    self._apply_due_faults(clock, timestamp)
+                    next_fault_time = (
+                        fault_events[self._next_fault].timestamp
+                        if self._next_fault < len(fault_events)
+                        else math.inf
+                    )
+                    next_tick = clock.pending_tick()
+                    store = self.persistent_store
+                if timestamp >= next_tick:
+                    self._advance_ticks(clock, timestamp)
+                    next_tick = clock.pending_tick()
+                    store = self.persistent_store
+                kind = kinds[index]
+                if kind == KIND_READ or kind == KIND_WRITE:
+                    boundary = (
+                        next_fault_time if next_fault_time < next_tick else next_tick
+                    )
+                    end = (
+                        bisect_left(times, boundary, index + 1, n)
+                        if times[n - 1] >= boundary
+                        else n
+                    )
+                    if store is None:
+                        end = request_run_end(kinds, index, end)
+                        owned = selector.count(1, index, end)
+                        if owned == end - index:
+                            # Fully-owned run: the batched loop's dispatch.
+                            if owned == 1:
+                                if kind == KIND_READ:
+                                    execute_read(users[index], timestamp)
+                                    reads += 1
+                                else:
+                                    execute_write(users[index], timestamp)
+                                    writes += 1
+                            else:
+                                execute_request_batch(
+                                    kinds[index:end], users[index:end], times[index:end]
+                                )
+                                span = kinds.count(KIND_READ, index, end)
+                                reads += span
+                                writes += owned - span
+                        elif owned:
+                            run_selector = selector[index:end]
+                            mine_kinds = bytes(
+                                compress(kinds[index:end], run_selector)
+                            )
+                            if owned == 1:
+                                position = index + run_selector.find(1)
+                                if mine_kinds[0] == KIND_READ:
+                                    execute_read(users[position], times[position])
+                                    reads += 1
+                                else:
+                                    execute_write(users[position], times[position])
+                                    writes += 1
+                            else:
+                                mine_users = list(
+                                    compress(users[index:end], run_selector)
+                                )
+                                mine_times = list(
+                                    compress(times[index:end], run_selector)
+                                )
+                                execute_request_batch(
+                                    mine_kinds, mine_users, mine_times
+                                )
+                                span = mine_kinds.count(KIND_READ)
+                                reads += span
+                                writes += owned - span
+                    else:
+                        end = kind_run_end(kinds, index, end)
+                        owned = selector.count(1, index, end)
+                        if kind == KIND_READ:
+                            if owned == end - index:
+                                if owned == 1:
+                                    execute_read(users[index], timestamp)
+                                else:
+                                    execute_read_batch(
+                                        users[index:end], times[index:end]
+                                    )
+                            elif owned:
+                                run_selector = selector[index:end]
+                                if owned == 1:
+                                    position = index + run_selector.find(1)
+                                    execute_read(users[position], times[position])
+                                else:
+                                    execute_read_batch(
+                                        list(compress(users[index:end], run_selector)),
+                                        list(compress(times[index:end], run_selector)),
+                                    )
+                            reads += owned
+                        else:
+                            # Durability path: mirror owned writes into the
+                            # WAL-backed store in event order.  Non-owned
+                            # writes are skipped entirely — the store only
+                            # backs crash recovery, whose fetch of a
+                            # never-written view is side-effect-free.
+                            process_write = store.process_write
+                            for position in compress(
+                                range(index, end), selector[index:end]
+                            ):
+                                now = times[position]
+                                execute_write(users[position], now)
+                                process_write(users[position], now)
+                            writes += owned
+                    index = end
+                elif kind == KIND_EDGE_ADD or kind == KIND_EDGE_REMOVE:
+                    # Decision-plane event: every worker applies it (the
+                    # graph and placement must stay replicated) but only the
+                    # follower's owner shard accounts for any traffic.
+                    mine = owners[index] == shard_id
+                    if not mine:
+                        accountant.push_mute()
+                    try:
+                        if kind == KIND_EDGE_ADD:
+                            self._edge_added(timestamp, users[index], aux[index])
+                        else:
+                            self._edge_removed(timestamp, users[index], aux[index])
+                    finally:
+                        if not mine:
+                            accountant.pop_mute()
+                    index += 1
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {kind}")
+            executed += n
+            last_time = times[n - 1]
+            if heartbeat is not None:
+                heartbeat(executed, last_time)
         self._reads_executed += reads
         self._writes_executed += writes
         return executed, first_time, last_time
@@ -575,8 +852,16 @@ class ClusterSimulator:
             final_time = max(final_time, last_fault)
 
         # Final maintenance tick and sample so end-of-run state is captured.
-        self._fire_pre_tick(final_time)
-        self.strategy.on_tick(final_time)
+        # System traffic, like every tick's, belongs to shard 0 alone.
+        mute = self._shard_system_mute
+        if mute:
+            self.accountant.push_mute()
+        try:
+            self._fire_pre_tick(final_time)
+            self.strategy.on_tick(final_time)
+        finally:
+            if mute:
+                self.accountant.pop_mute()
         self._sample_tracked(final_time, force=True)
 
         app_series, sys_series = self.accountant.top_switch_series()
@@ -684,26 +969,45 @@ class ClusterSimulator:
 
         Maintenance ticks due before a fault fire first, so the ordering of
         ticks, faults and requests follows simulated time exactly.
+
+        On non-primary shards of a partitioned run the whole burst executes
+        muted: the fault still reshapes placement (replicated decision
+        plane) but its traffic — replica copies, recovery fetches — is
+        accounted by shard 0 alone.
         """
-        applied = False
-        while (
-            self._next_fault < len(self._fault_events)
-            and self._fault_events[self._next_fault].timestamp <= until
-        ):
-            event = self._fault_events[self._next_fault]
-            self._next_fault += 1
-            self._advance_ticks(clock, event.timestamp)
-            event.apply(self)
-            applied = True
+        mute = self._shard_system_mute
+        if mute:
+            self.accountant.push_mute()
+        try:
+            applied = False
+            while (
+                self._next_fault < len(self._fault_events)
+                and self._fault_events[self._next_fault].timestamp <= until
+            ):
+                event = self._fault_events[self._next_fault]
+                self._next_fault += 1
+                self._advance_ticks(clock, event.timestamp)
+                event.apply(self)
+                applied = True
+        finally:
+            if mute:
+                self.accountant.pop_mute()
         if applied and self._check_tables:
             self._audit_placement_tables()
 
     def _advance_ticks(self, clock: SimulationClock, until: float) -> None:
-        ticked = False
-        for tick_time in clock.advance_to(until):
-            self._fire_pre_tick(tick_time)
-            self.strategy.on_tick(tick_time)
-            ticked = True
+        mute = self._shard_system_mute
+        if mute:
+            self.accountant.push_mute()
+        try:
+            ticked = False
+            for tick_time in clock.advance_to(until):
+                self._fire_pre_tick(tick_time)
+                self.strategy.on_tick(tick_time)
+                ticked = True
+        finally:
+            if mute:
+                self.accountant.pop_mute()
         if ticked and self._check_tables:
             self._audit_placement_tables()
 
@@ -772,4 +1076,4 @@ class ClusterSimulator:
         return sum(len(devices) for devices in locations.values()) / len(locations)
 
 
-__all__ = ["ClusterSimulator"]
+__all__ = ["ClusterSimulator", "UNOWNED"]

@@ -61,6 +61,7 @@ algorithms in :mod:`repro.core` and user code keep working unchanged.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
 import os
@@ -562,6 +563,50 @@ class StatsTable:
         counter._total = self._node_total[node]
         return counter
 
+    # ----------------------------------------------------------------- digest
+    def state_digest(self) -> str:
+        """Order-insensitive sha256 of every slot's logical statistics.
+
+        The sharded runner's cross-worker consistency audit: workers that
+        replayed the same decision-plane history must produce equal digests.
+        Covers, per slot, the read counters keyed by origin (period, total,
+        bucket windows), the write counter and the since-evaluation count —
+        but *not* node ids or free-list layout, which depend on allocation
+        history rather than logical content.
+        """
+        hasher = hashlib.sha256()
+        slots = self.slots
+        buckets = self._node_buckets
+        for slot in range(len(self._read_head)):
+            reads = []
+            node = self._read_head[slot]
+            while node != NO_SLOT:
+                base = node * slots
+                reads.append(
+                    (
+                        self._node_origin[node],
+                        self._node_period[node],
+                        self._node_total[node],
+                        tuple(buckets[base : base + slots]),
+                    )
+                )
+                node = self._node_next[node]
+            reads.sort()
+            write_node = self._write_node[slot]
+            if write_node == NO_SLOT:
+                writes = None
+            else:
+                base = write_node * slots
+                writes = (
+                    self._node_period[write_node],
+                    self._node_total[write_node],
+                    tuple(buckets[base : base + slots]),
+                )
+            hasher.update(
+                repr((slot, self._reads_since_eval[slot], reads, writes)).encode()
+            )
+        return hasher.hexdigest()
+
 
 # ---------------------------------------------------------------------------
 # ReplicaTable: the flat placement-state table
@@ -967,6 +1012,42 @@ class ReplicaTable:
         """Column sweep: rotate every replica's windows to ``timestamp``."""
         if self.stats is not None:
             self.stats.advance_pool(timestamp)
+
+    # ----------------------------------------------------------------- digest
+    def state_digest(self) -> str:
+        """Order-insensitive sha256 of the logical placement state.
+
+        The sharded runner's cross-worker consistency audit: every worker
+        replays the full system-event stream, so their placement tables must
+        be logically identical at the end of the run.  Covers each user's
+        sorted replica positions (with the per-slot routing columns) and the
+        per-position ``used``/``capacity``/``admission`` counters — but *not*
+        slot ids, chain layout or the free list, which are allocation-history
+        artefacts, nor the tick dirty-set, which request traffic raises.
+        """
+        hasher = hashlib.sha256()
+        user_next = self._user_next
+        for user in sorted(self._user_head):
+            rows = []
+            slot = self._user_head[user]
+            while slot != NO_SLOT:
+                rows.append(
+                    (
+                        self._server[slot],
+                        self._utility[slot],
+                        self._write_proxy[slot],
+                        self._next_closest[slot],
+                    )
+                )
+                slot = user_next[slot]
+            rows.sort()
+            hasher.update(repr((user, rows)).encode())
+        hasher.update(
+            repr((self._used, self._capacity, self._admission, self._active)).encode()
+        )
+        if self.stats is not None:
+            hasher.update(self.stats.state_digest().encode())
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------- integrity
     def check_integrity(self) -> None:

@@ -1,6 +1,6 @@
 """Traffic measurement substrate (switch-level message accounting)."""
 
-from .accounting import TrafficAccountant, TrafficSnapshot
+from .accounting import TrafficAccountant, TrafficDelta, TrafficSnapshot
 from .messages import Message, MessageClass, MessageKind
 
 __all__ = [
@@ -8,5 +8,6 @@ __all__ = [
     "MessageClass",
     "MessageKind",
     "TrafficAccountant",
+    "TrafficDelta",
     "TrafficSnapshot",
 ]

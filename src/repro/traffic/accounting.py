@@ -27,6 +27,19 @@ Two recording granularities coexist:
 warm-up separation, flush) so every strategy kernel shares one correct
 implementation.
 
+Two further facilities exist for the sharded replay engine:
+
+* a depth-counted **mute** (:meth:`~TrafficAccountant.push_mute` /
+  :meth:`~TrafficAccountant.pop_mute`): while muted, every recording entry
+  point is a no-op — traffic *and* message counters.  Shard workers replay
+  system events (fault bursts, ticks, edge mutations) on every shard to keep
+  placement state identical, but only the owning shard may account for them;
+* a **delta** protocol (:meth:`~TrafficAccountant.export_delta` /
+  :meth:`~TrafficAccountant.merge_delta`): a picklable column snapshot the
+  coordinator sums into a fresh accountant.  All volumes are integer-valued
+  floats, so summing per-shard deltas is bit-for-bit identical to recording
+  the same messages in one process, in any order or grouping.
+
 Per-device totals live in flat ``array('d')`` columns indexed by device id.
 The out-of-range contract is explicit: :meth:`~TrafficAccountant.device_traffic`
 raises :class:`~repro.exceptions.SimulationError` for indices outside the
@@ -69,6 +82,26 @@ class TrafficSnapshot:
         return self.total_by_level.get(level, 0.0) / device_count
 
 
+@dataclass
+class TrafficDelta:
+    """Picklable column snapshot of one accountant's recorded traffic.
+
+    ``total``/``application``/``system`` carry the raw bytes of the per-device
+    ``array('d')`` columns (``stride`` doubles each); the top-switch series
+    travel as plain bucket dicts.  Produced by
+    :meth:`TrafficAccountant.export_delta` in shard workers and summed into
+    the coordinator's accountant by :meth:`TrafficAccountant.merge_delta`.
+    """
+
+    stride: int
+    total: bytes
+    application: bytes
+    system: bytes
+    top_series_app: dict[int, float]
+    top_series_sys: dict[int, float]
+    messages: int
+
+
 class TrafficAccountant:
     """Records message traffic against a cluster topology."""
 
@@ -98,6 +131,11 @@ class TrafficAccountant:
         self._top_series_app: dict[int, float] = defaultdict(float)
         self._top_series_sys: dict[int, float] = defaultdict(float)
         self._messages = 0
+        # Depth-counted mute: >0 means every recording entry point is a
+        # no-op (shard workers replay non-owned system events silently).
+        # A depth counter rather than a flag because mute sections nest —
+        # ``_apply_due_faults`` runs ``_advance_ticks`` inside its own guard.
+        self._mute_depth = 0
         # Hot-path state: per-source rows of preresolved switch paths (shared
         # tuple-of-indices arrays served by the topology) and the top-switch
         # index, so ``record`` runs on plain list lookups.
@@ -109,6 +147,26 @@ class TrafficAccountant:
             kind: (kind.default_size, kind.message_class is MessageClass.APPLICATION)
             for kind in MessageKind
         }
+
+    # ----------------------------------------------------------------- muting
+    def push_mute(self) -> None:
+        """Enter a muted section: recording entry points become no-ops.
+
+        Mute sections nest; traffic resumes when every :meth:`push_mute`
+        has been matched by a :meth:`pop_mute`.
+        """
+        self._mute_depth += 1
+
+    def pop_mute(self) -> None:
+        """Leave the innermost muted section."""
+        if self._mute_depth <= 0:
+            raise SimulationError("pop_mute without matching push_mute")
+        self._mute_depth -= 1
+
+    @property
+    def muted(self) -> bool:
+        """Whether recording is currently suppressed."""
+        return self._mute_depth > 0
 
     # ------------------------------------------------------------- recording
     def _resolve_path(self, source: int, destination: int) -> tuple[int, ...]:
@@ -142,8 +200,10 @@ class TrafficAccountant:
         Every offered message counts towards :attr:`message_count` — both
         machine-local messages (empty path) and messages inside the warm-up
         window (``timestamp < measure_from``); only the *traffic* of warm-up
-        messages is discarded.
+        messages is discarded.  While muted, nothing is counted at all.
         """
+        if self._mute_depth:
+            return 0
         self._messages += 1
         if timestamp < self.measure_from:
             return 0
@@ -176,6 +236,8 @@ class TrafficAccountant:
         Both directions traverse the same switches, so the path is resolved
         once and both message sizes are applied in a single pass.
         """
+        if self._mute_depth:
+            return 0
         self._messages += 2
         if timestamp < self.measure_from:
             return 0
@@ -241,6 +303,8 @@ class TrafficAccountant:
         """
         if count < 0:
             raise SimulationError("message count cannot be negative")
+        if self._mute_depth:
+            return
         self._messages += count
 
     def record_batch(
@@ -262,6 +326,8 @@ class TrafficAccountant:
             if count == 0:
                 return 0
             raise SimulationError("message count cannot be negative")
+        if self._mute_depth:
+            return 0
         self._messages += count
         path = self._resolve_path(source, destination)
         if not path:
@@ -293,7 +359,7 @@ class TrafficAccountant:
         and lie past ``measure_from``; strategy kernels maintain those
         invariants through :class:`RoundtripRun`.
         """
-        if not counts:
+        if not counts or self._mute_depth:
             return
         stride = len(self._total)
         kind_info = self._kind_info
@@ -430,6 +496,55 @@ class TrafficAccountant:
             {bucket: system[bucket] for bucket in sorted(system)},
         )
 
+    # ----------------------------------------------------------------- deltas
+    def export_delta(self) -> TrafficDelta:
+        """Snapshot everything recorded so far as a picklable column delta.
+
+        Shard workers call this once at the end of their replay; the
+        coordinator sums the deltas into a fresh accountant with
+        :meth:`merge_delta`.  Exporting does not modify the accountant.
+        """
+        return TrafficDelta(
+            stride=len(self._total),
+            total=self._total.tobytes(),
+            application=self._application.tobytes(),
+            system=self._system.tobytes(),
+            top_series_app=dict(self._top_series_app),
+            top_series_sys=dict(self._top_series_sys),
+            messages=self._messages,
+        )
+
+    def merge_delta(self, delta: TrafficDelta) -> None:
+        """Add a worker's exported delta into this accountant.
+
+        All traffic volumes are integer-valued floats, so element-wise
+        addition is exact and independent of merge order.  A stride mismatch
+        means the delta was recorded against a different topology and raises
+        :class:`~repro.exceptions.SimulationError`.
+        """
+        if delta.stride != len(self._total):
+            raise SimulationError(
+                f"traffic delta stride {delta.stride} does not match topology "
+                f"device count {len(self._total)}"
+            )
+        for column, payload in (
+            (self._total, delta.total),
+            (self._application, delta.application),
+            (self._system, delta.system),
+        ):
+            incoming = array("d")
+            incoming.frombytes(payload)
+            if len(incoming) != delta.stride:
+                raise SimulationError("traffic delta column length mismatch")
+            for index, value in enumerate(incoming):
+                if value:
+                    column[index] += value
+        for bucket, volume in delta.top_series_app.items():
+            self._top_series_app[bucket] += volume
+        for bucket, volume in delta.top_series_sys.items():
+            self._top_series_sys[bucket] += volume
+        self._messages += delta.messages
+
     def reset(self) -> None:
         """Clear every counter (used between warm-up and measurement phases)."""
         for i in range(len(self._total)):
@@ -514,4 +629,4 @@ class RoundtripRun:
         self._bucket = None
 
 
-__all__ = ["RoundtripRun", "TrafficAccountant", "TrafficSnapshot"]
+__all__ = ["RoundtripRun", "TrafficAccountant", "TrafficDelta", "TrafficSnapshot"]

@@ -258,3 +258,84 @@ def test_churn_preserves_replication_and_budget_invariants(seed, steps):
         strategy.on_server_up(position, now)
     strategy.on_tick(now)
     _assert_churn_invariants(strategy, graph, budget, set())
+
+
+# ------------------------------------------------------------------- traffic deltas
+from repro.topology.tree import TreeTopology as _TreeTopology
+from repro.config import ClusterSpec as _ClusterSpec
+from repro.traffic.accounting import TrafficAccountant
+from repro.traffic.messages import MessageKind
+
+_DELTA_TOPOLOGY = _TreeTopology(
+    _ClusterSpec(
+        intermediate_switches=2,
+        racks_per_intermediate=2,
+        machines_per_rack=2,
+        brokers_per_rack=1,
+    )
+)
+_DELTA_LEAVES = [device.index for device in _DELTA_TOPOLOGY.servers] + [
+    device.index for device in _DELTA_TOPOLOGY.brokers
+]
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(0, len(_DELTA_LEAVES) - 1),  # source leaf slot
+            st.integers(0, len(_DELTA_LEAVES) - 1),  # destination leaf slot
+            st.floats(min_value=0.0, max_value=20000.0, allow_nan=False),
+            st.integers(0, 7),  # owning shard (mod k)
+            st.booleans(),  # roundtrip vs one-way system message
+        ),
+        max_size=60,
+    ),
+    shards=st.integers(1, 4),
+    measure_from=st.sampled_from([0.0, 3600.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_traffic_delta_merge_equals_unsplit(events, shards, measure_from):
+    """merge(split(workload, k)) == unsplit, for any split of the events.
+
+    The sharded replay engine's exactness hinges on this: distributing a
+    workload's messages across k accountants (in any grouping) and summing
+    their deltas must reproduce the single accountant bit-for-bit —
+    snapshot, top-switch series and message count — including events inside
+    the warm-up window (counted, never measured).
+    """
+    events = sorted(events, key=lambda event: event[2])
+
+    def build() -> TrafficAccountant:
+        return TrafficAccountant(
+            _DELTA_TOPOLOGY, bucket_width=3600.0, measure_from=measure_from
+        )
+
+    def apply(accountant, source_slot, destination_slot, timestamp, roundtrip):
+        source = _DELTA_LEAVES[source_slot]
+        destination = _DELTA_LEAVES[destination_slot]
+        if roundtrip:
+            accountant.record_roundtrip(
+                source,
+                destination,
+                MessageKind.READ_REQUEST,
+                MessageKind.READ_RESPONSE,
+                timestamp,
+            )
+        else:
+            accountant.record(
+                source, destination, MessageKind.REPLICA_CONTROL, timestamp
+            )
+
+    whole = build()
+    parts = [build() for _ in range(shards)]
+    for source_slot, destination_slot, timestamp, owner, roundtrip in events:
+        apply(whole, source_slot, destination_slot, timestamp, roundtrip)
+        apply(parts[owner % shards], source_slot, destination_slot, timestamp, roundtrip)
+
+    merged = build()
+    for part in parts:
+        merged.merge_delta(part.export_delta())
+
+    assert merged.snapshot() == whole.snapshot()
+    assert merged.top_switch_series() == whole.top_switch_series()
+    assert merged.message_count == whole.message_count

@@ -362,3 +362,97 @@ class TestRoundtripRun:
         assert accountant.message_count == 4
         run.flush()  # idempotent when empty
         assert accountant.message_count == 4
+
+
+class TestMute:
+    """The depth-counted mute used by shard workers for non-owned events."""
+
+    def test_mute_silences_every_entry_point(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.push_mute()
+        assert accountant.muted
+        assert accountant.record(a, b, MessageKind.READ_REQUEST, 0.0) == 0
+        assert (
+            accountant.record_roundtrip(
+                a, b, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, 0.0
+            )
+            == 0
+        )
+        accountant.count_messages(5)
+        assert accountant.record_batch(a, b, MessageKind.WRITE_UPDATE, 3, 0) == 0
+        accountant.record_roundtrip_batch(
+            {a * accountant.device_count + b: 2},
+            MessageKind.READ_REQUEST,
+            MessageKind.READ_RESPONSE,
+            0,
+        )
+        assert accountant.message_count == 0
+        assert accountant.top_switch_traffic() == 0.0
+        accountant.pop_mute()
+        assert not accountant.muted
+        accountant.record(a, b, MessageKind.READ_REQUEST, 0.0)
+        assert accountant.message_count == 1
+
+    def test_mute_nests(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.push_mute()
+        accountant.push_mute()
+        accountant.pop_mute()
+        assert accountant.muted  # still one level deep
+        accountant.record(a, b, MessageKind.READ_REQUEST, 0.0)
+        assert accountant.message_count == 0
+        accountant.pop_mute()
+        assert not accountant.muted
+
+    def test_unmatched_pop_raises(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        with pytest.raises(SimulationError):
+            accountant.pop_mute()
+
+
+class TestTrafficDelta:
+    """The export/merge protocol the shard coordinator sums workers with."""
+
+    def test_export_is_non_mutating(self, tree_topology: TreeTopology):
+        accountant = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        accountant.record(a, b, MessageKind.READ_REQUEST, 100.0)
+        before = accountant.snapshot()
+        delta = accountant.export_delta()
+        assert accountant.snapshot() == before
+        assert delta.messages == 1
+        assert delta.stride == accountant.device_count
+
+    def test_merge_reproduces_source(self, tree_topology: TreeTopology):
+        source = TrafficAccountant(tree_topology)
+        a = tree_topology.servers[0].index
+        b = tree_topology.servers[-1].index
+        source.record_roundtrip(
+            a, b, MessageKind.READ_REQUEST, MessageKind.READ_RESPONSE, 100.0
+        )
+        source.record(a, b, MessageKind.REPLICA_COPY, 4000.0)
+        target = TrafficAccountant(tree_topology)
+        target.merge_delta(source.export_delta())
+        assert target.snapshot() == source.snapshot()
+        assert target.top_switch_series() == source.top_switch_series()
+
+    def test_merge_rejects_stride_mismatch(self, tree_topology: TreeTopology):
+        from repro.config import ClusterSpec
+
+        other = TreeTopology(
+            ClusterSpec(
+                intermediate_switches=1,
+                racks_per_intermediate=1,
+                machines_per_rack=2,
+                brokers_per_rack=1,
+            )
+        )
+        delta = TrafficAccountant(other).export_delta()
+        accountant = TrafficAccountant(tree_topology)
+        with pytest.raises(SimulationError):
+            accountant.merge_delta(delta)
