@@ -9,6 +9,7 @@ so partitions can be projected back during uncoarsening.
 from __future__ import annotations
 
 import random
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 
@@ -18,8 +19,10 @@ class CoarseGraph:
 
     #: adjacency: coarse node -> {coarse neighbour -> edge weight}
     adjacency: dict[int, dict[int, int]]
-    #: node weight (number of original vertices represented)
-    node_weights: dict[int, int]
+    #: node weight — the number of original vertices represented in the
+    #: unweighted case, or the summed caller-supplied node weights (e.g.
+    #: expected per-user request rates) when coarsening a weighted graph
+    node_weights: dict[int, float]
     #: fine node -> coarse node
     fine_to_coarse: dict[int, int]
 
@@ -31,9 +34,9 @@ class CoarseGraph:
 
 def coarsen_once(
     adjacency: dict[int, dict[int, int]],
-    node_weights: dict[int, int],
+    node_weights: Mapping[int, float],
     rng: random.Random,
-    max_node_weight: int | None = None,
+    max_node_weight: float | None = None,
 ) -> CoarseGraph:
     """Contract one heavy-edge matching of the graph.
 
@@ -102,18 +105,33 @@ def coarsen_to_size(
     adjacency: dict[int, dict[int, int]],
     target_size: int,
     rng: random.Random,
+    node_weights: Mapping[int, float] | None = None,
 ) -> list[CoarseGraph]:
     """Repeatedly coarsen until the graph has at most ``target_size`` nodes.
 
     Returns the list of coarsening levels (finest first).  Coarsening stops
     early when a round shrinks the graph by less than 10%, which indicates the
     matching has become ineffective (typical for star-like graphs).
+
+    ``node_weights`` seeds the finest level (defaults to 1 per node);
+    contracted nodes carry the *sum* of the weights they absorb, so every
+    coarse level conserves the total weight and the node-weight cap keeps a
+    single heavy community from swallowing the graph regardless of whether
+    weight means "vertices represented" or "expected request rate".
     """
     levels: list[CoarseGraph] = []
     current_adjacency = adjacency
-    current_weights = {node: 1 for node in adjacency}
-    total_weight = len(adjacency)
-    max_node_weight = max(1, total_weight // max(1, target_size // 2))
+    if node_weights is None:
+        current_weights: dict[int, float] = {node: 1 for node in adjacency}
+        total_weight: float = len(adjacency)
+        max_node_weight: float = max(1, total_weight // max(1, target_size // 2))
+    else:
+        current_weights = {node: node_weights.get(node, 1) for node in adjacency}
+        total_weight = sum(current_weights.values())
+        max_node_weight = max(
+            max(current_weights.values(), default=1.0),
+            total_weight / max(1, target_size // 2),
+        )
     while len(current_adjacency) > target_size:
         level = coarsen_once(current_adjacency, current_weights, rng, max_node_weight)
         if level.num_nodes >= 0.9 * len(current_adjacency):

@@ -30,21 +30,44 @@ from .refine import rebalance_partition, refine_partition
 
 @dataclass(frozen=True)
 class PartitionResult:
-    """Outcome of a k-way partitioning run."""
+    """Outcome of a k-way partitioning run.
+
+    ``balance`` is the weighted balance ratio when the run was given node
+    weights (heaviest part weight over the ideal per-part weight), the plain
+    population ratio otherwise.
+    """
 
     assignment: dict[int, int]
     parts: int
     edge_cut: int
     balance: float
 
+    def nodes_by_part(self) -> tuple[tuple[int, ...], ...]:
+        """Every part's nodes, built in one pass over the assignment.
+
+        The grouping is computed once and cached on the instance, so
+        reporting all ``k`` parts costs O(V) instead of the O(V·k) that
+        scanning the assignment dict per part would.
+        """
+        cached = getattr(self, "_nodes_by_part", None)
+        if cached is None:
+            groups: list[list[int]] = [[] for _ in range(self.parts)]
+            for node, part in self.assignment.items():
+                groups[part].append(node)
+            cached = tuple(tuple(group) for group in groups)
+            object.__setattr__(self, "_nodes_by_part", cached)
+        return cached
+
     def nodes_in_part(self, part: int) -> list[int]:
         """Nodes assigned to one part."""
-        return [node for node, p in self.assignment.items() if p == part]
+        if not 0 <= part < self.parts:
+            raise PartitioningError(f"part {part} out of range (parts={self.parts})")
+        return list(self.nodes_by_part()[part])
 
 
 def _greedy_initial_partition(
     adjacency: Mapping[int, Mapping[int, int]],
-    node_weights: Mapping[int, int],
+    node_weights: Mapping[int, float],
     parts: int,
     rng: random.Random,
 ) -> dict[int, int]:
@@ -99,6 +122,7 @@ def partition_kway(
     seed: int = 7,
     balance_tolerance: float = 1.05,
     refinement_passes: int = 4,
+    node_weights: Mapping[int, float] | None = None,
 ) -> PartitionResult:
     """Partition a weighted undirected graph into ``parts`` balanced parts.
 
@@ -115,10 +139,25 @@ def partition_kway(
         Maximum allowed ratio between the heaviest part and the ideal weight.
     refinement_passes:
         Boundary-refinement sweeps applied at every uncoarsening level.
+    node_weights:
+        Optional node weights (e.g. expected per-user request rates).  When
+        given, the *whole* multilevel stack balances weight instead of node
+        count: coarsening sums the weights of contracted nodes, initial
+        partitioning grows regions to the weighted target, and refinement
+        and the final rebalance enforce the tolerance on weighted part
+        mass.  Nodes missing from the mapping weigh 1; an empty or
+        non-positive total falls back to unweighted partitioning.
     """
     if parts < 1:
         raise PartitioningError("parts must be at least 1")
     nodes = set(adjacency)
+    if node_weights is not None:
+        weights = {node: node_weights.get(node, 1) for node in adjacency}
+        total = sum(weights.values())
+        if total <= 0 or any(weight < 0 for weight in weights.values()):
+            node_weights = None
+        else:
+            node_weights = weights
     if not nodes:
         return PartitionResult(assignment={}, parts=parts, edge_cut=0, balance=1.0)
     if parts == 1:
@@ -131,23 +170,30 @@ def partition_kway(
             assignment=assignment,
             parts=parts,
             edge_cut=edge_cut(adjacency, assignment),
-            balance=balance_ratio(assignment, parts),
+            balance=balance_ratio(assignment, parts, node_weights),
         )
 
     rng = random.Random(seed)
     mutable_adjacency = {node: dict(neighbours) for node, neighbours in adjacency.items()}
 
-    # 1. Coarsening.
+    # 1. Coarsening (weight-conserving: contracted nodes sum their weights).
     coarsen_target = max(parts * 8, 64)
-    levels = coarsen_to_size(mutable_adjacency, coarsen_target, rng)
+    levels = coarsen_to_size(
+        mutable_adjacency, coarsen_target, rng, node_weights=node_weights
+    )
 
+    finest_weights: Mapping[int, float] = (
+        node_weights
+        if node_weights is not None
+        else {node: 1 for node in mutable_adjacency}
+    )
     if levels:
         coarsest = levels[-1]
         coarse_adjacency: Mapping[int, Mapping[int, int]] = coarsest.adjacency
-        coarse_weights: Mapping[int, int] = coarsest.node_weights
+        coarse_weights: Mapping[int, float] = coarsest.node_weights
     else:
         coarse_adjacency = mutable_adjacency
-        coarse_weights = {node: 1 for node in mutable_adjacency}
+        coarse_weights = finest_weights
 
     # 2. Initial partitioning on the coarsest graph.
     assignment = _greedy_initial_partition(coarse_adjacency, coarse_weights, parts, rng)
@@ -170,7 +216,7 @@ def partition_kway(
         }
         if level_index == 0:
             finer_adjacency: Mapping[int, Mapping[int, int]] = mutable_adjacency
-            finer_weights = {node: 1 for node in mutable_adjacency}
+            finer_weights = finest_weights
         else:
             finer = levels[level_index - 1]
             finer_adjacency = finer.adjacency
@@ -188,14 +234,18 @@ def partition_kway(
         assignment = finer_assignment
 
     rebalance_partition(
-        mutable_adjacency, assignment, parts, tolerance=balance_tolerance
+        mutable_adjacency,
+        assignment,
+        parts,
+        node_weights=node_weights,
+        tolerance=balance_tolerance,
     )
     validate_partition(assignment, nodes, parts)
     return PartitionResult(
         assignment=assignment,
         parts=parts,
         edge_cut=edge_cut(adjacency, assignment),
-        balance=balance_ratio(assignment, parts),
+        balance=balance_ratio(assignment, parts, node_weights),
     )
 
 

@@ -16,7 +16,7 @@ def refine_partition(
     adjacency: Mapping[int, Mapping[int, int]],
     assignment: dict[int, int],
     parts: int,
-    node_weights: Mapping[int, int] | None = None,
+    node_weights: Mapping[int, float] | None = None,
     max_part_weight: float | None = None,
     passes: int = 4,
 ) -> dict[int, int]:
@@ -31,7 +31,11 @@ def refine_partition(
     parts:
         Number of parts.
     node_weights:
-        Optional node weights (defaults to 1 per node).
+        Optional node weights — vertex counts on coarse graphs, or
+        fractional activity rates (defaults to 1 per node).  The balance
+        constraint below is enforced on this weight, so a gain-positive
+        move is rejected when it would overload the target part's
+        *weighted* mass.
     max_part_weight:
         Upper bound on the weight of any part after a move.  Defaults to 5%
         above the perfectly balanced weight.
@@ -84,13 +88,17 @@ def rebalance_partition(
     adjacency: Mapping[int, Mapping[int, int]],
     assignment: dict[int, int],
     parts: int,
-    node_weights: Mapping[int, int] | None = None,
+    node_weights: Mapping[int, float] | None = None,
     tolerance: float = 1.05,
 ) -> dict[int, int]:
     """Move nodes out of overweight parts until every part fits the tolerance.
 
     Nodes with the least connectivity to their current part are moved first,
     into the lightest part, so the edge cut suffers as little as possible.
+    The tolerance bounds *weighted* part mass when ``node_weights`` is
+    given; each finishing part lands at or below the limit, and a part a
+    move lands in can exceed it by at most one node's weight — so the final
+    heaviest part is bounded by ``ideal·tolerance + max(node weight)``.
     """
     weights = node_weights or {node: 1 for node in adjacency}
     part_weight = [0.0] * parts

@@ -361,6 +361,12 @@ class RunSpec:
     #: byte-identical by contract, so results cached under one shard count
     #: are valid under every other.
     shards: int = 1
+    #: Balance shard *activity* (expected per-user request rates from
+    #: :mod:`repro.workload.activity`) instead of shard population when
+    #: partitioning users across shard workers.  Like ``shards``, excluded
+    #: from :meth:`cache_key`: the assignment changes which worker executes
+    #: which event, never the merged result.
+    shard_activity: bool = True
 
     def effective_strategy_seed(self) -> int:
         """Seed used to build the strategy."""

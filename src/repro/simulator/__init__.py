@@ -6,6 +6,7 @@ from .results import FaultRecord, ReplicaTimeline, SimulationResult
 from .runner import StrategyFactory, normalise_results, run_comparison, run_simulation
 from .shard import (
     ShardHeartbeat,
+    ShardLoadSummary,
     ShardMaterials,
     ShardRunReport,
     materials_from_spec,
@@ -19,6 +20,7 @@ __all__ = [
     "FaultRecord",
     "ReplicaTimeline",
     "ShardHeartbeat",
+    "ShardLoadSummary",
     "ShardMaterials",
     "ShardRunReport",
     "SimulationClock",

@@ -71,6 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ShardContext",
     "ShardHeartbeat",
+    "ShardLoadSummary",
     "ShardMaterials",
     "ShardOutcome",
     "ShardRunReport",
@@ -127,6 +128,12 @@ class ShardMaterials:
     stream_factory: Callable[[object], object]
     config: "SimulationConfig"
     scenario_factory: Callable[[], object] | None = None
+    #: ``activity_factory(graph) -> ActivityProfile | mapping | None`` —
+    #: per-user expected request rates fed to the shard partitioner so it
+    #: balances expected *work* instead of user count.  ``None`` (or a
+    #: factory returning ``None``) keeps population balancing.  Only the
+    #: coordinator calls this; workers never see it.
+    activity_factory: Callable[[object], object] | None = None
 
 
 @dataclass
@@ -174,6 +181,49 @@ class ShardHeartbeat:
 
 
 @dataclass
+class ShardLoadSummary:
+    """Expected vs. actual per-shard load of one partitioned run.
+
+    Emitted once through the progress callback after the merge, and attached
+    to the :class:`ShardRunReport`, so users can see whether the activity
+    profile predicted where the CPU actually went.  Shares are fractions of
+    the fleet total; imbalances are ``max share x shards`` (1.0 = the
+    critical-path worker carries exactly its fair share).
+    """
+
+    shards: int
+    #: Expected load share per shard — activity-weighted when the partition
+    #: was, population share otherwise.
+    expected_shares: tuple[float, ...]
+    #: Measured CPU-seconds share per shard.
+    cpu_shares: tuple[float, ...]
+    #: ``"activity"`` or ``"population"`` — what the partitioner balanced.
+    balanced_by: str
+
+    @staticmethod
+    def _imbalance(shares: tuple[float, ...]) -> float:
+        return max(shares) * len(shares) if shares else 1.0
+
+    @property
+    def expected_imbalance(self) -> float:
+        return self._imbalance(self.expected_shares)
+
+    @property
+    def cpu_imbalance(self) -> float:
+        return self._imbalance(self.cpu_shares)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for progress displays."""
+        expected = "/".join(f"{share:.0%}" for share in self.expected_shares)
+        actual = "/".join(f"{share:.0%}" for share in self.cpu_shares)
+        return (
+            f"shard load [{self.balanced_by}-balanced]: cpu imbalance "
+            f"{self.cpu_imbalance:.2f}x (expected {self.expected_imbalance:.2f}x); "
+            f"per-shard cpu {actual} vs expected {expected}"
+        )
+
+
+@dataclass
 class ShardRunReport:
     """Detailed outcome of :func:`run_sharded_detailed`."""
 
@@ -186,6 +236,8 @@ class ShardRunReport:
     fallback_reason: str | None = None
     #: The user → shard assignment of a partitioned run.
     assignment: ShardAssignment | None = None
+    #: Expected vs. actual per-shard load (partitioned runs only).
+    load_summary: ShardLoadSummary | None = None
 
     @property
     def critical_path_cpu_seconds(self) -> float:
@@ -511,6 +563,29 @@ def _merge_partitioned(
     )
 
 
+def _load_summary(
+    assignment: ShardAssignment, outcomes: list[ShardOutcome]
+) -> "ShardLoadSummary | None":
+    """Expected vs. actual load shares of a completed partitioned fleet."""
+    if assignment.weighted_populations is not None:
+        expected_raw: tuple[float, ...] = assignment.weighted_populations
+        balanced_by = "activity"
+    else:
+        expected_raw = tuple(float(p) for p in assignment.populations)
+        balanced_by = "population"
+    expected_total = sum(expected_raw)
+    cpu_raw = tuple(outcome.cpu_seconds for outcome in outcomes)
+    cpu_total = sum(cpu_raw)
+    if expected_total <= 0 or cpu_total <= 0:
+        return None
+    return ShardLoadSummary(
+        shards=assignment.shards,
+        expected_shares=tuple(value / expected_total for value in expected_raw),
+        cpu_shares=tuple(value / cpu_total for value in cpu_raw),
+        balanced_by=balanced_by,
+    )
+
+
 def run_sharded_detailed(
     materials: ShardMaterials,
     shards: int,
@@ -551,7 +626,12 @@ def run_sharded_detailed(
     if pure and shards <= 255 and materials.config.batch_replay:
         graph = materials.graph_factory()
         topology = materials.topology_factory()
-        assignment = assign_user_shards(graph, shards, seed=seed)
+        activity = (
+            materials.activity_factory(graph)
+            if materials.activity_factory is not None
+            else None
+        )
+        assignment = assign_user_shards(graph, shards, seed=seed, activity=activity)
         owner_map = _build_owner_map(graph, assignment)
         outcomes, fallback_reason = _run_partitioned(
             materials,
@@ -564,12 +644,16 @@ def run_sharded_detailed(
         )
         if outcomes is not None:
             result = _merge_partitioned(outcomes, shards, topology, materials.config)
+            summary = _load_summary(assignment, [outcomes[s] for s in range(shards)])
+            if progress is not None and summary is not None:
+                progress(summary)
             return ShardRunReport(
                 result=result,
                 mode="partitioned",
                 shards=shards,
                 outcomes=[outcomes[s] for s in range(shards)],
                 assignment=assignment,
+                load_summary=summary,
             )
     elif not pure:
         fallback_reason = (
@@ -619,6 +703,13 @@ def _spec_stream(workload_spec, graph):
     return stream
 
 
+def _spec_activity(workload_spec, graph):
+    """Activity profile of a spec's workload (module-level: spawn-picklable)."""
+    from ..workload.activity import activity_for_spec
+
+    return activity_for_spec(workload_spec, graph)
+
+
 def materials_from_spec(spec: "RunSpec") -> ShardMaterials:
     """Picklable (spawn-safe) shard materials for a declarative run spec."""
     from functools import partial
@@ -641,6 +732,11 @@ def materials_from_spec(spec: "RunSpec") -> ShardMaterials:
         stream_factory=partial(_spec_stream, spec.workload),
         config=spec.config,
         scenario_factory=spec.scenario.build if spec.scenario is not None else None,
+        activity_factory=(
+            partial(_spec_activity, spec.workload)
+            if getattr(spec, "shard_activity", True)
+            else None
+        ),
     )
 
 

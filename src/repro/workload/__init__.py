@@ -6,6 +6,13 @@ request dataclasses) remains as a thin adapter for callers that want to
 inspect or hand-build small workloads.
 """
 
+from .activity import (
+    ActivityProfile,
+    activity_for_spec,
+    analytic_activity,
+    profile_stream,
+    profile_trace,
+)
 from .flash import (
     FlashEventSpec,
     flash_event_log,
@@ -35,6 +42,7 @@ from .synthetic import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
 from .trace import NewsActivityTraceConfig, NewsActivityTraceGenerator
 
 __all__ = [
+    "ActivityProfile",
     "CHUNK_EVENTS",
     "CelebrityReadStormGenerator",
     "CelebrityStormConfig",
@@ -54,6 +62,8 @@ __all__ = [
     "SyntheticWorkloadConfig",
     "SyntheticWorkloadGenerator",
     "WriteRequest",
+    "activity_for_spec",
+    "analytic_activity",
     "as_stream",
     "events_per_day",
     "flash_event_log",
@@ -62,6 +72,8 @@ __all__ = [
     "inject_flash_stream",
     "merge_streams",
     "plan_flash_event",
+    "profile_stream",
+    "profile_trace",
     "read_trace",
     "trace_content_hash",
     "write_trace",

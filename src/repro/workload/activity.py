@@ -1,0 +1,331 @@
+"""Per-user activity profiles (expected request rates) for load-aware sharding.
+
+The sharded runner (:mod:`repro.simulator.shard`) splits one simulation's
+request stream across worker processes.  Balancing shard *populations* is not
+enough: per-shard CPU tracks the number of read/write events a shard owns,
+and real social workloads concentrate activity on a few well-connected users
+(Zipf popularity, celebrity storms).  This module produces the node weights
+the k-way partitioner needs to balance *work* instead of users, two ways:
+
+**Analytically** (:func:`analytic_activity`).  Every stream-native generator
+draws its users from an explicit weight vector (log-degree propensities for
+the synthetic model, rank-mapped Pareto draws for the news trace, follower
+pile-ons for celebrity storms).  The expected number of events a user
+contributes is therefore a closed-form function of the generator's
+parameters — no events need to be generated.  The implementation reuses the
+generators' own weight methods, so the analytic profile can never drift from
+what the generators actually sample.
+
+**By profiling** (:func:`profile_stream` / :func:`profile_trace`).  Workloads
+loaded from binary trace files have no generative model, so the profiler
+counts read/write events per user in a single columnar pass (one C-speed
+``Counter.update`` over each chunk's ``users`` column).  For trace *files*
+the count is cached in a sidecar next to the trace, content-addressed by the
+trace's SHA-256, so a multi-run grid over one trace profiles it exactly
+once.
+
+Both produce an :class:`ActivityProfile` whose ``rates`` mapping feeds
+``assign_user_shards(..., activity=...)`` and, through it,
+``partition_kway(..., node_weights=...)``.  Only the *relative* magnitudes
+matter; profiles are not normalised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..exceptions import WorkloadError
+from ..socialgraph.graph import SocialGraph
+from .io import trace_content_hash
+from .stream import KIND_EDGE_ADD, KIND_EDGE_REMOVE, KIND_WRITE, EventStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.spec import WorkloadSpec
+
+__all__ = [
+    "ACTIVITY_CACHE_VERSION",
+    "ActivityProfile",
+    "activity_cache_path",
+    "activity_for_spec",
+    "analytic_activity",
+    "profile_stream",
+    "profile_trace",
+]
+
+#: Bump when the sidecar layout or profiling semantics change, so stale
+#: cache files from older code read as misses instead of wrong rates.
+ACTIVITY_CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Per-user expected request rates (relative scale, not normalised).
+
+    ``source`` records how the profile was obtained: ``"analytic"`` (closed
+    form from generator parameters), ``"profiled"`` (counted from a stream)
+    or ``"cache"`` (a profiled count served from a trace's sidecar file).
+    """
+
+    rates: dict[int, float] = field(default_factory=dict)
+    source: str = "analytic"
+
+    @property
+    def total(self) -> float:
+        """Sum of all rates (the expected event count for profiled sources)."""
+        return sum(self.rates.values())
+
+    def rate_of(self, user: int) -> float:
+        """Expected request rate of one user (0.0 when unknown)."""
+        return self.rates.get(user, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Columnar profiling
+# ---------------------------------------------------------------------------
+def profile_stream(stream: EventStream) -> ActivityProfile:
+    """Count read/write events per user in one pass over the stream.
+
+    Chunks without edge mutations — the overwhelmingly common case — are
+    counted with a single ``Counter.update`` over the raw ``users`` column
+    (CPython's C-accelerated ``_count_elements``); mixed chunks fall back to
+    a filtered iteration so edge events never pollute the request counts.
+    Edge mutations are excluded deliberately: the sharded runner replicates
+    the decision plane, so only owned read/write execution differentiates
+    per-shard CPU.
+    """
+    counts: Counter[int] = Counter()
+    for chunk in stream.chunks():
+        kinds = chunk.kinds.tobytes()
+        if kinds.find(KIND_EDGE_ADD) < 0 and kinds.find(KIND_EDGE_REMOVE) < 0:
+            counts.update(chunk.users)
+        else:
+            counts.update(
+                user
+                for kind, user in zip(chunk.kinds, chunk.users)
+                if kind <= KIND_WRITE
+            )
+    return ActivityProfile(
+        rates={user: float(count) for user, count in counts.items()},
+        source="profiled",
+    )
+
+
+def activity_cache_path(path: str | os.PathLike) -> Path:
+    """Sidecar file holding a trace's cached activity profile."""
+    source = Path(path)
+    return source.with_name(source.name + ".activity.json")
+
+
+def profile_trace(path: str | os.PathLike, cache: bool = True) -> ActivityProfile:
+    """Profile a binary trace file, serving repeats from a sidecar cache.
+
+    The sidecar lives next to the trace (``<trace>.activity.json``) and is
+    content-addressed: it records the trace's SHA-256, so a rewritten trace
+    invalidates it automatically and moving the pair together keeps the hit.
+    Cache writes are best effort (a read-only trace directory just means the
+    profile is recomputed per run); a malformed sidecar reads as a miss.
+    """
+    from .io import read_trace
+
+    source = Path(path)
+    content_hash = trace_content_hash(source)
+    sidecar = activity_cache_path(source)
+    if cache:
+        cached = _read_cache(sidecar, content_hash)
+        if cached is not None:
+            return cached
+    profile = profile_stream(read_trace(source))
+    if cache:
+        _write_cache(sidecar, content_hash, profile)
+    return profile
+
+
+def _read_cache(sidecar: Path, content_hash: str) -> ActivityProfile | None:
+    try:
+        payload = json.loads(sidecar.read_text())
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != ACTIVITY_CACHE_VERSION
+        or payload.get("content_hash") != content_hash
+    ):
+        return None
+    users = payload.get("users")
+    counts = payload.get("counts")
+    if not isinstance(users, list) or not isinstance(counts, list):
+        return None
+    if len(users) != len(counts):
+        return None
+    try:
+        rates = {int(user): float(count) for user, count in zip(users, counts)}
+    except (TypeError, ValueError):
+        return None
+    return ActivityProfile(rates=rates, source="cache")
+
+
+def _write_cache(sidecar: Path, content_hash: str, profile: ActivityProfile) -> None:
+    users = sorted(profile.rates)
+    payload = {
+        "version": ACTIVITY_CACHE_VERSION,
+        "content_hash": content_hash,
+        "users": users,
+        "counts": [profile.rates[user] for user in users],
+    }
+    try:
+        tmp = sidecar.with_name(sidecar.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, sidecar)
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Analytic profiles from generator parameters
+# ---------------------------------------------------------------------------
+def _normalised_expectation(
+    weights: Mapping[int, float], total_events: float
+) -> dict[int, float]:
+    """Expected events per user when ``total_events`` draws follow ``weights``."""
+    scale = sum(weights.values())
+    if scale <= 0:
+        return {user: 0.0 for user in weights}
+    factor = total_events / scale
+    return {user: weight * factor for user, weight in weights.items()}
+
+
+def _merge_rates(target: dict[int, float], extra: Mapping[int, float]) -> None:
+    for user, rate in extra.items():
+        target[user] = target.get(user, 0.0) + rate
+
+
+def _synthetic_rates(graph: SocialGraph, config) -> dict[int, float]:
+    """Expected read+write events per user of the synthetic model."""
+    from .synthetic import SyntheticWorkloadGenerator
+
+    generator = SyntheticWorkloadGenerator(graph, config)
+    total_writes = round(graph.num_users * config.writes_per_user_per_day * config.days)
+    total_reads = round(total_writes * config.read_write_ratio)
+    rates = _normalised_expectation(generator.write_weights(), total_writes)
+    _merge_rates(rates, _normalised_expectation(generator.read_weights(), total_reads))
+    return rates
+
+
+def _trace_rates(graph: SocialGraph, config) -> dict[int, float]:
+    """Expected events per user of the news-activity trace model.
+
+    The generator's heavy-tailed per-user weights are themselves random
+    draws, but they come from a dedicated seeded RNG
+    (``{seed}:trace:profile``), so re-running ``activity_profile`` here
+    reproduces *exactly* the weight vector the generator samples from.
+    """
+    import random
+
+    from .trace import NewsActivityTraceGenerator
+
+    generator = NewsActivityTraceGenerator(graph, config)
+    profile_rng = random.Random(f"{config.seed}:trace:profile")
+    weights = generator.activity_profile(profile_rng)
+    total_writes = round(len(weights) * config.writes_per_user)
+    total_events = total_writes * (1.0 + config.read_write_ratio)
+    return _normalised_expectation(weights, total_events)
+
+
+def _pareto_rates(graph: SocialGraph, config) -> dict[int, float]:
+    """Expected events per user of the Pareto-burst model."""
+    import math
+
+    from .models import ParetoBurstWorkloadGenerator
+
+    generator = ParetoBurstWorkloadGenerator(graph, config)
+    weights = {
+        user: 1.0 + math.log1p(graph.in_degree(user) + graph.out_degree(user))
+        for user in graph.users
+    }
+    return _normalised_expectation(weights, generator.total_events())
+
+
+def _celebrity_rates(graph: SocialGraph, config) -> dict[int, float]:
+    """Expected events per user of the celebrity read-storm model.
+
+    Background traffic reuses the synthetic expectation (the generator
+    builds its background exactly that way); each storm adds one write for
+    the celebrity and ``round(reads_per_follower)`` reads per follower.
+    """
+    from .models import CelebrityReadStormGenerator
+    from .synthetic import SyntheticWorkloadConfig
+
+    generator = CelebrityReadStormGenerator(graph, config)
+    writes = config.background_events_per_user_per_day * (
+        1.0 - config.background_read_fraction
+    )
+    ratio = config.background_read_fraction / (1.0 - config.background_read_fraction)
+    rates = _synthetic_rates(
+        graph,
+        SyntheticWorkloadConfig(
+            days=config.days,
+            writes_per_user_per_day=writes,
+            read_write_ratio=ratio,
+            seed=config.seed,
+        ),
+    )
+    reads_per_follower = round(config.reads_per_follower)
+    for celebrity in generator.celebrity_users():
+        storms = config.storms_per_celebrity
+        rates[celebrity] = rates.get(celebrity, 0.0) + storms
+        storm_reads = storms * reads_per_follower
+        if storm_reads:
+            for follower in graph.followers(celebrity):
+                rates[follower] = rates.get(follower, 0.0) + storm_reads
+    return rates
+
+
+def analytic_activity(graph: SocialGraph, spec: "WorkloadSpec") -> ActivityProfile | None:
+    """Closed-form activity profile for a generated workload spec.
+
+    Returns ``None`` for workload kinds without a generative model (trace
+    files) — callers fall back to :func:`profile_trace`.  A flash event
+    merged into the workload is ignored: flash workloads track views, which
+    the sharded runner rejects before any assignment is computed.
+    """
+    from ..workload.models import CelebrityStormConfig, ParetoBurstConfig
+    from ..workload.synthetic import SyntheticWorkloadConfig
+    from ..workload.trace import NewsActivityTraceConfig
+
+    params = dict(spec.params)
+    if spec.kind == "synthetic":
+        rates = _synthetic_rates(
+            graph, SyntheticWorkloadConfig(days=spec.days, seed=spec.seed, **params)
+        )
+    elif spec.kind == "trace":
+        rates = _trace_rates(
+            graph, NewsActivityTraceConfig(days=spec.days, seed=spec.seed, **params)
+        )
+    elif spec.kind == "pareto_burst":
+        rates = _pareto_rates(
+            graph, ParetoBurstConfig(days=spec.days, seed=spec.seed, **params)
+        )
+    elif spec.kind == "celebrity_storm":
+        rates = _celebrity_rates(
+            graph, CelebrityStormConfig(days=spec.days, seed=spec.seed, **params)
+        )
+    else:
+        return None
+    return ActivityProfile(rates=rates, source="analytic")
+
+
+def activity_for_spec(spec: "WorkloadSpec", graph: SocialGraph) -> ActivityProfile:
+    """Activity profile for any workload spec: analytic when the kind has a
+    generative model, cached columnar profiling for trace files."""
+    profile = analytic_activity(graph, spec)
+    if profile is not None:
+        return profile
+    if spec.kind != "file" or not spec.path:  # pragma: no cover - defensive
+        raise WorkloadError(f"no activity model for workload kind {spec.kind!r}")
+    return profile_trace(spec.path)

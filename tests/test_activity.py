@@ -1,0 +1,317 @@
+"""Activity profiles: columnar profiling, sidecar cache, analytic models,
+and the weighted-balance property of the k-way partitioner.
+
+The analytic profiles are validated against the ground truth the profiler
+extracts from the generated streams — totals match the generators' event
+budgets, and ranks correlate (the analytic model orders users like the
+events actually drawn).  The property tests pin the two contracts the
+activity-weighted sharding path leans on: weighted ``balance_ratio`` honours
+the documented tolerance bound on arbitrary weighted graphs, and analytic ≈
+profiled holds across seeds, not just the ones unit tests happen to use.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.quality import part_weights
+from repro.partitioning.sharding import assign_user_shards
+from repro.runtime.spec import WorkloadSpec
+from repro.socialgraph.generators import dataset_preset, generate_social_graph
+from repro.workload.activity import (
+    ActivityProfile,
+    activity_cache_path,
+    activity_for_spec,
+    analytic_activity,
+    profile_stream,
+    profile_trace,
+)
+from repro.workload.io import write_trace
+from repro.workload.stream import (
+    KIND_EDGE_ADD,
+    KIND_EDGE_REMOVE,
+    KIND_READ,
+    KIND_WRITE,
+    NO_AUX,
+    EventStream,
+)
+
+
+def small_graph(users: int = 100, seed: int = 3):
+    return generate_social_graph(dataset_preset("facebook", users=users), seed=seed)
+
+
+def spearman(a: dict[int, float], b: dict[int, float]) -> float:
+    """Spearman rank correlation over the union of keys (ties by user id)."""
+    users = sorted(set(a) | set(b))
+
+    def ranks(mapping):
+        order = sorted(users, key=lambda u: (mapping.get(u, 0.0), u))
+        return {user: index for index, user in enumerate(order)}
+
+    rank_a, rank_b = ranks(a), ranks(b)
+    mean = (len(users) - 1) / 2
+    cov = sum((rank_a[u] - mean) * (rank_b[u] - mean) for u in users)
+    var = sum((rank_a[u] - mean) ** 2 for u in users)
+    return cov / var
+
+
+# ---------------------------------------------------------------------------
+# Columnar profiler
+# ---------------------------------------------------------------------------
+class TestProfileStream:
+    def test_counts_reads_and_writes_per_user(self):
+        rows = [
+            (KIND_WRITE, 1.0, 7, NO_AUX),
+            (KIND_READ, 2.0, 7, NO_AUX),
+            (KIND_READ, 3.0, 9, NO_AUX),
+            (KIND_READ, 4.0, 7, NO_AUX),
+        ]
+        profile = profile_stream(EventStream.from_rows(rows))
+        assert profile.rates == {7: 3.0, 9: 1.0}
+        assert profile.source == "profiled"
+        assert profile.total == 4.0
+        assert profile.rate_of(7) == 3.0
+        assert profile.rate_of(999) == 0.0
+
+    def test_edge_events_are_excluded(self):
+        """Edge mutations name a follower in the users column but cost the
+        decision plane (replicated), not the measurement plane — the mixed
+        chunk path must filter them out."""
+        rows = [
+            (KIND_WRITE, 1.0, 7, NO_AUX),
+            (KIND_EDGE_ADD, 2.0, 5, 7),
+            (KIND_READ, 3.0, 5, NO_AUX),
+            (KIND_EDGE_REMOVE, 4.0, 5, 7),
+        ]
+        profile = profile_stream(EventStream.from_rows(rows))
+        assert profile.rates == {7: 1.0, 5: 1.0}
+
+    def test_matches_per_event_count_on_generated_stream(self):
+        spec = WorkloadSpec.of("synthetic", days=0.5, seed=11)
+        stream, _ = spec.build_stream(small_graph())
+        profile = profile_stream(stream)
+        expected: dict[int, float] = {}
+        for chunk in stream.chunks():
+            for kind, _, user, _ in chunk.rows():
+                if kind <= KIND_WRITE:
+                    expected[user] = expected.get(user, 0.0) + 1.0
+        assert profile.rates == expected
+
+
+# ---------------------------------------------------------------------------
+# Trace sidecar cache
+# ---------------------------------------------------------------------------
+class TestTraceCache:
+    def write_test_trace(self, tmp_path, seed: int = 11):
+        spec = WorkloadSpec.of("synthetic", days=0.5, seed=seed)
+        stream, _ = spec.build_stream(small_graph())
+        path = tmp_path / "trace.bin"
+        write_trace(path, stream)
+        return path
+
+    def test_cache_hit_after_first_profile(self, tmp_path):
+        path = self.write_test_trace(tmp_path)
+        first = profile_trace(path)
+        assert first.source == "profiled"
+        assert activity_cache_path(path).exists()
+        second = profile_trace(path)
+        assert second.source == "cache"
+        assert second.rates == first.rates
+
+    def test_rewritten_trace_invalidates_cache(self, tmp_path):
+        path = self.write_test_trace(tmp_path, seed=11)
+        profile_trace(path)
+        path_two = self.write_test_trace(tmp_path, seed=12)
+        assert path_two == path  # same file, new bytes
+        fresh = profile_trace(path)
+        assert fresh.source == "profiled"  # content hash mismatch = miss
+
+    def test_malformed_sidecar_reads_as_miss(self, tmp_path):
+        path = self.write_test_trace(tmp_path)
+        reference = profile_trace(path, cache=False)
+        activity_cache_path(path).write_text("not json {")
+        profile = profile_trace(path)
+        assert profile.source == "profiled"
+        assert profile.rates == reference.rates
+
+    def test_sidecar_version_mismatch_reads_as_miss(self, tmp_path):
+        path = self.write_test_trace(tmp_path)
+        profile_trace(path)
+        sidecar = activity_cache_path(path)
+        payload = json.loads(sidecar.read_text())
+        payload["version"] = -1
+        sidecar.write_text(json.dumps(payload))
+        assert profile_trace(path).source == "profiled"
+
+    def test_cache_false_never_touches_sidecar(self, tmp_path):
+        path = self.write_test_trace(tmp_path)
+        profile_trace(path, cache=False)
+        assert not activity_cache_path(path).exists()
+
+
+# ---------------------------------------------------------------------------
+# Analytic models
+# ---------------------------------------------------------------------------
+ANALYTIC_KINDS = (
+    ("synthetic", {}),
+    ("trace", {}),
+    ("pareto_burst", {}),
+    ("celebrity_storm", {"celebrities": 2}),
+)
+
+
+class TestAnalyticActivity:
+    @pytest.mark.parametrize("kind,params", ANALYTIC_KINDS)
+    def test_total_matches_generated_event_count(self, kind, params):
+        """The analytic profile's mass is the generator's event budget."""
+        graph = small_graph()
+        spec = WorkloadSpec.of(kind, days=2.0, seed=5, **params)
+        profile = analytic_activity(graph, spec)
+        assert profile is not None and profile.source == "analytic"
+        stream, _ = spec.build_stream(graph)
+        generated = profile_stream(stream).total
+        assert profile.total == pytest.approx(generated, rel=0.01)
+
+    @pytest.mark.parametrize("kind,params", ANALYTIC_KINDS)
+    def test_covers_every_graph_user(self, kind, params):
+        graph = small_graph()
+        profile = analytic_activity(
+            graph, WorkloadSpec.of(kind, days=1.0, seed=5, **params)
+        )
+        assert set(profile.rates) == set(graph.users)
+
+    def test_synthetic_ranks_converge_with_event_budget(self):
+        """With enough draws the empirical per-user counts order like the
+        analytic expectation (sampling noise shrinks as 1/sqrt(n))."""
+        graph = small_graph(users=220)
+        spec = WorkloadSpec.of(
+            "synthetic", days=20.0, seed=5, writes_per_user_per_day=4.0
+        )
+        profile = analytic_activity(graph, spec)
+        stream, _ = spec.build_stream(graph)
+        measured = profile_stream(stream)
+        assert spearman(profile.rates, measured.rates) > 0.7
+
+    def test_file_kind_has_no_analytic_model(self, tmp_path):
+        spec = WorkloadSpec.of("synthetic", days=0.5, seed=11)
+        graph = small_graph()
+        stream, _ = spec.build_stream(graph)
+        path = tmp_path / "trace.bin"
+        write_trace(path, stream)
+        file_spec = WorkloadSpec.from_file(path)
+        assert analytic_activity(graph, file_spec) is None
+
+    def test_activity_for_spec_dispatch(self, tmp_path):
+        graph = small_graph()
+        generated = activity_for_spec(
+            WorkloadSpec.of("synthetic", days=0.5, seed=11), graph
+        )
+        assert generated.source == "analytic"
+        spec = WorkloadSpec.of("synthetic", days=0.5, seed=11)
+        stream, _ = spec.build_stream(graph)
+        path = tmp_path / "trace.bin"
+        write_trace(path, stream)
+        profiled = activity_for_spec(WorkloadSpec.from_file(path), graph)
+        assert profiled.source == "profiled"
+        assert profiled.rates == profile_stream(stream).rates
+        # And a second call is served from the sidecar.
+        assert activity_for_spec(WorkloadSpec.from_file(path), graph).source == "cache"
+
+
+# ---------------------------------------------------------------------------
+# Degenerate profiles at the sharding boundary
+# ---------------------------------------------------------------------------
+class TestDegenerateProfiles:
+    def test_zero_activity_falls_back_to_population(self):
+        graph = small_graph()
+        profile = ActivityProfile(rates={user: 0.0 for user in graph.users})
+        weighted = assign_user_shards(graph, 3, activity=profile)
+        plain = assign_user_shards(graph, 3)
+        assert weighted.shard_map == plain.shard_map
+        assert weighted.weighted_populations is None
+
+    def test_negative_rates_fall_back_to_population(self):
+        graph = small_graph()
+        rates = {user: 1.0 for user in graph.users}
+        rates[next(iter(graph.users))] = -5.0
+        assert (
+            assign_user_shards(graph, 3, activity=rates).shard_map
+            == assign_user_shards(graph, 3).shard_map
+        )
+
+    def test_plain_mapping_accepted(self):
+        graph = small_graph()
+        rates = {user: float(1 + graph.in_degree(user)) for user in graph.users}
+        assignment = assign_user_shards(graph, 3, activity=rates)
+        assert assignment.weighted_populations is not None
+        assert len(assignment.weighted_populations) == 3
+        assert assignment.weighted_imbalance >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@st.composite
+def weighted_graphs(draw):
+    """A random symmetric weighted graph plus heavy-tailed node weights."""
+    size = draw(st.integers(min_value=8, max_value=36))
+    adjacency: dict[int, dict[int, int]] = {node: {} for node in range(size)}
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, size - 1),
+                st.integers(0, size - 1),
+                st.integers(1, 5),
+            ),
+            max_size=size * 3,
+        )
+    )
+    for left, right, weight in edges:
+        if left == right:
+            continue
+        adjacency[left][right] = weight
+        adjacency[right][left] = weight
+    weights = {
+        node: draw(
+            st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+        )
+        for node in range(size)
+    }
+    parts = draw(st.integers(min_value=2, max_value=4))
+    return adjacency, weights, parts
+
+
+@given(data=weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_weighted_partition_respects_tolerance_bound(data):
+    """``rebalance_partition``'s documented guarantee: the heaviest part is
+    bounded by ``ideal * tolerance + max(node weight)`` on any input."""
+    adjacency, weights, parts = data
+    result = partition_kway(adjacency, parts=parts, seed=3, node_weights=weights)
+    loads = part_weights(result.assignment, parts, node_weights=weights)
+    ideal = sum(weights.values()) / parts
+    assert max(loads) <= ideal * 1.05 + max(weights.values()) + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    kind=st.sampled_from(["trace", "celebrity_storm"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_analytic_tracks_profiled_ranks(seed, kind):
+    """Analytic ≈ profiled on skewed workloads, for arbitrary seeds: the
+    users the analytic model calls hot are the ones the events hit."""
+    graph = small_graph(users=100, seed=seed % 4)
+    params = {"celebrities": 2} if kind == "celebrity_storm" else {}
+    spec = WorkloadSpec.of(kind, days=2.0, seed=seed, **params)
+    profile = analytic_activity(graph, spec)
+    stream, _ = spec.build_stream(graph)
+    measured = profile_stream(stream)
+    assert profile.total == pytest.approx(measured.total, rel=0.01)
+    assert spearman(profile.rates, measured.rates) > 0.4

@@ -163,6 +163,91 @@ class TestKWay:
         weights = part_weights(result.assignment, 10)
         assert max(weights) - min(weights) <= 1
 
+    def test_nodes_by_part_matches_assignment(self):
+        graph = facebook_like(users=300, seed=7)
+        result = partition_kway(graph.undirected_adjacency(), parts=6, seed=1)
+        groups = result.nodes_by_part()
+        assert len(groups) == 6
+        assert sorted(node for group in groups for node in group) == sorted(
+            result.assignment
+        )
+        for part in range(6):
+            assert all(result.assignment[node] == part for node in groups[part])
+            assert result.nodes_in_part(part) == list(groups[part])
+        # The grouping is built once and reused.
+        assert result.nodes_by_part() is groups
+
+    def test_nodes_in_part_range_check(self):
+        result = partition_kway(two_cliques(4), parts=2, seed=1)
+        with pytest.raises(PartitioningError):
+            result.nodes_in_part(2)
+        with pytest.raises(PartitioningError):
+            result.nodes_in_part(-1)
+
+
+class TestWeightedKWay:
+    """Node-weighted partitioning: the whole stack balances weight."""
+
+    def weighted_graph(self, users: int = 300, seed: int = 7):
+        graph = facebook_like(users=users, seed=seed)
+        adjacency = graph.undirected_adjacency()
+        rng = random.Random(seed)
+        # Heavy-tailed weights: a few nodes carry most of the mass, like
+        # per-user request rates on a social workload.
+        weights = {node: 1.0 + rng.paretovariate(1.3) for node in adjacency}
+        return adjacency, weights
+
+    def test_weighted_partition_balances_weight_not_count(self):
+        adjacency, weights = self.weighted_graph()
+        result = partition_kway(adjacency, parts=4, seed=1, node_weights=weights)
+        assert set(result.assignment) == set(adjacency)
+        weighted = part_weights(result.assignment, 4, node_weights=weights)
+        ideal = sum(weights.values()) / 4
+        # The tolerance bound plus one node's weight (rebalance can overshoot
+        # the lightest part by at most the moved node).
+        assert max(weighted) <= ideal * 1.05 + max(weights.values()) + 1e-9
+        assert result.balance == pytest.approx(
+            balance_ratio(result.assignment, 4, node_weights=weights)
+        )
+
+    def test_weighted_beats_unweighted_on_weighted_balance(self):
+        adjacency, weights = self.weighted_graph(users=400, seed=9)
+        unweighted = partition_kway(adjacency, parts=4, seed=1)
+        weighted = partition_kway(adjacency, parts=4, seed=1, node_weights=weights)
+        assert balance_ratio(
+            weighted.assignment, 4, node_weights=weights
+        ) <= balance_ratio(unweighted.assignment, 4, node_weights=weights)
+
+    def test_default_path_unchanged_by_weight_of_one(self):
+        """All-ones weights must reproduce the unweighted partition exactly:
+        the placement baselines depend on the default path being stable."""
+        graph = facebook_like(users=300, seed=8)
+        adjacency = graph.undirected_adjacency()
+        unweighted = partition_kway(adjacency, parts=4, seed=2)
+        ones = partition_kway(
+            adjacency, parts=4, seed=2, node_weights={n: 1 for n in adjacency}
+        )
+        assert ones.assignment == unweighted.assignment
+
+    def test_degenerate_weights_fall_back_unweighted(self):
+        adjacency = two_cliques(8)
+        zero = partition_kway(
+            adjacency, parts=2, seed=1, node_weights={n: 0.0 for n in adjacency}
+        )
+        plain = partition_kway(adjacency, parts=2, seed=1)
+        assert zero.assignment == plain.assignment
+        negative = partition_kway(
+            adjacency, parts=2, seed=1, node_weights={0: -1.0}
+        )
+        assert negative.assignment == plain.assignment
+
+    def test_missing_nodes_weigh_one(self):
+        adjacency = two_cliques(6)
+        partial = {node: 2.0 for node in range(6)}  # second clique missing
+        result = partition_kway(adjacency, parts=2, seed=1, node_weights=partial)
+        weights = part_weights(result.assignment, 2, node_weights=partial)
+        assert sum(weights) == pytest.approx(6 * 2.0 + 6 * 1.0)
+
 
 class TestHierarchical:
     def test_assignment_within_server_range(self):

@@ -16,6 +16,7 @@ scenario names inside the test ids.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import pytest
 
@@ -40,6 +41,8 @@ from repro.runtime.spec import (
     build_strategy,
 )
 from repro.simulator.shard import (
+    ShardHeartbeat,
+    ShardLoadSummary,
     ShardMaterials,
     _build_owner_map,
     _execute_shard,
@@ -48,6 +51,7 @@ from repro.simulator.shard import (
     run_sharded,
     run_sharded_detailed,
 )
+from repro.workload.activity import activity_for_spec
 from repro.workload.stream import KIND_READ, KIND_WRITE, NO_AUX, EventStream
 
 #: Strategies whose request execution never feeds back into placement —
@@ -118,6 +122,96 @@ class TestShardedParity:
         assert len(digests) == 1 and None not in digests
         assert report.assignment is not None
         assert report.assignment.shards == 2
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity with activity-weighted assignment on a skewed workload
+# ---------------------------------------------------------------------------
+def skewed_workload() -> WorkloadSpec:
+    """A celebrity read storm: the canonical activity-skewed workload."""
+    return WorkloadSpec.of(
+        "celebrity_storm", days=1.0, seed=5, celebrities=3, reads_per_follower=6.0
+    )
+
+
+def skewed_materials(
+    strategy_key: str, scenario_key: str, activity: bool = True
+) -> ShardMaterials:
+    """Shard materials replaying the skewed workload over the parity graph."""
+    workload = skewed_workload()
+
+    def stream_factory(graph):
+        stream, _ = workload.build_stream(graph)
+        return stream
+
+    return ShardMaterials(
+        topology_factory=lambda: parity_cluster()[0],
+        graph_factory=parity_graph,
+        strategy_factory=lambda: build_strategy(strategy_key, 7, DynaSoReConfig()),
+        stream_factory=stream_factory,
+        config=SimulationConfig(extra_memory_pct=60.0, seed=7),
+        scenario_factory=SCENARIOS[scenario_key],
+        activity_factory=(
+            (lambda graph: activity_for_spec(workload, graph)) if activity else None
+        ),
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def skewed_reference_bytes(strategy_key: str, scenario_key: str) -> bytes:
+    """Single-process reference of the skewed workload, cached per cell."""
+    report = run_sharded_detailed(
+        skewed_materials(strategy_key, scenario_key, activity=False), 1
+    )
+    return canonical_result_bytes(report.result)
+
+
+class TestWeightedShardedParity:
+    """Activity-weighted assignment changes which worker executes which
+    event — never the merged result.  The skewed workload is exactly where
+    the weighted partition diverges most from the population one, so this
+    matrix is the regression net for the activity-weighted path."""
+
+    @pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+    @pytest.mark.parametrize("strategy_key", STRATEGY_KEYS)
+    def test_weighted_two_shards_byte_identical(self, strategy_key, scenario_key):
+        report = run_sharded_detailed(skewed_materials(strategy_key, scenario_key), 2)
+        assert canonical_result_bytes(report.result) == skewed_reference_bytes(
+            strategy_key, scenario_key
+        ), f"weighted sharded replay diverged for {strategy_key}/{scenario_key}"
+        expected = "partitioned" if strategy_key in PURE_STRATEGIES else "replicated"
+        assert report.mode == expected
+
+    @pytest.mark.parametrize("scenario_key", sorted(SCENARIOS))
+    @pytest.mark.parametrize("strategy_key", sorted(PURE_STRATEGIES))
+    def test_weighted_four_shards_byte_identical(self, strategy_key, scenario_key):
+        report = run_sharded_detailed(skewed_materials(strategy_key, scenario_key), 4)
+        assert report.mode == "partitioned"
+        assert canonical_result_bytes(report.result) == skewed_reference_bytes(
+            strategy_key, scenario_key
+        ), f"weighted 4-shard replay diverged for {strategy_key}/{scenario_key}"
+        assert report.assignment.weighted_populations is not None
+        assert report.load_summary is not None
+        assert report.load_summary.balanced_by == "activity"
+
+    def test_weighted_assignment_lowers_expected_imbalance(self):
+        """On the skewed workload the activity-weighted partition spreads
+        expected events strictly more evenly than the population one."""
+        graph = parity_graph()
+        profile = activity_for_spec(skewed_workload(), graph)
+
+        def expected_imbalance(assignment) -> float:
+            loads = [0.0] * assignment.shards
+            for user, rate in profile.rates.items():
+                loads[assignment.owner_of(user)] += rate
+            return max(loads) * assignment.shards / sum(loads)
+
+        unweighted = assign_user_shards(graph, 4, seed=7)
+        weighted = assign_user_shards(graph, 4, seed=7, activity=profile)
+        assert weighted.shard_map != unweighted.shard_map
+        assert expected_imbalance(weighted) < expected_imbalance(unweighted)
+        assert weighted.weighted_imbalance is not None
+        assert weighted.weighted_imbalance < expected_imbalance(unweighted)
 
 
 # ---------------------------------------------------------------------------
@@ -302,6 +396,32 @@ class TestSpecIntegration:
         spec = small_spec()
         assert spec.cache_key() == dataclasses.replace(spec, shards=4).cache_key()
 
+    def test_cache_key_ignores_shard_activity(self):
+        """Like ``shards``, the balance objective only moves work between
+        workers — results (and so cache entries) are shared."""
+        spec = small_spec()
+        assert (
+            spec.cache_key()
+            == dataclasses.replace(spec, shard_activity=False).cache_key()
+        )
+
+    def test_spec_activity_toggle_controls_materials(self):
+        materials = materials_from_spec(small_spec())
+        assert materials.activity_factory is not None
+        profile = materials.activity_factory(parity_graph())
+        assert profile.rates and profile.source == "analytic"
+        opt_out = materials_from_spec(small_spec(shard_activity=False))
+        assert opt_out.activity_factory is None
+
+    def test_executor_population_balancing_is_byte_identical(self):
+        """``shard_activity=False`` (the executor-level opt-out) changes the
+        assignment, never the result."""
+        spec = small_spec()
+        result = RuntimeExecutor(shards=2, shard_activity=False).run([spec])[0]
+        assert canonical_result_bytes(result) == canonical_result_bytes(
+            execute_spec(spec)
+        )
+
     def test_executor_shares_cache_across_shard_counts(self, tmp_path):
         spec = small_spec()
         cache = ResultCache(tmp_path / "cache")
@@ -328,6 +448,23 @@ class TestSpecIntegration:
 
         args = build_parser().parse_args(["run", "figure3c", "--shards", "4"])
         assert args.shards == 4
+        assert args.shard_balance == "activity"
+
+    def test_cli_shard_balance_flag_reaches_executor(self):
+        from repro.cli import build_executor, build_parser
+        from repro.config import ExperimentProfile
+
+        args = build_parser().parse_args(
+            ["run", "figure3c", "--shards", "2", "--shard-balance", "population"]
+        )
+        executor = build_executor(
+            ExperimentProfile.by_name("ci"),
+            no_cache=True,
+            shards=args.shards,
+            shard_balance=args.shard_balance,
+        )
+        assert executor.shards == 2
+        assert executor.shard_activity is False
 
 
 # ---------------------------------------------------------------------------
@@ -358,9 +495,30 @@ class TestHeartbeats:
             heartbeat_interval=0.0,
         )
         assert report.mode == "partitioned"
-        assert {beat.shard_id for beat in beats} <= {0, 1}
-        assert all(beat.mode == "partitioned" for beat in beats)
-        assert beats, "workers never reported"
+        heartbeats = [beat for beat in beats if isinstance(beat, ShardHeartbeat)]
+        assert {beat.shard_id for beat in heartbeats} <= {0, 1}
+        assert all(beat.mode == "partitioned" for beat in heartbeats)
+        assert heartbeats, "workers never reported"
+
+    def test_partitioned_run_emits_load_summary(self):
+        """After the merge, the coordinator reports expected vs. actual
+        per-shard load through the same progress channel."""
+        beats = []
+        report = run_sharded_detailed(
+            parity_materials("spar", "plain"), 2, progress=beats.append
+        )
+        assert report.mode == "partitioned"
+        summaries = [beat for beat in beats if isinstance(beat, ShardLoadSummary)]
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary is report.load_summary
+        assert summary.balanced_by == "population"  # no activity_factory here
+        assert len(summary.cpu_shares) == 2
+        assert abs(sum(summary.cpu_shares) - 1.0) < 1e-9
+        assert abs(sum(summary.expected_shares) - 1.0) < 1e-9
+        assert summary.cpu_imbalance >= 1.0
+        line = summary.describe()
+        assert "population-balanced" in line and "cpu imbalance" in line
 
     def test_progress_note_rendering(self):
         progress = Progress(
